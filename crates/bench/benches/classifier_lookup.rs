@@ -1,0 +1,59 @@
+//! Criterion: classification costs — exact-match cache hit vs filter
+//! table walk (the ~10x gap of the paper's Observation 2, in software).
+
+use classifier::{Classifier, FilterRule, FlowMatch};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use netstack::flow::FlowKey;
+use netstack::packet::VfPort;
+
+fn classifier_with_rules(n_rules: u16) -> Classifier<u32> {
+    let mut c = Classifier::new(0u32, 1 << 16);
+    for i in 0..n_rules {
+        c.add_rule(FilterRule::new(
+            i,
+            FlowMatch::any().dst_port(5_000 + i),
+            i as u32 + 1,
+        ));
+    }
+    c
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let mut g = c.benchmark_group("classifier");
+    g.throughput(Throughput::Elements(1));
+
+    // Cache hit: the steady-state fast path.
+    g.bench_function("cache_hit", |b| {
+        let mut cls = classifier_with_rules(64);
+        let flow = FlowKey::tcp([10, 0, 0, 1], 40_000, [10, 0, 255, 1], 5_010);
+        let _ = cls.classify(&flow, VfPort(0)); // warm the cache
+        b.iter(|| std::hint::black_box(cls.classify(&flow, VfPort(0)).1));
+    });
+
+    // Miss + table walk, for growing rule tables (the slow path the
+    // hardware EMFC exists to avoid). Each iteration uses a fresh flow so
+    // the cache never helps; the cache is large enough not to evict.
+    for rules in [16u16, 64, 256] {
+        g.bench_with_input(BenchmarkId::new("miss_table_walk", rules), &rules, |b, &rules| {
+            let mut cls = classifier_with_rules(rules);
+            let mut port = 0u16;
+            b.iter(|| {
+                port = port.wrapping_add(1);
+                let flow =
+                    FlowKey::tcp([10, 0, 0, 1], port, [10, 0, 255, 1], 65_000);
+                std::hint::black_box(cls.classify(&flow, VfPort(0)).1)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(20);
+    targets = bench_classify
+}
+criterion_main!(benches);

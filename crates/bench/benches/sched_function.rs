@@ -1,0 +1,135 @@
+//! Criterion: the scheduling function (Algorithm 1) on real OS threads.
+//!
+//! The same `SchedulingTree` code that runs inside the discrete-event NIC
+//! model is exercised here under true hardware parallelism with
+//! `RealExec` (parking_lot try-locks, wall-clock timestamps) — the
+//! multi-core scalability claim of the paper, minus the silicon.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flowvalve::label::ClassId;
+use flowvalve::sched::RealExec;
+use flowvalve::tree::{ClassSpec, SchedulingTree, TreeParams};
+use sim_core::clock::{Clock, WallClock};
+use sim_core::units::BitRate;
+
+/// A fair-queueing tree with `n` leaves under one root.
+fn tree(leaves: usize) -> Arc<SchedulingTree> {
+    let mut specs =
+        vec![ClassSpec::new(ClassId(1), "root", None).rate(BitRate::from_gbps(40.0))];
+    for i in 0..leaves {
+        specs.push(ClassSpec::new(
+            ClassId(10 + i as u16),
+            format!("c{i}"),
+            Some(ClassId(1)),
+        ));
+    }
+    Arc::new(SchedulingTree::build(specs, TreeParams::default()).expect("tree builds"))
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched_function");
+    g.throughput(Throughput::Elements(1));
+
+    // Single-threaded decision cost per tree depth.
+    for depth_leaves in [1usize, 4, 16] {
+        let t = tree(depth_leaves);
+        let label = t.label(ClassId(10), &[]).expect("leaf exists");
+        let clock = WallClock::new();
+        g.bench_with_input(
+            BenchmarkId::new("single_thread_leaves", depth_leaves),
+            &depth_leaves,
+            |b, _| {
+                let mut exec = RealExec;
+                b.iter(|| {
+                    std::hint::black_box(t.schedule(&label, 12_000, clock.now(), &mut exec))
+                });
+            },
+        );
+    }
+
+    // Parallel scalability: N threads, each scheduling its own class —
+    // the stateless-where-possible design should scale near-linearly.
+    for threads in [1usize, 2, 4, 8] {
+        let t = tree(8);
+        g.bench_with_input(
+            BenchmarkId::new("parallel_threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let clock = WallClock::new();
+                    let start = Instant::now();
+                    std::thread::scope(|s| {
+                        for k in 0..threads {
+                            let t = Arc::clone(&t);
+                            let clock = &clock;
+                            s.spawn(move || {
+                                let label = t
+                                    .label(ClassId(10 + (k % 8) as u16), &[])
+                                    .expect("leaf exists");
+                                let mut exec = RealExec;
+                                for _ in 0..iters / threads as u64 {
+                                    std::hint::black_box(t.schedule(
+                                        &label,
+                                        12_000,
+                                        clock.now(),
+                                        &mut exec,
+                                    ));
+                                }
+                            });
+                        }
+                    });
+                    start.elapsed()
+                });
+            },
+        );
+    }
+
+    // Worst case: every thread hammers the SAME class (shared leaf bucket
+    // + contended update lock) — still wait-free on the meter.
+    for threads in [2usize, 8] {
+        let t = tree(8);
+        g.bench_with_input(
+            BenchmarkId::new("same_class_threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let clock = WallClock::new();
+                    let start = Instant::now();
+                    std::thread::scope(|s| {
+                        for _ in 0..threads {
+                            let t = Arc::clone(&t);
+                            let clock = &clock;
+                            s.spawn(move || {
+                                let label = t.label(ClassId(10), &[]).expect("leaf exists");
+                                let mut exec = RealExec;
+                                for _ in 0..iters / threads as u64 {
+                                    std::hint::black_box(t.schedule(
+                                        &label,
+                                        12_000,
+                                        clock.now(),
+                                        &mut exec,
+                                    ));
+                                }
+                            });
+                        }
+                    });
+                    start.elapsed()
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(20);
+    targets = bench_schedule
+}
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Ablation (paper Observation 2): the exact-match flow cache.
+//!
+//! Netronome's EMFC serves classification from dedicated lookup engines,
+//! ~10x faster than walking the filter table. This driver measures the
+//! NIC's maximum 64 B throughput with the cache enabled (steady-state
+//! hits) versus disabled (every packet pays the table walk), and sweeps
+//! the active-flow count against the cache capacity to show the falloff
+//! once the working set stops fitting.
+//!
+//! Run: `cargo run --release -p bench --bin ablation_flow_cache`
+
+use bench::{banner, write_json};
+use flowvalve::pipeline::FlowValvePipeline;
+use flowvalve::tree::TreeParams;
+use hostsim::policies;
+use hostsim::scenario::Scenario;
+use netstack::flow::FlowKey;
+use netstack::packet::{AppId, Packet, PacketIdGen, VfPort};
+use np_sim::config::NicConfig;
+use np_sim::nic::{RxOutcome, SmartNic};
+use sim_core::time::Nanos;
+
+const HORIZON: Nanos = Nanos::from_millis(2);
+
+/// Runs 64 B line-rate traffic over `flows` distinct flows through a NIC
+/// whose flow-cache capacity is `cache_capacity` (0 = model "no cache" by
+/// making the capacity one entry, which thrashes for any flow count > 1).
+/// Returns achieved Mpps and the cache hit ratio.
+fn measure(flows: u16, cache_small: bool) -> (f64, f64) {
+    let cfg = NicConfig::agilio_cx_40g();
+    let scenario = Scenario::fair_queueing_40g(4);
+    let policy = policies::fair_queueing_fv(cfg.line_rate, &scenario);
+    // The pipeline's cache capacity is fixed; emulate "disabled" by
+    // thrashing it with one entry.
+    let pipeline = if cache_small {
+        // Rebuild with a 1-entry cache through the public parts API.
+        let (tree, rules, default) = policy.compile(TreeParams::default()).expect("compiles");
+        let mut classifier = classifier::Classifier::new(default, 1);
+        for r in rules {
+            classifier.add_rule(r);
+        }
+        FlowValvePipeline::from_classifier(std::sync::Arc::new(tree), classifier, &cfg)
+    } else {
+        FlowValvePipeline::compile(&policy, TreeParams::default(), &cfg).expect("compiles")
+    };
+    let mut nic = SmartNic::new(cfg, Box::new(pipeline));
+
+    let mut ids = PacketIdGen::new();
+    let mut t = Nanos::ZERO;
+    let mut tx = 0u64;
+    let gap = Nanos::from_nanos(17); // ~59 Mpps offered
+    let mut i = 0u64;
+    while t < HORIZON {
+        let f = (i % flows as u64) as u16;
+        let flow = FlowKey::tcp([10, 0, (f >> 8) as u8, f as u8], 40_000, [10, 0, 255, 1], 9000);
+        let pkt = Packet::new(ids.next_id(), flow, 64, AppId(0), VfPort(0), t);
+        if let RxOutcome::Transmit { wire_done, .. } = nic.rx(&pkt, t) {
+            if wire_done <= HORIZON {
+                tx += 1;
+            }
+        }
+        i += 1;
+        t += gap;
+    }
+    let hit = nic
+        .decider_as::<FlowValvePipeline>()
+        .expect("flowvalve decider")
+        .cache_stats()
+        .hit_ratio();
+    (tx as f64 / HORIZON.as_secs_f64() / 1e6, hit)
+}
+
+fn main() {
+    banner(
+        "Observation 2 ablation",
+        "exact-match flow cache on/off, 64 B line-rate injection",
+    );
+    println!(
+        "\n{:<22} {:>8} {:>12} {:>10}",
+        "configuration", "flows", "Mpps", "hit ratio"
+    );
+    let mut rows = Vec::new();
+    for (name, flows, small) in [
+        ("cache (fits)", 256u16, false),
+        ("cache (fits)", 4_096, false),
+        ("cache thrashed", 256, true),
+        ("cache thrashed", 4_096, true),
+    ] {
+        let (mpps, hit) = measure(flows, small);
+        println!("{name:<22} {flows:>8} {mpps:>12.2} {:>9.1}%", hit * 100.0);
+        rows.push((name.to_owned(), flows, mpps, hit));
+    }
+    println!("\nwith the cache thrashed every packet pays the filter-table walk");
+    println!("(~10x the hit cost), and the 64 B compute bound collapses accordingly —");
+    println!("the reason the paper's labeling function leans on the EMFC accelerator.");
+    let p = write_json("ablation_flow_cache", &rows);
+    println!("results -> {}", p.display());
+}

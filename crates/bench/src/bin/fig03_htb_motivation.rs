@@ -1,0 +1,79 @@
+//! Figure 3: the kernel HTB baseline mis-enforcing the motivation policy
+//! on a 10 Gbps link.
+//!
+//! Reproduced observations (paper §II-A):
+//! 1. NC is not fully prioritized despite its highest-priority class.
+//! 2. The 10 Gbps root ceiling is overrun (~12 Gbps total).
+//! 3. The KVS > ML priority is ignored: the two share equally.
+//!
+//! Run: `cargo run --release -p bench --bin fig03_htb_motivation`
+
+use bench::{banner, sparkline_chart, kernel_path, throughput_table, window_summary, write_json};
+use hostsim::engine::run;
+use hostsim::policies;
+use hostsim::scenario::Scenario;
+use qdisc::htb::KernelModel;
+
+fn main() {
+    banner(
+        "Figure 3",
+        "kernel HTB + PRIO on 10 Gbps (CentOS 7 artifacts)",
+    );
+    let scenario = Scenario::motivation_example();
+    let (specs, map) = policies::motivation_htb(scenario.policy_rate);
+    let path = kernel_path(specs, map, &scenario, KernelModel::centos7());
+    let (report, _path) = run(&scenario, path);
+
+    println!("\nthroughput over figure time:\n");
+    print!("{}", sparkline_chart(&scenario, &report));
+    println!("\nper-figure-second throughput (Gbps):\n");
+    print!("{}", throughput_table(&scenario, &report));
+
+    println!("\nwindow summaries:");
+    print!(
+        "{}",
+        window_summary(
+            &scenario,
+            &report,
+            &[
+                ("NC", 2.0, 15.0),
+                ("KVS", 17.0, 30.0),
+                ("ML", 17.0, 30.0),
+                ("WS", 17.0, 30.0),
+                ("KVS", 32.0, 45.0),
+                ("WS", 32.0, 45.0),
+            ],
+        )
+    );
+
+    let total_15_30: f64 = ["KVS", "ML", "WS"]
+        .iter()
+        .map(|a| report.mean_gbps(&scenario, a, 17.0, 30.0))
+        .sum();
+    let kvs = report.mean_gbps(&scenario, "KVS", 17.0, 30.0);
+    let ml = report.mean_gbps(&scenario, "ML", 17.0, 30.0);
+    println!("\npaper-vs-measured checkpoints:");
+    println!("  total 15-30s        paper ~12 Gbps   measured {total_15_30:.2} Gbps");
+    println!(
+        "  KVS/ML ratio        paper ~1.0       measured {:.2}",
+        kvs / ml.max(1e-9)
+    );
+    println!(
+        "  NC alone (0-15s)    paper < 10 Gbps  measured {:.2} Gbps",
+        report.mean_gbps(&scenario, "NC", 2.0, 15.0)
+    );
+    println!(
+        "\ndelivered {} dropped {} (path {})",
+        report.delivered, report.dropped, report.path_name
+    );
+
+    let rows: Vec<(String, f64)> = vec![
+        ("nc_0_15".into(), report.mean_gbps(&scenario, "NC", 2.0, 15.0)),
+        ("kvs_15_30".into(), kvs),
+        ("ml_15_30".into(), ml),
+        ("ws_15_30".into(), report.mean_gbps(&scenario, "WS", 17.0, 30.0)),
+        ("total_15_30".into(), total_15_30),
+    ];
+    let p = write_json("fig03_htb_motivation", &rows);
+    println!("results -> {}", p.display());
+}

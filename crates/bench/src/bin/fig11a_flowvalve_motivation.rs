@@ -1,0 +1,71 @@
+//! Figure 11(a): FlowValve enforcing the motivation policy on 10 Gbps.
+//!
+//! Expected shape (paper §V-A): NC gets all available bandwidth while it
+//! runs; from 15 s the active classes split per weight and priority (WS
+//! 1/3 of S1, KVS prior to ML inside S2 with ML's 2 Gbps guarantee); the
+//! ceiling holds at 10 Gbps.
+//!
+//! Run: `cargo run --release -p bench --bin fig11a_flowvalve_motivation`
+
+use bench::{banner, sparkline_chart, flowvalve_path, throughput_table, window_summary, write_json};
+use hostsim::engine::run;
+use hostsim::policies;
+use hostsim::scenario::Scenario;
+use np_sim::config::NicConfig;
+
+fn main() {
+    banner("Figure 11(a)", "FlowValve on 10 Gbps (motivation policy)");
+    let scenario = Scenario::motivation_example();
+    // The policy divides 10 Gbps on the 40 GbE NIC, as in the paper.
+    let path = flowvalve_path(
+        &policies::motivation_fv(scenario.policy_rate),
+        NicConfig::agilio_cx_40g(),
+    );
+    let (report, _path) = run(&scenario, path);
+
+    println!("\nthroughput over figure time:\n");
+    print!("{}", sparkline_chart(&scenario, &report));
+    println!("\nper-figure-second throughput (Gbps):\n");
+    print!("{}", throughput_table(&scenario, &report));
+
+    println!("\nwindow summaries:");
+    print!(
+        "{}",
+        window_summary(
+            &scenario,
+            &report,
+            &[
+                ("NC", 2.0, 15.0),
+                ("KVS", 17.0, 30.0),
+                ("ML", 17.0, 30.0),
+                ("WS", 17.0, 30.0),
+                ("KVS", 32.0, 45.0),
+                ("WS", 32.0, 45.0),
+            ],
+        )
+    );
+
+    let nc = report.mean_gbps(&scenario, "NC", 2.0, 15.0);
+    let kvs = report.mean_gbps(&scenario, "KVS", 17.0, 30.0);
+    let ml = report.mean_gbps(&scenario, "ML", 17.0, 30.0);
+    let ws = report.mean_gbps(&scenario, "WS", 17.0, 30.0);
+    let total = kvs + ml + ws;
+    println!("\npaper-vs-measured checkpoints:");
+    println!("  NC alone (0-15s)    paper ~10 Gbps (all available)  measured {nc:.2}");
+    println!("  ceiling (15-30s)    paper ≤10 Gbps                  measured {total:.2}");
+    println!("  ML guarantee        paper ≥2 Gbps                   measured {ml:.2}");
+    println!("  KVS > ML priority   paper KVS gets the S2 residual  measured KVS {kvs:.2} vs ML {ml:.2}");
+    println!("  WS weight (1/3 S1)  paper ~3.3 Gbps                 measured {ws:.2}");
+
+    let rows: Vec<(String, f64)> = vec![
+        ("nc_0_15".into(), nc),
+        ("kvs_15_30".into(), kvs),
+        ("ml_15_30".into(), ml),
+        ("ws_15_30".into(), ws),
+        ("total_15_30".into(), total),
+        ("kvs_30_45".into(), report.mean_gbps(&scenario, "KVS", 32.0, 45.0)),
+        ("ws_30_45".into(), report.mean_gbps(&scenario, "WS", 32.0, 45.0)),
+    ];
+    let p = write_json("fig11a_flowvalve_motivation", &rows);
+    println!("results -> {}", p.display());
+}

@@ -1,0 +1,129 @@
+//! Figure 14: one-way delay of the three schedulers enforcing fair
+//! queueing under saturating TCP load (the paper saturates with iperf3 and
+//! measures one-way latency with netperf; here the delay histogram covers
+//! every delivered packet, which is what a probe flow sharing the same
+//! queues would see).
+//!
+//! Paper shape:
+//! * at 10 Gbps FlowValve has the lowest delay — it *drops* instead of
+//!   buffering, so there is no standing queue;
+//! * kernel HTB is the worst: TCP fills its deep class queues
+//!   (bufferbloat), and the watchdog timer adds jitter;
+//! * DPDK sits between them (64-packet `librte_sched` queues);
+//! * at 40 Gbps FlowValve's delay rises ~4x to the NIC pipeline's own
+//!   ~161 µs forwarding floor — with almost no variation — and the
+//!   scheduling-disabled NIC shows the same floor;
+//! * HTB is omitted above 10 Gbps (it cannot enforce policy there).
+//!
+//! Run: `cargo run --release -p bench --bin fig14_one_way_delay`
+
+use bench::{banner, dpdk_path, flowvalve_path, kernel_path, write_json};
+use hostsim::engine::run;
+use hostsim::policies;
+use hostsim::scenario::{AppSpec, Scenario};
+use netstack::flow::FlowKey;
+use netstack::gen::CbrProcess;
+use netstack::packet::{AppId, VfPort};
+use np_sim::config::NicConfig;
+use np_sim::harness::{run_open_loop, Source};
+use np_sim::nic::{PassthroughDecider, SmartNic};
+use qdisc::htb::KernelModel;
+use sim_core::stats::Histogram;
+use sim_core::time::Nanos;
+use sim_core::units::BitRate;
+
+/// A saturating, unstaged fair-queueing scenario on `link`.
+fn saturating_scenario(link: BitRate) -> Scenario {
+    let mut s = Scenario::new(link, Nanos::from_millis(25));
+    for i in 0..4u16 {
+        s.apps.push(AppSpec::new(
+            format!("App{i}"),
+            i,
+            i as u8,
+            9000 + i,
+            4,
+            Nanos::ZERO,
+            s.horizon,
+        ));
+    }
+    s
+}
+
+fn fv(link: BitRate, nic: NicConfig) -> Histogram {
+    let s = saturating_scenario(link);
+    let policy = policies::fair_queueing_fv(link, &s);
+    let (report, _path) = run(&s, flowvalve_path(&policy, nic));
+    report.delay
+}
+
+fn htb(link: BitRate) -> Histogram {
+    let s = saturating_scenario(link);
+    let (specs, map) = policies::fair_queueing_htb(link, 4);
+    let (report, _path) = run(&s, kernel_path(specs, map, &s, KernelModel::centos7()));
+    report.delay
+}
+
+fn dpdk(link: BitRate, cores: usize) -> Histogram {
+    let s = saturating_scenario(link);
+    let (cfg, map) = policies::fair_queueing_dpdk(link, 4);
+    let (report, _path) = run(&s, dpdk_path(cfg, map, &s, cores));
+    report.delay
+}
+
+/// The scheduling-disabled forwarding floor, measured open-loop at 60%
+/// load so no queueing contaminates it.
+fn forward_only(nic: NicConfig) -> Histogram {
+    let load = nic.line_rate.scaled(6, 10);
+    let sources: Vec<Source> = (0..4u16)
+        .map(|i| Source {
+            flow: FlowKey::udp([10, 0, 1 + i as u8, 1], 40_000, [10, 0, 255, 1], 9000 + i),
+            app: AppId(i),
+            vf: VfPort(i as u8),
+            process: Box::new(CbrProcess::new(load.scaled(1, 4), 1_024)),
+        })
+        .collect();
+    let mut nic = SmartNic::new(nic, Box::new(PassthroughDecider));
+    run_open_loop(&mut nic, sources, Nanos::from_millis(10), 11).delay
+}
+
+fn row(name: &str, h: &Histogram) -> (String, f64, f64, f64) {
+    (
+        name.to_owned(),
+        h.mean() / 1e3,
+        h.std_dev() / 1e3,
+        h.quantile(0.99) as f64 / 1e3,
+    )
+}
+
+fn main() {
+    banner("Figure 14", "one-way delay under saturating fair-queueing TCP load");
+
+    let mut rows = Vec::new();
+    println!(
+        "\n{:<26} {:>10} {:>10} {:>10}",
+        "scheduler", "mean us", "sd us", "p99 us"
+    );
+    let g10 = BitRate::from_gbps(10.0);
+    let g40 = BitRate::from_gbps(40.0);
+    let table: Vec<(&str, Histogram)> = vec![
+        ("flowvalve@10G", fv(g10, NicConfig::agilio_cx_10g())),
+        ("dpdk-qos@10G (2 cores)", dpdk(g10, 2)),
+        ("kernel-htb@10G", htb(g10)),
+        ("flowvalve@40G", fv(g40, NicConfig::agilio_cx_40g())),
+        ("forward-only@40G", forward_only(NicConfig::agilio_cx_40g())),
+        ("dpdk-qos@40G (8 cores)", dpdk(g40, 8)),
+    ];
+    for (name, h) in &table {
+        let r = row(name, h);
+        println!("{:<26} {:>10.2} {:>10.2} {:>10.2}", r.0, r.1, r.2, r.3);
+        rows.push(r);
+    }
+
+    println!("\npaper checkpoints:");
+    println!("  - FlowValve lowest at 10G (no standing queue: it drops instead of buffering)");
+    println!("  - HTB worst at 10G (TCP bufferbloat in class queues + watchdog jitter)");
+    println!("  - FlowValve @40G ~161 us with near-zero variation; same floor without scheduling");
+
+    let p = write_json("fig14_one_way_delay", &rows);
+    println!("results -> {}", p.display());
+}

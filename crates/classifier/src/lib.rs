@@ -1,0 +1,133 @@
+//! Packet classification for the FlowValve reproduction: filter rules, an
+//! ordered filter table, and an exact-match flow cache modeling Netronome's
+//! EMFC accelerator.
+//!
+//! The paper's labeling function "essentially performs table lookups to
+//! match packets against filter rules" (§IV-A). This crate supplies that
+//! substrate: [`FilterTable`] is the slow first-match walk, [`FlowCache`]
+//! is the accelerated exact-match fast path, and [`Classifier`] composes
+//! them with the standard miss-fill discipline.
+//!
+//! # Example
+//!
+//! ```
+//! use classifier::{Classifier, FilterRule, FlowMatch};
+//! use classifier::cache::CacheResult;
+//! use netstack::flow::FlowKey;
+//! use netstack::packet::VfPort;
+//!
+//! let mut cls = Classifier::new("default", 1024);
+//! cls.add_rule(FilterRule::new(10, FlowMatch::any().dst_port(5001), "kvs"));
+//!
+//! let flow = FlowKey::tcp([10, 0, 0, 1], 40_000, [10, 0, 0, 2], 5001);
+//! // First packet of the flow misses the cache and walks the table...
+//! let (verdict, result) = cls.classify(&flow, VfPort(0));
+//! assert_eq!((verdict, result), (&"kvs", CacheResult::Miss));
+//! // ...subsequent packets hit.
+//! let (verdict, result) = cls.classify(&flow, VfPort(0));
+//! assert_eq!((verdict, result), (&"kvs", CacheResult::Hit));
+//! ```
+
+pub mod cache;
+pub mod rule;
+pub mod table;
+
+pub use cache::{CacheResult, CacheStats, FlowCache};
+pub use rule::{Cidr, FilterRule, FlowMatch};
+pub use table::FilterTable;
+
+use netstack::flow::FlowKey;
+use netstack::packet::VfPort;
+
+/// Filter table + flow cache, composed with miss-fill.
+///
+/// Verdicts are `Clone` because a table verdict is copied into the cache on
+/// a miss (mirroring how the hardware cache stores flattened actions).
+#[derive(Debug, Clone)]
+pub struct Classifier<V> {
+    table: FilterTable<V>,
+    cache: FlowCache<V>,
+}
+
+impl<V: Clone> Classifier<V> {
+    /// Creates a classifier with a default verdict and cache capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache_capacity` is zero.
+    pub fn new(default: V, cache_capacity: usize) -> Self {
+        Classifier {
+            table: FilterTable::new(default),
+            cache: FlowCache::new(cache_capacity),
+        }
+    }
+
+    /// Adds a filter rule and invalidates the cache (rule changes can
+    /// re-classify existing flows, exactly like hardware rule updates).
+    pub fn add_rule(&mut self, rule: FilterRule<V>) {
+        self.table.add(rule);
+        self.cache.invalidate_all();
+    }
+
+    /// Classifies a flow, reporting whether the fast path was taken.
+    ///
+    /// On a miss the verdict is computed from the table and installed in
+    /// the cache before returning.
+    pub fn classify(&mut self, flow: &FlowKey, vf: VfPort) -> (&V, CacheResult) {
+        // `.1` copies out the result; the `&V` borrow ends with the statement.
+        let result = self.cache.lookup(flow).1;
+        if result == CacheResult::Miss {
+            let verdict = self.table.lookup(flow, vf).clone();
+            self.cache.insert(*flow, verdict);
+        }
+        let verdict = self.cache.peek(flow).expect("entry present after fill");
+        (verdict, result)
+    }
+
+    /// The underlying filter table.
+    pub fn table(&self) -> &FilterTable<V> {
+        &self.table
+    }
+
+    /// Flow-cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+#[cfg(test)]
+mod classifier_tests {
+    use super::*;
+
+    fn flow(port: u16) -> FlowKey {
+        FlowKey::tcp([10, 0, 0, 1], port, [10, 0, 0, 2], 5001)
+    }
+
+    #[test]
+    fn default_verdict_for_unmatched() {
+        let mut c: Classifier<u32> = Classifier::new(0, 16);
+        let (v, r) = c.classify(&flow(1), VfPort(0));
+        assert_eq!((*v, r), (0, CacheResult::Miss));
+    }
+
+    #[test]
+    fn rule_change_invalidates_cache() {
+        let mut c: Classifier<u32> = Classifier::new(0, 16);
+        let _ = c.classify(&flow(1), VfPort(0));
+        c.add_rule(FilterRule::new(1, FlowMatch::any(), 7));
+        let (v, r) = c.classify(&flow(1), VfPort(0));
+        assert_eq!((*v, r), (7, CacheResult::Miss));
+        let (v, r) = c.classify(&flow(1), VfPort(0));
+        assert_eq!((*v, r), (7, CacheResult::Hit));
+    }
+
+    #[test]
+    fn stats_count_each_packet_once() {
+        let mut c: Classifier<u32> = Classifier::new(0, 16);
+        let _ = c.classify(&flow(1), VfPort(0)); // miss
+        let _ = c.classify(&flow(1), VfPort(0)); // hit
+        let _ = c.classify(&flow(1), VfPort(0)); // hit
+        let s = c.cache_stats();
+        assert_eq!((s.hits, s.misses), (2, 1));
+    }
+}

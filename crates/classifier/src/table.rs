@@ -1,0 +1,162 @@
+//! The ordered filter table: the slow path behind the flow cache.
+//!
+//! Rules are walked in `(priority, -specificity, insertion)` order, the
+//! same first-match discipline as kernel `tc filter` chains. The table walk
+//! is deliberately linear — on real hardware this is the expensive path
+//! that the exact-match flow cache exists to avoid, and the cost model
+//! charges it accordingly (`CycleCosts::classify_miss` in the NIC
+//! profile).
+
+use netstack::flow::FlowKey;
+use netstack::packet::VfPort;
+
+use crate::rule::FilterRule;
+
+/// An ordered first-match filter table.
+///
+/// # Example
+///
+/// ```
+/// use classifier::rule::{FilterRule, FlowMatch};
+/// use classifier::table::FilterTable;
+/// use netstack::flow::FlowKey;
+/// use netstack::packet::VfPort;
+///
+/// let mut table = FilterTable::new("default");
+/// table.add(FilterRule::new(10, FlowMatch::any().dst_port(5001), "kvs"));
+/// table.add(FilterRule::new(20, FlowMatch::any(), "bulk"));
+///
+/// let kvs = FlowKey::tcp([10, 0, 0, 1], 40_000, [10, 0, 0, 2], 5001);
+/// assert_eq!(*table.lookup(&kvs, VfPort(0)), "kvs");
+/// let other = FlowKey::tcp([10, 0, 0, 1], 40_000, [10, 0, 0, 2], 9999);
+/// assert_eq!(*table.lookup(&other, VfPort(0)), "bulk");
+/// ```
+#[derive(Debug, Clone)]
+pub struct FilterTable<V> {
+    rules: Vec<FilterRule<V>>,
+    default: V,
+}
+
+impl<V> FilterTable<V> {
+    /// Creates an empty table with a default verdict for unmatched flows.
+    pub fn new(default: V) -> Self {
+        FilterTable {
+            rules: Vec::new(),
+            default,
+        }
+    }
+
+    /// Adds a rule, keeping the table in match order.
+    pub fn add(&mut self, rule: FilterRule<V>) {
+        // Stable insertion keeps equal-(priority, specificity) rules in
+        // insertion order.
+        let key = (rule.priority, u32::MAX - rule.matcher.specificity());
+        let pos = self
+            .rules
+            .partition_point(|r| (r.priority, u32::MAX - r.matcher.specificity()) <= key);
+        self.rules.insert(pos, rule);
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the table has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The verdict for unmatched flows.
+    pub fn default_verdict(&self) -> &V {
+        &self.default
+    }
+
+    /// First-match lookup; falls back to the default verdict.
+    pub fn lookup(&self, flow: &FlowKey, vf: VfPort) -> &V {
+        self.rules
+            .iter()
+            .find(|r| r.matcher.matches(flow, vf))
+            .map(|r| &r.verdict)
+            .unwrap_or(&self.default)
+    }
+
+    /// Iterates over the rules in match order.
+    pub fn iter(&self) -> impl Iterator<Item = &FilterRule<V>> {
+        self.rules.iter()
+    }
+
+    /// Removes all rules.
+    pub fn clear(&mut self) {
+        self.rules.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::{Cidr, FlowMatch};
+
+    fn flow(dst_port: u16) -> FlowKey {
+        FlowKey::tcp([10, 0, 0, 1], 40_000, [10, 0, 0, 2], dst_port)
+    }
+
+    #[test]
+    fn priority_order_wins() {
+        let mut t = FilterTable::new(0u32);
+        t.add(FilterRule::new(20, FlowMatch::any(), 2));
+        t.add(FilterRule::new(10, FlowMatch::any(), 1));
+        assert_eq!(*t.lookup(&flow(80), VfPort(0)), 1);
+    }
+
+    #[test]
+    fn specificity_breaks_priority_ties() {
+        let mut t = FilterTable::new(0u32);
+        t.add(FilterRule::new(10, FlowMatch::any(), 1));
+        t.add(FilterRule::new(10, FlowMatch::any().dst_port(80), 2));
+        assert_eq!(*t.lookup(&flow(80), VfPort(0)), 2);
+        assert_eq!(*t.lookup(&flow(81), VfPort(0)), 1);
+    }
+
+    #[test]
+    fn default_when_no_match() {
+        let mut t = FilterTable::new(99u32);
+        t.add(FilterRule::new(10, FlowMatch::any().dst_port(80), 1));
+        assert_eq!(*t.lookup(&flow(81), VfPort(0)), 99);
+        assert_eq!(*t.default_verdict(), 99);
+    }
+
+    #[test]
+    fn vf_scoped_rules() {
+        let mut t = FilterTable::new("none");
+        t.add(FilterRule::new(10, FlowMatch::any().vf(VfPort(1)), "vm1"));
+        t.add(FilterRule::new(10, FlowMatch::any().vf(VfPort(2)), "vm2"));
+        assert_eq!(*t.lookup(&flow(80), VfPort(1)), "vm1");
+        assert_eq!(*t.lookup(&flow(80), VfPort(2)), "vm2");
+        assert_eq!(*t.lookup(&flow(80), VfPort(3)), "none");
+    }
+
+    #[test]
+    fn cidr_rules_and_iteration() {
+        let mut t = FilterTable::new(0u8);
+        t.add(FilterRule::new(
+            5,
+            FlowMatch::any().dst(Cidr::new([10, 0, 0, 0], 24)),
+            7,
+        ));
+        assert_eq!(*t.lookup(&flow(80), VfPort(0)), 7);
+        assert_eq!(t.iter().count(), 1);
+        assert_eq!(t.len(), 1);
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn insertion_order_stable_for_identical_keys() {
+        let mut t = FilterTable::new(0u32);
+        t.add(FilterRule::new(10, FlowMatch::any().dst_port(80), 1));
+        t.add(FilterRule::new(10, FlowMatch::any().dst_port(80), 2));
+        // First inserted wins.
+        assert_eq!(*t.lookup(&flow(80), VfPort(0)), 1);
+    }
+}

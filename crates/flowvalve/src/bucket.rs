@@ -1,0 +1,242 @@
+//! Lock-free token buckets.
+//!
+//! The paper's meter function "is essentially a wrapper around the atomic
+//! meter instruction" (§IV-D): metering must be wait-free per packet, with
+//! no lock, because every worker core meters on every packet. Refill and
+//! rate recomputation are the *guarded* part (Algorithm 1's `update`), run
+//! by whichever core wins the try-lock.
+//!
+//! [`TokenBucket`] is therefore built on a single `AtomicU64` of fixed-point
+//! tokens: [`TokenBucket::meter`] is a compare-exchange subtract
+//! (wait-free success/fail verdict), and [`TokenBucket::refill`] is a
+//! capped add. The same type serves as the *shadow bucket* holding a
+//! class's lendable tokens.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sim_core::fixed::Tokens;
+
+/// The two-color meter verdict (paper Equation 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Color {
+    /// Sufficient tokens: the packet conforms.
+    Green,
+    /// Insufficient tokens: the packet exceeds the class's bandwidth.
+    Red,
+}
+
+/// A lock-free token bucket.
+///
+/// # Example
+///
+/// ```
+/// use flowvalve::bucket::{Color, TokenBucket};
+/// use sim_core::fixed::Tokens;
+///
+/// let bucket = TokenBucket::new(Tokens::from_bits(1_000));
+/// bucket.refill(Tokens::from_bits(1_000));
+/// assert_eq!(bucket.meter(Tokens::from_bits(600)), Color::Green);
+/// assert_eq!(bucket.meter(Tokens::from_bits(600)), Color::Red); // only 400 left
+/// ```
+#[derive(Debug)]
+pub struct TokenBucket {
+    tokens: AtomicU64,
+    burst: Tokens,
+}
+
+impl TokenBucket {
+    /// Creates an empty bucket holding at most `burst` tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst` is zero — a bucket that can never hold a token
+    /// would silently drop everything.
+    pub fn new(burst: Tokens) -> Self {
+        assert!(burst > Tokens::ZERO, "burst must be positive");
+        TokenBucket {
+            tokens: AtomicU64::new(0),
+            burst,
+        }
+    }
+
+    /// The configured burst capacity.
+    pub fn burst(&self) -> Tokens {
+        self.burst
+    }
+
+    /// Current token level.
+    pub fn level(&self) -> Tokens {
+        Tokens::from_raw(self.tokens.load(Ordering::Acquire))
+    }
+
+    /// Atomically meters a packet needing `need` tokens: on green the
+    /// tokens are consumed, on red the bucket is untouched (Figure 8
+    /// steps 2 and 5).
+    pub fn meter(&self, need: Tokens) -> Color {
+        let result = self
+            .tokens
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |t| {
+                t.checked_sub(need.raw())
+            });
+        if result.is_ok() {
+            Color::Green
+        } else {
+            Color::Red
+        }
+    }
+
+    /// Adds tokens, saturating at the burst capacity.
+    pub fn refill(&self, add: Tokens) {
+        if add == Tokens::ZERO {
+            return;
+        }
+        let _ = self
+            .tokens
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |t| {
+                Some(t.saturating_add(add.raw()).min(self.burst.raw()))
+            });
+    }
+
+    /// Empties the bucket (expired-status removal).
+    pub fn drain(&self) {
+        self.tokens.store(0, Ordering::Release);
+    }
+
+    /// Sets the level exactly (used when restoring initial state).
+    pub fn set_level(&self, level: Tokens) {
+        self.tokens
+            .store(level.min(self.burst).raw(), Ordering::Release);
+    }
+}
+
+/// An atomic exponentially-weighted moving average of a rate, stored as a
+/// raw [`sim_core::fixed::TokenRate`] value.
+///
+/// The update subprocedure publishes each epoch's instantaneous consumption
+/// rate here (Equation 3); readers on other cores get the smoothed value
+/// with a single atomic load.
+#[derive(Debug, Default)]
+pub struct AtomicRate {
+    raw: AtomicU64,
+}
+
+impl AtomicRate {
+    /// Creates a zero rate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the current smoothed rate (raw fixed-point).
+    pub fn load(&self) -> u64 {
+        self.raw.load(Ordering::Acquire)
+    }
+
+    /// Publishes a new sample, folding it in with weight 1/2
+    /// (`new = (old + sample) / 2`).
+    pub fn fold(&self, sample: u64) {
+        let _ = self
+            .raw
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |old| {
+                Some((old >> 1) + (sample >> 1))
+            });
+    }
+
+    /// Overwrites the rate (expired-status reset or initialization).
+    pub fn store(&self, raw: u64) {
+        self.raw.store(raw, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_consumes_only_on_green() {
+        let b = TokenBucket::new(Tokens::from_bits(100));
+        b.refill(Tokens::from_bits(100));
+        assert_eq!(b.meter(Tokens::from_bits(60)), Color::Green);
+        assert_eq!(b.level(), Tokens::from_bits(40));
+        assert_eq!(b.meter(Tokens::from_bits(60)), Color::Red);
+        // Red leaves the level untouched (Figure 8 step 5).
+        assert_eq!(b.level(), Tokens::from_bits(40));
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let b = TokenBucket::new(Tokens::from_bits(100));
+        b.refill(Tokens::from_bits(70));
+        b.refill(Tokens::from_bits(70));
+        assert_eq!(b.level(), Tokens::from_bits(100));
+    }
+
+    #[test]
+    fn zero_refill_is_noop() {
+        let b = TokenBucket::new(Tokens::from_bits(10));
+        b.refill(Tokens::ZERO);
+        assert_eq!(b.level(), Tokens::ZERO);
+    }
+
+    #[test]
+    fn drain_and_set_level() {
+        let b = TokenBucket::new(Tokens::from_bits(100));
+        b.refill(Tokens::from_bits(50));
+        b.drain();
+        assert_eq!(b.level(), Tokens::ZERO);
+        b.set_level(Tokens::from_bits(1_000)); // clamped to burst
+        assert_eq!(b.level(), Tokens::from_bits(100));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_burst_rejected() {
+        let _ = TokenBucket::new(Tokens::ZERO);
+    }
+
+    #[test]
+    fn concurrent_meters_never_overdraw() {
+        use std::sync::Arc;
+        // 8 threads race to meter 1-bit packets from a 1000-bit budget:
+        // exactly 1000 greens must be issued, never more.
+        let b = Arc::new(TokenBucket::new(Tokens::from_bits(1_000)));
+        b.refill(Tokens::from_bits(1_000));
+        let greens: u64 = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let b = Arc::clone(&b);
+                    s.spawn(move || {
+                        let mut green = 0u64;
+                        for _ in 0..1_000 {
+                            if b.meter(Tokens::from_bits(1)) == Color::Green {
+                                green += 1;
+                            }
+                        }
+                        green
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(greens, 1_000);
+        assert_eq!(b.level(), Tokens::ZERO);
+    }
+
+    #[test]
+    fn atomic_rate_folds_toward_sample() {
+        let r = AtomicRate::new();
+        r.store(1_000);
+        r.fold(3_000);
+        assert_eq!(r.load(), 2_000);
+        // Repeated folding converges on the sample.
+        for _ in 0..20 {
+            r.fold(3_000);
+        }
+        let v = r.load();
+        assert!(v > 2_990 && v <= 3_000, "got {v}");
+    }
+
+    #[test]
+    fn atomic_rate_starts_zero() {
+        assert_eq!(AtomicRate::new().load(), 0);
+    }
+}

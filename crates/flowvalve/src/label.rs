@@ -1,0 +1,187 @@
+//! QoS labels: the per-packet metadata the labeling function attaches.
+//!
+//! A label has two parts (paper §IV-B):
+//!
+//! 1. the **hierarchy class label** — the root-to-leaf sequence of classes
+//!    the packet belongs to, directing which tree nodes the scheduling
+//!    function updates; and
+//! 2. the **borrowing class label** — the classes whose shadow buckets the
+//!    packet may draw from when its own leaf bucket runs red.
+//!
+//! Labels live in packet metadata on the NIC, so they are fixed-size and
+//! copyable — no heap allocation on the data path.
+
+use core::fmt;
+
+/// Maximum scheduling-tree depth a label can encode.
+pub const MAX_DEPTH: usize = 8;
+
+/// Maximum number of lender classes in a borrowing label.
+pub const MAX_BORROW: usize = 8;
+
+/// A traffic-class identifier (the minor number of a `tc` `major:minor`
+/// handle; the reproduction uses a single qdisc so the major is implicit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct ClassId(pub u16);
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "1:{}", self.0)
+    }
+}
+
+/// The fixed-size QoS label carried in packet metadata.
+///
+/// # Example
+///
+/// ```
+/// use flowvalve::label::{ClassId, QosLabel};
+///
+/// // S0 -> S1 -> S2 -> ML, allowed to borrow from WS and KVS.
+/// let label = QosLabel::new(
+///     &[ClassId(1), ClassId(2), ClassId(22), ClassId(40)],
+///     &[ClassId(30), ClassId(41)],
+/// );
+/// assert_eq!(label.leaf(), ClassId(40));
+/// assert_eq!(label.path().len(), 4);
+/// assert_eq!(label.borrow().len(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct QosLabel {
+    path: [ClassId; MAX_DEPTH],
+    depth: u8,
+    borrow: [ClassId; MAX_BORROW],
+    n_borrow: u8,
+}
+
+impl QosLabel {
+    /// Creates a label from a root-to-leaf class path and lender list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is empty, longer than [`MAX_DEPTH`], or `borrow`
+    /// is longer than [`MAX_BORROW`].
+    pub fn new(path: &[ClassId], borrow: &[ClassId]) -> Self {
+        assert!(!path.is_empty(), "label path cannot be empty");
+        assert!(path.len() <= MAX_DEPTH, "label path too deep");
+        assert!(borrow.len() <= MAX_BORROW, "too many lender classes");
+        let mut p = [ClassId::default(); MAX_DEPTH];
+        p[..path.len()].copy_from_slice(path);
+        let mut b = [ClassId::default(); MAX_BORROW];
+        b[..borrow.len()].copy_from_slice(borrow);
+        QosLabel {
+            path: p,
+            depth: path.len() as u8,
+            borrow: b,
+            n_borrow: borrow.len() as u8,
+        }
+    }
+
+    /// The hierarchy class label, root first.
+    pub fn path(&self) -> &[ClassId] {
+        &self.path[..self.depth as usize]
+    }
+
+    /// The leaf class (last element of the path).
+    pub fn leaf(&self) -> ClassId {
+        self.path[self.depth as usize - 1]
+    }
+
+    /// The borrowing class label, in query order.
+    ///
+    /// The name mirrors the paper's "borrowing class label"; it does not
+    /// implement [`std::borrow::Borrow`].
+    #[allow(clippy::should_implement_trait)]
+    pub fn borrow(&self) -> &[ClassId] {
+        &self.borrow[..self.n_borrow as usize]
+    }
+
+    /// Whether this label permits borrowing at all.
+    pub fn can_borrow(&self) -> bool {
+        self.n_borrow > 0
+    }
+}
+
+impl fmt::Display for QosLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for c in self.path() {
+            if !first {
+                write!(f, "->")?;
+            }
+            write!(f, "{c}")?;
+            first = false;
+        }
+        if self.can_borrow() {
+            write!(f, " borrow[")?;
+            for (i, c) in self.borrow().iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{c}")?;
+            }
+            write!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_and_leaf() {
+        let l = QosLabel::new(&[ClassId(1), ClassId(10)], &[]);
+        assert_eq!(l.path(), &[ClassId(1), ClassId(10)]);
+        assert_eq!(l.leaf(), ClassId(10));
+        assert!(!l.can_borrow());
+    }
+
+    #[test]
+    fn borrow_list_ordered() {
+        let l = QosLabel::new(&[ClassId(1)], &[ClassId(3), ClassId(2)]);
+        assert_eq!(l.borrow(), &[ClassId(3), ClassId(2)]);
+        assert!(l.can_borrow());
+    }
+
+    #[test]
+    fn max_depth_accepted() {
+        let path: Vec<ClassId> = (0..MAX_DEPTH as u16).map(ClassId).collect();
+        let l = QosLabel::new(&path, &[]);
+        assert_eq!(l.path().len(), MAX_DEPTH);
+        assert_eq!(l.leaf(), ClassId(MAX_DEPTH as u16 - 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_path_rejected() {
+        let _ = QosLabel::new(&[], &[]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overdeep_path_rejected() {
+        let path: Vec<ClassId> = (0..=MAX_DEPTH as u16).map(ClassId).collect();
+        let _ = QosLabel::new(&path, &[]);
+    }
+
+    #[test]
+    fn display_shows_chain_and_lenders() {
+        let l = QosLabel::new(&[ClassId(1), ClassId(40)], &[ClassId(30)]);
+        assert_eq!(l.to_string(), "1:1->1:40 borrow[1:30]");
+    }
+
+    #[test]
+    fn labels_are_copy_and_hashable() {
+        use std::collections::HashSet;
+        let l = QosLabel::new(&[ClassId(1)], &[]);
+        let l2 = l; // Copy
+        let mut set = HashSet::new();
+        set.insert(l);
+        assert!(set.contains(&l2));
+    }
+}

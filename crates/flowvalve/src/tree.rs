@@ -1,0 +1,1035 @@
+//! The scheduling tree: class hierarchy, runtime state, and the guarded
+//! update subprocedure.
+//!
+//! A [`SchedulingTree`] has an immutable topology (built once by the front
+//! end and populated into NIC shared memory, paper §IV-A) and per-node
+//! runtime state held entirely in atomics, so the data-path methods take
+//! `&self` and the same tree can be shared by simulated cores (virtual
+//! time) or real OS threads (wall-clock benchmarks).
+//!
+//! Per node the runtime state mirrors the paper §IV-B/§IV-C:
+//!
+//! * a **token bucket** — leaves use it to *limit*, interior nodes to
+//!   *measure*;
+//! * a **shadow bucket** holding the class's lendable tokens (Equation 6);
+//! * the published **token rate θ** recomputed each update epoch from the
+//!   parent's θ and sibling consumption rates (Equations 2, 4, 5);
+//! * the measured **consumption rate Γ** (Equation 3), an EWMA over
+//!   update epochs;
+//! * timestamps driving update intervals and expired-status removal
+//!   (Subprocedure 3).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use sim_core::fixed::{Tokens, TokenRate, RATE_FRAC_BITS};
+use sim_core::time::Nanos;
+use sim_core::units::BitRate;
+
+use crate::bucket::{AtomicRate, TokenBucket};
+use crate::error::BuildTreeError;
+use crate::label::{ClassId, QosLabel, MAX_DEPTH};
+
+/// User-facing configuration of one traffic class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct ClassSpec {
+    /// Class id (unique within the tree).
+    pub id: ClassId,
+    /// Human-readable name for experiment output.
+    pub name: String,
+    /// Parent class; `None` marks the root.
+    pub parent: Option<ClassId>,
+    /// Priority level among siblings: smaller is served first
+    /// (`tc` convention). Default 0.
+    pub prio: u8,
+    /// Weight among same-priority siblings (Equation 5). Default 1.
+    pub weight: u32,
+    /// Guaranteed (assured) rate. Required on the root, where it is the
+    /// link ceiling; on other classes it is the floor reserved for them
+    /// even against higher-priority siblings.
+    pub rate: Option<BitRate>,
+    /// Ceiling rate this class may never exceed, borrowing included.
+    pub ceil: Option<BitRate>,
+}
+
+impl ClassSpec {
+    /// Creates a class with defaults (prio 0, weight 1, no rate/ceil).
+    pub fn new(id: ClassId, name: impl Into<String>, parent: Option<ClassId>) -> Self {
+        ClassSpec {
+            id,
+            name: name.into(),
+            parent,
+            prio: 0,
+            weight: 1,
+            rate: None,
+            ceil: None,
+        }
+    }
+
+    /// Sets the priority level (builder-style).
+    pub fn prio(mut self, prio: u8) -> Self {
+        self.prio = prio;
+        self
+    }
+
+    /// Sets the weight (builder-style).
+    pub fn weight(mut self, weight: u32) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Sets the guaranteed rate (builder-style).
+    pub fn rate(mut self, rate: BitRate) -> Self {
+        self.rate = Some(rate);
+        self
+    }
+
+    /// Sets the ceiling (builder-style).
+    pub fn ceil(mut self, ceil: BitRate) -> Self {
+        self.ceil = Some(ceil);
+        self
+    }
+}
+
+/// Tuning knobs of the scheduling functions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct TreeParams {
+    /// Minimum interval between update epochs of one class (ΔT floor).
+    pub min_update_interval: Nanos,
+    /// Idle time after which a class's status is considered expired and
+    /// restored to its initial value (Subprocedure 3).
+    pub expiry: Nanos,
+    /// Token bucket burst, expressed as a time window at the root rate.
+    pub burst_window: Nanos,
+    /// Shadow bucket burst window (lendable-token accumulation bound).
+    pub shadow_burst_window: Nanos,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            min_update_interval: Nanos::from_micros(50),
+            expiry: Nanos::from_millis(2),
+            burst_window: Nanos::from_micros(250),
+            shadow_burst_window: Nanos::from_micros(125),
+        }
+    }
+}
+
+/// Per-class data-path counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct ClassCounters {
+    /// Packets forwarded from this class's own budget.
+    pub forwarded: u64,
+    /// Packets forwarded by borrowing through this class's label.
+    pub borrowed: u64,
+    /// Packets dropped at this class (leaf verdicts only).
+    pub dropped: u64,
+    /// Packets other classes drew from this class's shadow bucket.
+    pub lent: u64,
+}
+
+pub(crate) struct Node {
+    pub(crate) spec: ClassSpec,
+    pub(crate) parent: Option<usize>,
+    pub(crate) children: Vec<usize>,
+    pub(crate) depth: usize,
+    /// Higher-priority siblings whose Γ is subtracted (Equation 4).
+    pub(crate) subtract: Vec<usize>,
+    /// Lower-priority siblings whose guaranteed floors are reserved.
+    pub(crate) lower: Vec<usize>,
+    /// Weight share among same-priority siblings: (weight, level total) —
+    /// the static split used to seed initial rates.
+    pub(crate) share: (u64, u64),
+    /// Weight share among *all* siblings, used as the guarantee fallback
+    /// when the parent cannot cover every guarantee.
+    pub(crate) fallback: (u64, u64),
+    /// Same-priority siblings (excluding self); at update time the weight
+    /// denominator only counts the *active* ones (Subprocedure 3: expired
+    /// classes drop out of the split instead of wasting their share).
+    pub(crate) same_level: Vec<usize>,
+    /// Guaranteed rate in raw fixed-point (0 when none).
+    pub(crate) guarantee_raw: u64,
+    /// Ceiling in raw fixed-point (`u64::MAX` when none).
+    pub(crate) ceil_raw: u64,
+
+    // --- runtime state (all atomics; data-path methods take &self) ---
+    pub(crate) theta: AtomicU64,
+    pub(crate) gamma: AtomicRate,
+    pub(crate) bucket: TokenBucket,
+    pub(crate) shadow: TokenBucket,
+    /// Present iff the class has a configured ceiling: every forwarded
+    /// packet — borrowed ones included — must also conform here, which is
+    /// what makes `ceil` bound borrowing (HTB semantics).
+    pub(crate) ceil_bucket: Option<TokenBucket>,
+    pub(crate) consumed_bits: AtomicU64,
+    pub(crate) last_update: AtomicU64,
+    pub(crate) shadow_last_update: AtomicU64,
+    pub(crate) last_packet: AtomicU64,
+    pub(crate) forwarded: AtomicU64,
+    pub(crate) borrowed: AtomicU64,
+    pub(crate) dropped: AtomicU64,
+    pub(crate) lent: AtomicU64,
+    /// Real-thread update guards (wall-clock benchmark mode).
+    pub(crate) update_mutex: Mutex<()>,
+    pub(crate) shadow_mutex: Mutex<()>,
+}
+
+impl core::fmt::Debug for Node {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Node")
+            .field("id", &self.spec.id)
+            .field("name", &self.spec.name)
+            .field("depth", &self.depth)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Raw fixed-point rate for an optional bandwidth.
+fn rate_raw(rate: Option<BitRate>) -> u64 {
+    rate.map(|r| TokenRate::from_bit_rate(r).raw()).unwrap_or(0)
+}
+
+/// `raw × num / den` with u128 intermediates.
+fn frac(raw: u64, (num, den): (u64, u64)) -> u64 {
+    debug_assert!(den > 0);
+    (raw as u128 * num as u128 / den as u128) as u64
+}
+
+/// Instantaneous rate (raw fixed-point bits/ns) from bits over an interval.
+fn inst_rate_raw(bits: u64, dt: Nanos) -> u64 {
+    if dt == Nanos::ZERO {
+        return 0;
+    }
+    ((bits as u128) << RATE_FRAC_BITS as u128).div_euclid(dt.as_nanos() as u128) as u64
+}
+
+/// The FlowValve scheduling tree.
+///
+/// # Example
+///
+/// ```
+/// use flowvalve::label::ClassId;
+/// use flowvalve::tree::{ClassSpec, SchedulingTree, TreeParams};
+/// use sim_core::units::BitRate;
+///
+/// let specs = vec![
+///     ClassSpec::new(ClassId(1), "root", None).rate(BitRate::from_gbps(10.0)),
+///     ClassSpec::new(ClassId(10), "hi", Some(ClassId(1))).prio(0),
+///     ClassSpec::new(ClassId(20), "lo", Some(ClassId(1))).prio(1),
+/// ];
+/// let tree = SchedulingTree::build(specs, TreeParams::default())?;
+/// assert_eq!(tree.len(), 3);
+/// let label = tree.label(ClassId(10), &[])?;
+/// assert_eq!(label.path().len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct SchedulingTree {
+    nodes: Vec<Node>,
+    index: HashMap<ClassId, usize>,
+    params: TreeParams,
+    root: usize,
+    root_rate_raw: u64,
+}
+
+impl core::fmt::Debug for SchedulingTree {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SchedulingTree")
+            .field("classes", &self.nodes.len())
+            .field("params", &self.params)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SchedulingTree {
+    /// Builds a tree from class specifications.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildTreeError`] for duplicate ids, dangling parents,
+    /// missing/multiple roots, a rate-less root, cycles, excessive depth,
+    /// zero weights, or a ceiling below the guarantee.
+    pub fn build(specs: Vec<ClassSpec>, params: TreeParams) -> Result<Self, BuildTreeError> {
+        // Index and uniqueness.
+        let mut index = HashMap::with_capacity(specs.len());
+        for (i, s) in specs.iter().enumerate() {
+            if index.insert(s.id, i).is_some() {
+                return Err(BuildTreeError::DuplicateClass(s.id));
+            }
+            if s.weight == 0 {
+                return Err(BuildTreeError::ZeroWeight(s.id));
+            }
+            if let (Some(r), Some(c)) = (s.rate, s.ceil) {
+                if c < r {
+                    return Err(BuildTreeError::CeilBelowRate(s.id));
+                }
+            }
+        }
+
+        // Root.
+        let mut root = None;
+        for (i, s) in specs.iter().enumerate() {
+            match s.parent {
+                None => match root {
+                    None => root = Some(i),
+                    Some(r) => {
+                        return Err(BuildTreeError::MultipleRoots(specs[r].id, s.id));
+                    }
+                },
+                Some(p) => {
+                    if !index.contains_key(&p) {
+                        return Err(BuildTreeError::UnknownParent {
+                            class: s.id,
+                            parent: p,
+                        });
+                    }
+                }
+            }
+        }
+        let root = root.ok_or(BuildTreeError::MissingRoot)?;
+        let root_rate = specs[root]
+            .rate
+            .ok_or(BuildTreeError::RootWithoutRate(specs[root].id))?;
+        let root_rate_raw = rate_raw(Some(root_rate));
+
+        // Depths (also detects cycles).
+        let mut depth = vec![usize::MAX; specs.len()];
+        for i in 0..specs.len() {
+            let mut d = 0usize;
+            let mut cur = i;
+            while let Some(p) = specs[cur].parent {
+                cur = index[&p];
+                d += 1;
+                if d > specs.len() {
+                    return Err(BuildTreeError::CyclicHierarchy(specs[i].id));
+                }
+            }
+            if d + 1 > MAX_DEPTH {
+                return Err(BuildTreeError::TooDeep(specs[i].id));
+            }
+            depth[i] = d;
+        }
+
+        // Children lists.
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); specs.len()];
+        for (i, s) in specs.iter().enumerate() {
+            if let Some(p) = s.parent {
+                children[index[&p]].push(i);
+            }
+        }
+
+        // Sibling-derived rate rules and burst sizes.
+        let burst = TokenRate::from_bit_rate(root_rate)
+            .accrued(params.burst_window)
+            .max(Tokens::from_bytes(2 * 1518));
+        let shadow_burst = TokenRate::from_bit_rate(root_rate)
+            .accrued(params.shadow_burst_window)
+            .max(Tokens::from_bytes(2 * 1518));
+
+        let mut nodes = Vec::with_capacity(specs.len());
+        for (i, s) in specs.iter().enumerate() {
+            let siblings: Vec<usize> = match s.parent {
+                Some(p) => children[index[&p]].clone(),
+                None => vec![i],
+            };
+            let subtract: Vec<usize> = siblings
+                .iter()
+                .copied()
+                .filter(|&j| specs[j].prio < s.prio)
+                .collect();
+            let lower: Vec<usize> = siblings
+                .iter()
+                .copied()
+                .filter(|&j| specs[j].prio > s.prio)
+                .collect();
+            let level_total: u64 = siblings
+                .iter()
+                .filter(|&&j| specs[j].prio == s.prio)
+                .map(|&j| specs[j].weight as u64)
+                .sum();
+            let all_total: u64 = siblings.iter().map(|&j| specs[j].weight as u64).sum();
+            let same_level: Vec<usize> = siblings
+                .iter()
+                .copied()
+                .filter(|&j| j != i && specs[j].prio == s.prio)
+                .collect();
+
+            nodes.push(Node {
+                parent: s.parent.map(|p| index[&p]),
+                children: children[i].clone(),
+                depth: depth[i],
+                subtract,
+                lower,
+                share: (s.weight as u64, level_total.max(1)),
+                fallback: (s.weight as u64, all_total.max(1)),
+                same_level,
+                guarantee_raw: rate_raw(s.rate),
+                ceil_raw: if s.ceil.is_some() {
+                    rate_raw(s.ceil)
+                } else {
+                    u64::MAX
+                },
+                theta: AtomicU64::new(0),
+                gamma: AtomicRate::new(),
+                bucket: TokenBucket::new(burst),
+                shadow: TokenBucket::new(shadow_burst),
+                ceil_bucket: s.ceil.map(|_| TokenBucket::new(burst)),
+                consumed_bits: AtomicU64::new(0),
+                last_update: AtomicU64::new(0),
+                shadow_last_update: AtomicU64::new(0),
+                last_packet: AtomicU64::new(0),
+                forwarded: AtomicU64::new(0),
+                borrowed: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+                lent: AtomicU64::new(0),
+                update_mutex: Mutex::new(()),
+                shadow_mutex: Mutex::new(()),
+                spec: s.clone(),
+            });
+        }
+
+        let tree = SchedulingTree {
+            nodes,
+            index,
+            params,
+            root,
+            root_rate_raw,
+        };
+        tree.initialize_rates();
+        Ok(tree)
+    }
+
+    /// Seeds every node's θ with its static share (everyone assumed idle)
+    /// and fills buckets to burst so the first packets are not punished.
+    fn initialize_rates(&self) {
+        // Root first, then by depth (parents before children).
+        let mut order: Vec<usize> = (0..self.nodes.len()).collect();
+        order.sort_by_key(|&i| self.nodes[i].depth);
+        for i in order {
+            let n = &self.nodes[i];
+            let theta = match n.parent {
+                None => self.root_rate_raw,
+                Some(p) => {
+                    let tp = self.nodes[p].theta.load(Ordering::Acquire);
+                    // Idle assumption: no higher-priority consumption, so
+                    // every class starts at its same-level weighted share.
+                    frac(tp, n.share).min(n.ceil_raw)
+                }
+            };
+            n.theta.store(theta, Ordering::Release);
+            n.bucket.set_level(n.bucket.burst());
+            if let Some(cb) = &n.ceil_bucket {
+                cb.set_level(cb.burst());
+            }
+        }
+    }
+
+    /// Number of classes in the tree.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree has no classes (never true for a built tree).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The tuning parameters.
+    pub fn params(&self) -> TreeParams {
+        self.params
+    }
+
+    /// All class ids, root first in depth order.
+    pub fn class_ids(&self) -> Vec<ClassId> {
+        let mut order: Vec<usize> = (0..self.nodes.len()).collect();
+        order.sort_by_key(|&i| (self.nodes[i].depth, self.nodes[i].spec.id));
+        order.into_iter().map(|i| self.nodes[i].spec.id).collect()
+    }
+
+    /// The class specification for `id`.
+    pub fn spec(&self, id: ClassId) -> Option<&ClassSpec> {
+        self.index.get(&id).map(|&i| &self.nodes[i].spec)
+    }
+
+    pub(crate) fn node_index(&self, id: ClassId) -> Option<usize> {
+        self.index.get(&id).copied()
+    }
+
+    pub(crate) fn node(&self, idx: usize) -> &Node {
+        &self.nodes[idx]
+    }
+
+    /// Builds a [`QosLabel`] for traffic of leaf class `leaf`, permitted to
+    /// borrow from `borrow` (in query order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildTreeError::UnknownBorrowClass`] if `leaf` or any
+    /// lender is not in the tree.
+    pub fn label(&self, leaf: ClassId, borrow: &[ClassId]) -> Result<QosLabel, BuildTreeError> {
+        let mut idx = *self
+            .index
+            .get(&leaf)
+            .ok_or(BuildTreeError::UnknownBorrowClass(leaf))?;
+        let mut path = vec![self.nodes[idx].spec.id];
+        while let Some(p) = self.nodes[idx].parent {
+            path.push(self.nodes[p].spec.id);
+            idx = p;
+        }
+        path.reverse();
+        for b in borrow {
+            if !self.index.contains_key(b) {
+                return Err(BuildTreeError::UnknownBorrowClass(*b));
+            }
+        }
+        Ok(QosLabel::new(&path, borrow))
+    }
+
+    /// Whether class `idx` has seen traffic within the expiry window.
+    pub(crate) fn is_active(&self, idx: usize, now: Nanos) -> bool {
+        let last = Nanos::from_nanos(self.nodes[idx].last_packet.load(Ordering::Acquire));
+        now.saturating_sub(last) <= self.params.expiry
+    }
+
+    /// The measured consumption rate Γ of class `idx`, zeroed when the
+    /// class's status has expired (Subprocedure 3: stale flow status must
+    /// not mislead sibling calculations).
+    pub(crate) fn gamma_raw(&self, idx: usize, now: Nanos) -> u64 {
+        let n = &self.nodes[idx];
+        let last = Nanos::from_nanos(n.last_packet.load(Ordering::Acquire));
+        if now.saturating_sub(last) > self.params.expiry {
+            0
+        } else {
+            n.gamma.load()
+        }
+    }
+
+    /// One guarded update epoch for class `idx` (paper Figure 8 step 3 and
+    /// §IV-C Subprocedure 1). The caller must hold the class's update lock
+    /// (modeled or real). Returns whether a full epoch ran (`false` when
+    /// within the minimum interval).
+    pub(crate) fn update_node(&self, idx: usize, now: Nanos) -> bool {
+        let n = &self.nodes[idx];
+        let prev = Nanos::from_nanos(n.last_update.load(Ordering::Acquire));
+        let dt = now.saturating_sub(prev);
+        if dt < self.params.min_update_interval {
+            return false;
+        }
+        n.last_update.store(now.as_nanos(), Ordering::Release);
+
+        // Γ: fold this epoch's instantaneous consumption rate (Equation 3).
+        let consumed = n.consumed_bits.swap(0, Ordering::AcqRel);
+        // A very long gap means the class was idle; treat the stale epoch
+        // as zero-rate rather than averaging bits over the whole gap.
+        let dt_capped = dt.min(self.params.expiry);
+        n.gamma.fold(inst_rate_raw(consumed, dt_capped));
+        let last_pkt = Nanos::from_nanos(n.last_packet.load(Ordering::Acquire));
+        if now.saturating_sub(last_pkt) > self.params.expiry {
+            n.gamma.store(0);
+        }
+
+        // θ: recompute from the parent's published rate and sibling Γs.
+        let theta_parent = match n.parent {
+            None => self.root_rate_raw,
+            Some(p) => self.nodes[p].theta.load(Ordering::Acquire),
+        };
+        // Higher-priority siblings take what they measure (Equation 4).
+        let higher: u64 = n
+            .subtract
+            .iter()
+            .map(|&s| self.gamma_raw(s, now))
+            .fold(0, u64::saturating_add);
+        // Lower-priority siblings keep their active guaranteed floors.
+        let reserved: u64 = n
+            .lower
+            .iter()
+            .map(|&s| {
+                let sib = &self.nodes[s];
+                let floor = sib
+                    .guarantee_raw
+                    .min(frac(theta_parent, sib.fallback));
+                self.gamma_raw(s, now).min(floor)
+            })
+            .fold(0, u64::saturating_add);
+        let base = theta_parent
+            .saturating_sub(higher)
+            .saturating_sub(reserved);
+        // Weighted share among same-priority siblings (Equation 5). Expired
+        // siblings drop out of the denominator (Subprocedure 3), making the
+        // split work-conserving without waiting for borrowing.
+        let level_total: u64 = n.share.0
+            + n.same_level
+                .iter()
+                .filter(|&&sib| self.is_active(sib, now))
+                .map(|&sib| self.nodes[sib].spec.weight as u64)
+                .sum::<u64>();
+        let mut theta = frac(base, (n.share.0, level_total.max(1)));
+        // Guaranteed floor, degrading to the fair fallback share when the
+        // parent itself cannot cover the guarantee.
+        if n.guarantee_raw > 0 {
+            let floor = n.guarantee_raw.min(frac(theta_parent, n.fallback));
+            theta = theta.max(floor);
+        }
+        theta = theta.min(n.ceil_raw).min(theta_parent);
+        n.theta.store(theta, Ordering::Release);
+
+        // Refill the class bucket at the new rate, and the ceiling bucket
+        // at the configured ceiling.
+        n.bucket.refill(TokenRate::from_raw(theta).accrued(dt_capped));
+        if let Some(cb) = &n.ceil_bucket {
+            cb.refill(TokenRate::from_raw(n.ceil_raw).accrued(dt_capped));
+        }
+        true
+    }
+
+    /// One guarded shadow-bucket update (Subprocedure 2). Borrowers trigger
+    /// this on lender classes, so an idle lender's unconsumed tokens remain
+    /// visible (Equation 6: θ_lendable = θ_C − Γ_C).
+    pub(crate) fn update_shadow(&self, idx: usize, now: Nanos) -> bool {
+        let n = &self.nodes[idx];
+        let prev = Nanos::from_nanos(n.shadow_last_update.load(Ordering::Acquire));
+        let dt = now.saturating_sub(prev);
+        if dt < self.params.min_update_interval {
+            return false;
+        }
+        n.shadow_last_update.store(now.as_nanos(), Ordering::Release);
+        // An expired class lends nothing: its share has already been
+        // redistributed to the active siblings by the weight recomputation
+        // (Subprocedure 3), so lending its stale θ would double-count the
+        // bandwidth and overdrive the FIFO. A leaf that never expired but
+        // underuses its share lends exactly the unused part (Equation 6).
+        if !self.is_active(idx, now) {
+            return true;
+        }
+        // A class with lower-priority siblings lends nothing either: its
+        // unused rate *is* those siblings' Equation 4 residual. Lending it
+        // again through the shadow bucket would hand the same bandwidth
+        // out twice and push the FIFO past the wire.
+        if !n.lower.is_empty() {
+            return true;
+        }
+        let theta = n.theta.load(Ordering::Acquire);
+        // Ramp headroom: keep 25% above the lender's measured rate in
+        // reserve so a lender squeezed by a bursty borrower can climb back
+        // into its own share instead of being locked out by its own loan.
+        let gamma = self.gamma_raw(idx, now);
+        let lendable = theta.saturating_sub(gamma.saturating_add(gamma / 4));
+        n.shadow
+            .refill(TokenRate::from_raw(lendable).accrued(dt.min(self.params.expiry)));
+        true
+    }
+
+    /// Records a forwarded packet's consumption along its class path
+    /// (Equation 3's numerator; counted on *forwarding*, as the Γ
+    /// definition requires — counting offered packets would let an
+    /// overloaded class's drops poison its siblings' residual rates).
+    pub(crate) fn count_path(&self, label: &QosLabel, bits: u64) {
+        for cid in label.path() {
+            if let Some(&i) = self.index.get(cid) {
+                self.nodes[i]
+                    .consumed_bits
+                    .fetch_add(bits, Ordering::AcqRel);
+            }
+        }
+    }
+
+    /// Reverses [`SchedulingTree::count_path`] for a packet that a later
+    /// chain stage dropped: without the refund, upstream Γs would count
+    /// bits that never reached the wire.
+    pub(crate) fn uncount_path(&self, label: &QosLabel, bits: u64) {
+        for cid in label.path() {
+            if let Some(&i) = self.index.get(cid) {
+                let _ = self.nodes[i].consumed_bits.fetch_update(
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                    |v| Some(v.saturating_sub(bits)),
+                );
+            }
+        }
+    }
+
+    /// Marks every class on the path as recently touched (drives expiry).
+    pub(crate) fn touch_path(&self, label: &QosLabel, now: Nanos) {
+        for cid in label.path() {
+            if let Some(&i) = self.index.get(cid) {
+                self.nodes[i]
+                    .last_packet
+                    .fetch_max(now.as_nanos(), Ordering::AcqRel);
+            }
+        }
+    }
+
+    /// The published token rate θ of a class, as a bandwidth.
+    pub fn theta(&self, id: ClassId) -> Option<BitRate> {
+        let &i = self.index.get(&id)?;
+        Some(TokenRate::from_raw(self.nodes[i].theta.load(Ordering::Acquire)).to_bit_rate())
+    }
+
+    /// The measured consumption rate Γ of a class at `now`.
+    pub fn gamma(&self, id: ClassId, now: Nanos) -> Option<BitRate> {
+        let &i = self.index.get(&id)?;
+        Some(TokenRate::from_raw(self.gamma_raw(i, now)).to_bit_rate())
+    }
+
+    /// Data-path counters for a class.
+    pub fn counters(&self, id: ClassId) -> Option<ClassCounters> {
+        let &i = self.index.get(&id)?;
+        let n = &self.nodes[i];
+        Some(ClassCounters {
+            forwarded: n.forwarded.load(Ordering::Acquire),
+            borrowed: n.borrowed.load(Ordering::Acquire),
+            dropped: n.dropped.load(Ordering::Acquire),
+            lent: n.lent.load(Ordering::Acquire),
+        })
+    }
+
+    /// Renders the hierarchy as an indented text tree (for `fv show`).
+    pub fn render(&self) -> String {
+        fn walk(tree: &SchedulingTree, idx: usize, depth: usize, out: &mut String) {
+            let n = &tree.nodes[idx];
+            let s = &n.spec;
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&format!("{} ({})", s.id, s.name));
+            if let Some(r) = s.rate {
+                out.push_str(&format!(" rate {r}"));
+            }
+            if let Some(c) = s.ceil {
+                out.push_str(&format!(" ceil {c}"));
+            }
+            out.push_str(&format!(" prio {} weight {}\n", s.prio, s.weight));
+            let mut kids = n.children.clone();
+            kids.sort_by_key(|&k| tree.nodes[k].spec.id);
+            for k in kids {
+                walk(tree, k, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        walk(self, self.root, 0, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gbps(g: f64) -> BitRate {
+        BitRate::from_gbps(g)
+    }
+
+    fn simple_tree() -> SchedulingTree {
+        let specs = vec![
+            ClassSpec::new(ClassId(1), "root", None).rate(gbps(10.0)),
+            ClassSpec::new(ClassId(10), "hi", Some(ClassId(1))).prio(0),
+            ClassSpec::new(ClassId(20), "lo", Some(ClassId(1))).prio(1),
+        ];
+        SchedulingTree::build(specs, TreeParams::default()).unwrap()
+    }
+
+    #[test]
+    fn build_validates_duplicates() {
+        let specs = vec![
+            ClassSpec::new(ClassId(1), "a", None).rate(gbps(1.0)),
+            ClassSpec::new(ClassId(1), "b", Some(ClassId(1))),
+        ];
+        assert_eq!(
+            SchedulingTree::build(specs, TreeParams::default()).unwrap_err(),
+            BuildTreeError::DuplicateClass(ClassId(1))
+        );
+    }
+
+    #[test]
+    fn build_validates_parents_and_roots() {
+        let specs = vec![ClassSpec::new(ClassId(2), "x", Some(ClassId(9)))];
+        assert!(matches!(
+            SchedulingTree::build(specs, TreeParams::default()).unwrap_err(),
+            BuildTreeError::UnknownParent { .. }
+        ));
+
+        assert_eq!(
+            SchedulingTree::build(vec![], TreeParams::default()).unwrap_err(),
+            BuildTreeError::MissingRoot
+        );
+
+        let specs = vec![
+            ClassSpec::new(ClassId(1), "a", None).rate(gbps(1.0)),
+            ClassSpec::new(ClassId(2), "b", None).rate(gbps(1.0)),
+        ];
+        assert!(matches!(
+            SchedulingTree::build(specs, TreeParams::default()).unwrap_err(),
+            BuildTreeError::MultipleRoots(..)
+        ));
+
+        let specs = vec![ClassSpec::new(ClassId(1), "a", None)];
+        assert_eq!(
+            SchedulingTree::build(specs, TreeParams::default()).unwrap_err(),
+            BuildTreeError::RootWithoutRate(ClassId(1))
+        );
+    }
+
+    #[test]
+    fn build_rejects_zero_weight_and_bad_ceil() {
+        let specs = vec![
+            ClassSpec::new(ClassId(1), "r", None).rate(gbps(1.0)),
+            ClassSpec::new(ClassId(2), "w", Some(ClassId(1))).weight(0),
+        ];
+        assert_eq!(
+            SchedulingTree::build(specs, TreeParams::default()).unwrap_err(),
+            BuildTreeError::ZeroWeight(ClassId(2))
+        );
+
+        let specs = vec![ClassSpec::new(ClassId(1), "r", None)
+            .rate(gbps(2.0))
+            .ceil(gbps(1.0))];
+        assert_eq!(
+            SchedulingTree::build(specs, TreeParams::default()).unwrap_err(),
+            BuildTreeError::CeilBelowRate(ClassId(1))
+        );
+    }
+
+    #[test]
+    fn build_rejects_overdeep_chain() {
+        let mut specs = vec![ClassSpec::new(ClassId(0), "root", None).rate(gbps(1.0))];
+        for i in 1..=MAX_DEPTH as u16 {
+            specs.push(ClassSpec::new(
+                ClassId(i),
+                format!("c{i}"),
+                Some(ClassId(i - 1)),
+            ));
+        }
+        assert!(matches!(
+            SchedulingTree::build(specs, TreeParams::default()).unwrap_err(),
+            BuildTreeError::TooDeep(_)
+        ));
+    }
+
+    #[test]
+    fn initial_rates_are_static_shares() {
+        let specs = vec![
+            ClassSpec::new(ClassId(1), "root", None).rate(gbps(9.0)),
+            ClassSpec::new(ClassId(10), "a", Some(ClassId(1))).weight(1),
+            ClassSpec::new(ClassId(20), "b", Some(ClassId(1))).weight(2),
+        ];
+        let tree = SchedulingTree::build(specs, TreeParams::default()).unwrap();
+        assert_eq!(tree.theta(ClassId(1)).unwrap(), gbps(9.0));
+        let a = tree.theta(ClassId(10)).unwrap().as_gbps();
+        let b = tree.theta(ClassId(20)).unwrap().as_gbps();
+        assert!((a - 3.0).abs() < 0.01, "a={a}");
+        assert!((b - 6.0).abs() < 0.01, "b={b}");
+    }
+
+    #[test]
+    fn labels_walk_root_to_leaf() {
+        let tree = simple_tree();
+        let l = tree.label(ClassId(20), &[ClassId(10)]).unwrap();
+        assert_eq!(l.path(), &[ClassId(1), ClassId(20)]);
+        assert_eq!(l.borrow(), &[ClassId(10)]);
+        assert!(matches!(
+            tree.label(ClassId(99), &[]),
+            Err(BuildTreeError::UnknownBorrowClass(_))
+        ));
+        assert!(matches!(
+            tree.label(ClassId(10), &[ClassId(99)]),
+            Err(BuildTreeError::UnknownBorrowClass(_))
+        ));
+    }
+
+    #[test]
+    fn update_respects_min_interval() {
+        let tree = simple_tree();
+        let idx = tree.node_index(ClassId(10)).unwrap();
+        assert!(tree.update_node(idx, Nanos::from_micros(100)));
+        // Too soon: skipped.
+        assert!(!tree.update_node(idx, Nanos::from_micros(120)));
+        assert!(tree.update_node(idx, Nanos::from_micros(200)));
+    }
+
+    #[test]
+    fn priority_residual_rate() {
+        // hi measured at 7 Gbps => lo's θ converges to ~3 Gbps.
+        let tree = simple_tree();
+        let hi = tree.node_index(ClassId(10)).unwrap();
+        let lo = tree.node_index(ClassId(20)).unwrap();
+        let label_hi = tree.label(ClassId(10), &[]).unwrap();
+        let mut now = Nanos::ZERO;
+        for _ in 0..200 {
+            now += Nanos::from_micros(100);
+            // hi forwards 700 kbit per 100 us = 7 Gbps.
+            tree.count_path(&label_hi, 700_000);
+            tree.touch_path(&label_hi, now);
+            tree.update_node(hi, now);
+            tree.update_node(lo, now);
+        }
+        let g = tree.gamma(ClassId(10), now).unwrap().as_gbps();
+        assert!((g - 7.0).abs() < 0.3, "gamma {g}");
+        let t = tree.theta(ClassId(20)).unwrap().as_gbps();
+        assert!((t - 3.0).abs() < 0.3, "theta {t}");
+        // hi itself keeps the full parent rate available.
+        let t_hi = tree.theta(ClassId(10)).unwrap().as_gbps();
+        assert!((t_hi - 10.0).abs() < 0.3, "theta_hi {t_hi}");
+    }
+
+    #[test]
+    fn expiry_zeroes_stale_gamma() {
+        let tree = simple_tree();
+        let hi = tree.node_index(ClassId(10)).unwrap();
+        let label_hi = tree.label(ClassId(10), &[]).unwrap();
+        let mut now = Nanos::ZERO;
+        for _ in 0..50 {
+            now += Nanos::from_micros(100);
+            tree.count_path(&label_hi, 700_000);
+            tree.touch_path(&label_hi, now);
+            tree.update_node(hi, now);
+        }
+        assert!(tree.gamma(ClassId(10), now).unwrap().as_gbps() > 5.0);
+        // After the expiry window with no packets, Γ reads as zero.
+        let later = now + tree.params().expiry + Nanos::from_micros(1);
+        assert_eq!(tree.gamma(ClassId(10), later).unwrap(), BitRate::ZERO);
+    }
+
+    #[test]
+    fn guaranteed_floor_holds_against_priority() {
+        // KVS prio 0 vs ML prio 1 with 2 Gbps guarantee under a 6 Gbps parent:
+        // even with KVS consuming everything it can, ML's θ ≥ 2 Gbps.
+        let specs = vec![
+            ClassSpec::new(ClassId(1), "s2", None).rate(gbps(6.0)),
+            ClassSpec::new(ClassId(10), "kvs", Some(ClassId(1))).prio(0),
+            ClassSpec::new(ClassId(20), "ml", Some(ClassId(1)))
+                .prio(1)
+                .rate(gbps(2.0)),
+        ];
+        let tree = SchedulingTree::build(specs, TreeParams::default()).unwrap();
+        let kvs = tree.node_index(ClassId(10)).unwrap();
+        let ml = tree.node_index(ClassId(20)).unwrap();
+        let label_kvs = tree.label(ClassId(10), &[]).unwrap();
+        let label_ml = tree.label(ClassId(20), &[]).unwrap();
+        let mut now = Nanos::ZERO;
+        for _ in 0..300 {
+            now += Nanos::from_micros(100);
+            tree.count_path(&label_kvs, 600_000); // offers 6 Gbps
+            tree.count_path(&label_ml, 200_000); // ML takes its 2 Gbps
+            tree.touch_path(&label_kvs, now);
+            tree.touch_path(&label_ml, now);
+            tree.update_node(kvs, now);
+            tree.update_node(ml, now);
+        }
+        let t_ml = tree.theta(ClassId(20)).unwrap().as_gbps();
+        assert!(t_ml >= 1.8, "ML theta {t_ml}");
+        // KVS's θ leaves ML's guarantee reserved: ~4 Gbps.
+        let t_kvs = tree.theta(ClassId(10)).unwrap().as_gbps();
+        assert!((t_kvs - 4.0).abs() < 0.5, "KVS theta {t_kvs}");
+    }
+
+    #[test]
+    fn guarantee_degrades_to_fair_share_when_parent_small() {
+        // Parent only 3 Gbps: ML's floor is min(2, 3×1/2) = 1.5 Gbps.
+        let specs = vec![
+            ClassSpec::new(ClassId(1), "s2", None).rate(gbps(3.0)),
+            ClassSpec::new(ClassId(10), "kvs", Some(ClassId(1))).prio(0),
+            ClassSpec::new(ClassId(20), "ml", Some(ClassId(1)))
+                .prio(1)
+                .rate(gbps(2.0)),
+        ];
+        let tree = SchedulingTree::build(specs, TreeParams::default()).unwrap();
+        let kvs = tree.node_index(ClassId(10)).unwrap();
+        let ml = tree.node_index(ClassId(20)).unwrap();
+        let label_kvs = tree.label(ClassId(10), &[]).unwrap();
+        let label_ml = tree.label(ClassId(20), &[]).unwrap();
+        let mut now = Nanos::ZERO;
+        for _ in 0..300 {
+            now += Nanos::from_micros(100);
+            // Both hungry: KVS forwards at its θ, ML at its θ.
+            let kvs_theta = tree.theta(ClassId(10)).unwrap().as_bps();
+            let ml_theta = tree.theta(ClassId(20)).unwrap().as_bps();
+            tree.count_path(&label_kvs, kvs_theta / 10_000); // bits per 100 us
+            tree.count_path(&label_ml, ml_theta / 10_000);
+            tree.touch_path(&label_kvs, now);
+            tree.touch_path(&label_ml, now);
+            tree.update_node(kvs, now);
+            tree.update_node(ml, now);
+        }
+        let t = tree.theta(ClassId(20)).unwrap().as_gbps();
+        assert!((t - 1.5).abs() < 0.3, "ML theta {t}");
+        let t_kvs = tree.theta(ClassId(10)).unwrap().as_gbps();
+        assert!((t_kvs - 1.5).abs() < 0.4, "KVS theta {t_kvs}");
+    }
+
+    #[test]
+    fn ceiling_caps_theta() {
+        let specs = vec![
+            ClassSpec::new(ClassId(1), "root", None).rate(gbps(10.0)),
+            ClassSpec::new(ClassId(10), "capped", Some(ClassId(1))).ceil(gbps(4.0)),
+        ];
+        let tree = SchedulingTree::build(specs, TreeParams::default()).unwrap();
+        let idx = tree.node_index(ClassId(10)).unwrap();
+        tree.update_node(idx, Nanos::from_micros(100));
+        assert!(tree.theta(ClassId(10)).unwrap() <= gbps(4.0));
+    }
+
+    #[test]
+    fn shadow_bucket_accrues_lendable_tokens() {
+        // Two same-priority weighted leaves: an active, underusing class
+        // lends its unused share through the shadow bucket.
+        let specs = vec![
+            ClassSpec::new(ClassId(1), "root", None).rate(gbps(10.0)),
+            ClassSpec::new(ClassId(10), "a", Some(ClassId(1))),
+            ClassSpec::new(ClassId(20), "b", Some(ClassId(1))),
+        ];
+        let tree = SchedulingTree::build(specs, TreeParams::default()).unwrap();
+        let a = tree.node_index(ClassId(10)).unwrap();
+        let label_a = tree.label(ClassId(10), &[]).unwrap();
+        // Keep `a` active but underusing (1 Gbps of its 5 Gbps share).
+        let mut now = Nanos::ZERO;
+        for _ in 0..10 {
+            now += Nanos::from_micros(100);
+            tree.count_path(&label_a, 100_000);
+            tree.touch_path(&label_a, now);
+            tree.update_node(a, now);
+            tree.update_shadow(a, now);
+        }
+        assert!(tree.node(a).shadow.level() > Tokens::ZERO, "shadow empty");
+    }
+
+    #[test]
+    fn priority_class_with_lower_siblings_lends_nothing() {
+        // hi's unused rate is already lo's Equation 4 residual; the shadow
+        // bucket must stay empty or the bandwidth would be handed out twice.
+        let tree = simple_tree();
+        let hi = tree.node_index(ClassId(10)).unwrap();
+        let label_hi = tree.label(ClassId(10), &[]).unwrap();
+        let mut now = Nanos::ZERO;
+        for _ in 0..10 {
+            now += Nanos::from_micros(100);
+            tree.touch_path(&label_hi, now);
+            tree.update_shadow(hi, now);
+        }
+        assert_eq!(tree.node(hi).shadow.level(), Tokens::ZERO);
+    }
+
+    #[test]
+    fn render_lists_all_classes() {
+        let tree = simple_tree();
+        let r = tree.render();
+        assert!(r.contains("1:1 (root)"));
+        assert!(r.contains("1:10 (hi)"));
+        assert!(r.contains("1:20 (lo)"));
+        // Children are indented under the root.
+        assert!(r.contains("\n  1:10"));
+    }
+
+    #[test]
+    fn counters_start_zero_and_queries_handle_unknown() {
+        let tree = simple_tree();
+        assert_eq!(tree.counters(ClassId(10)), Some(ClassCounters::default()));
+        assert_eq!(tree.counters(ClassId(99)), None);
+        assert_eq!(tree.theta(ClassId(99)), None);
+        assert_eq!(tree.gamma(ClassId(99), Nanos::ZERO), None);
+        assert_eq!(tree.spec(ClassId(10)).unwrap().name, "hi");
+        assert!(!tree.is_empty());
+        assert_eq!(tree.class_ids()[0], ClassId(1));
+    }
+}

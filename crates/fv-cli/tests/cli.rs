@@ -1,0 +1,125 @@
+//! End-to-end tests of the `fv` binary.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+fn fv() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fv"))
+}
+
+const GOOD: &str = "\
+fv qdisc add dev nic0 root handle 1: fv default 1:20
+fv class add dev nic0 parent root classid 1:1 name link rate 10gbit
+fv class add dev nic0 parent 1:1 classid 1:10 name hi prio 0
+fv class add dev nic0 parent 1:1 classid 1:20 name lo prio 1
+fv filter add dev nic0 match ip dport 443 flowid 1:10
+";
+
+fn write_script(content: &str) -> tempfile::Scripted {
+    tempfile::Scripted::new(content)
+}
+
+/// A minimal self-cleaning temp file (no external crate).
+mod tempfile {
+    use std::path::PathBuf;
+
+    pub struct Scripted {
+        pub path: PathBuf,
+    }
+
+    impl Scripted {
+        pub fn new(content: &str) -> Self {
+            let path = std::env::temp_dir().join(format!(
+                "fv-cli-test-{}-{:?}.fv",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            std::fs::write(&path, content).expect("temp file writes");
+            Scripted { path }
+        }
+    }
+
+    impl Drop for Scripted {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+#[test]
+fn check_accepts_a_valid_script() {
+    let f = write_script(GOOD);
+    let out = fv().args(["check"]).arg(&f.path).output().expect("fv runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("3 classes"), "stdout: {stdout}");
+    assert!(stdout.contains("1 filters"), "stdout: {stdout}");
+    assert!(stdout.contains("1:20"), "stdout: {stdout}");
+}
+
+#[test]
+fn show_renders_the_tree() {
+    let f = write_script(GOOD);
+    let out = fv().args(["show"]).arg(&f.path).output().expect("fv runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1:1 (link)"));
+    assert!(stdout.contains("1:10 (hi)"));
+    assert!(stdout.contains("rate 10.00Gbps"));
+}
+
+#[test]
+fn check_rejects_a_broken_hierarchy() {
+    let f = write_script(
+        "fv class add dev nic0 parent 1:9 classid 1:10 rate 1gbit\n",
+    );
+    let out = fv().args(["check"]).arg(&f.path).output().expect("fv runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown parent"), "stderr: {stderr}");
+}
+
+#[test]
+fn parse_errors_are_reported() {
+    let f = write_script("fv class add dev nic0 parent root classid 1:1 rate 10zbit\n");
+    let out = fv().args(["check"]).arg(&f.path).output().expect("fv runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad rate"), "stderr: {stderr}");
+}
+
+#[test]
+fn reads_from_stdin() {
+    let mut child = fv()
+        .args(["check", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("fv spawns");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(GOOD.as_bytes())
+        .expect("stdin writes");
+    let out = child.wait_with_output().expect("fv finishes");
+    assert!(out.status.success());
+}
+
+#[test]
+fn usage_on_bad_invocation() {
+    let out = fv().output().expect("fv runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn demo_prints_class_table() {
+    let f = write_script(GOOD);
+    let out = fv().args(["demo"]).arg(&f.path).output().expect("fv runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("theta"), "stdout: {stdout}");
+    assert!(stdout.contains("nic:"), "stdout: {stdout}");
+}

@@ -1,0 +1,257 @@
+//! Flow-level workload generation: Poisson flow arrivals with
+//! heavy-tailed sizes.
+//!
+//! Datacenter traffic — the paper's deployment context — is dominated by
+//! many short "mice" flows and a few "elephants" carrying most bytes.
+//! [`FlowWorkload`] generates that mix: flow arrivals are Poisson at a
+//! target load, and flow sizes draw from a bounded Pareto (the standard
+//! approximation of the web-search / data-mining CDFs used across the
+//! datacenter-transport literature).
+
+use std::net::Ipv4Addr;
+
+use sim_core::rng::SimRng;
+use sim_core::time::Nanos;
+use sim_core::units::BitRate;
+
+use crate::flow::FlowKey;
+
+/// A bounded Pareto size distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundedPareto {
+    /// Minimum flow size in bytes.
+    pub min_bytes: u64,
+    /// Maximum flow size in bytes.
+    pub max_bytes: u64,
+    /// Tail index α (smaller = heavier tail; datacenter fits use ~1.05-1.5).
+    pub alpha: f64,
+}
+
+impl BoundedPareto {
+    /// A web-search-like mix: 10 KB to 30 MB, α = 1.05 — most flows tiny,
+    /// a large share of the *bytes* in the elephants.
+    pub fn web_search() -> Self {
+        BoundedPareto {
+            min_bytes: 10 * 1024,
+            max_bytes: 30 * 1024 * 1024,
+            alpha: 1.05,
+        }
+    }
+
+    /// Mean of the distribution in bytes.
+    pub fn mean_bytes(&self) -> f64 {
+        let (l, h, a) = (self.min_bytes as f64, self.max_bytes as f64, self.alpha);
+        if (a - 1.0).abs() < 1e-9 {
+            let ratio = h / l;
+            return l * ratio.ln() / (1.0 - l / h);
+        }
+        (l.powf(a) / (1.0 - (l / h).powf(a))) * (a / (a - 1.0))
+            * (1.0 / l.powf(a - 1.0) - 1.0 / h.powf(a - 1.0))
+    }
+
+    /// Samples one size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_bytes >= max_bytes` or `alpha <= 0`.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        assert!(self.min_bytes < self.max_bytes, "empty size range");
+        assert!(self.alpha > 0.0, "alpha must be positive");
+        let (l, h, a) = (self.min_bytes as f64, self.max_bytes as f64, self.alpha);
+        let u = rng.uniform().clamp(1e-12, 1.0 - 1e-12);
+        // Inverse CDF of the bounded Pareto.
+        let la = l.powf(a);
+        let ha = h.powf(a);
+        let x = (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / a);
+        (x.round() as u64).clamp(self.min_bytes, self.max_bytes)
+    }
+}
+
+/// One generated flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowSpec {
+    /// Arrival time.
+    pub start: Nanos,
+    /// Total bytes to transfer.
+    pub bytes: u64,
+    /// The flow's 5-tuple.
+    pub key: FlowKey,
+}
+
+impl FlowSpec {
+    /// Whether this flow is a "mouse" under the usual 100 KB cutoff.
+    pub fn is_mouse(&self) -> bool {
+        self.bytes < 100 * 1024
+    }
+}
+
+/// A Poisson-arrival, heavy-tailed-size flow workload generator.
+///
+/// # Example
+///
+/// ```
+/// use netstack::flowgen::{BoundedPareto, FlowWorkload};
+/// use sim_core::rng::SimRng;
+/// use sim_core::time::Nanos;
+/// use sim_core::units::BitRate;
+///
+/// let mut gen = FlowWorkload::new(
+///     BitRate::from_gbps(4.0),      // target offered load
+///     BoundedPareto::web_search(),
+///     [10, 0, 1, 0],                // source subnet
+///     9000,                          // destination port
+/// );
+/// let mut rng = SimRng::seed(7);
+/// let f = gen.next_flow(&mut rng);
+/// assert!(f.bytes >= 10 * 1024);
+/// assert_eq!(f.key.dst_port, 9000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowWorkload {
+    sizes: BoundedPareto,
+    mean_interarrival_ns: f64,
+    subnet: [u8; 4],
+    dst_port: u16,
+    next_start: Nanos,
+    seq: u32,
+}
+
+impl FlowWorkload {
+    /// Creates a workload offering `load` on average, with sizes from
+    /// `sizes`, sourced from `subnet` (the last octet pair varies per
+    /// flow) toward `dst_port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load` is zero.
+    pub fn new(load: BitRate, sizes: BoundedPareto, subnet: [u8; 4], dst_port: u16) -> Self {
+        assert!(load > BitRate::ZERO, "load must be positive");
+        let flows_per_sec = load.as_bps() as f64 / (sizes.mean_bytes() * 8.0);
+        FlowWorkload {
+            sizes,
+            mean_interarrival_ns: 1e9 / flows_per_sec,
+            subnet,
+            dst_port,
+            next_start: Nanos::ZERO,
+            seq: 0,
+        }
+    }
+
+    /// Generates the next flow (arrival times are strictly increasing).
+    pub fn next_flow(&mut self, rng: &mut SimRng) -> FlowSpec {
+        let gap = rng.exponential(self.mean_interarrival_ns);
+        self.next_start = self.next_start + Nanos::from_nanos(gap.round() as u64 + 1);
+        self.seq = self.seq.wrapping_add(1);
+        let src = Ipv4Addr::new(
+            self.subnet[0],
+            self.subnet[1],
+            (self.seq >> 8) as u8,
+            self.seq as u8,
+        );
+        FlowSpec {
+            start: self.next_start,
+            bytes: self.sizes.sample(rng),
+            key: FlowKey::tcp(src, 32_768 + (self.seq % 28_000) as u16, [10, 0, 255, 1], self.dst_port),
+        }
+    }
+
+    /// Generates every flow arriving before `horizon`.
+    pub fn flows_until(&mut self, horizon: Nanos, rng: &mut SimRng) -> Vec<FlowSpec> {
+        let mut out = Vec::new();
+        loop {
+            let f = self.next_flow(rng);
+            if f.start >= horizon {
+                break;
+            }
+            out.push(f);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_respect_bounds() {
+        let d = BoundedPareto::web_search();
+        let mut rng = SimRng::seed(1);
+        for _ in 0..10_000 {
+            let s = d.sample(&mut rng);
+            assert!(s >= d.min_bytes && s <= d.max_bytes);
+        }
+    }
+
+    #[test]
+    fn tail_is_heavy() {
+        // Most flows are mice, but elephants carry the majority of bytes.
+        let d = BoundedPareto::web_search();
+        let mut rng = SimRng::seed(2);
+        let sizes: Vec<u64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        let mice = sizes.iter().filter(|&&s| s < 100 * 1024).count();
+        assert!(
+            mice as f64 / sizes.len() as f64 > 0.6,
+            "mice fraction {}",
+            mice as f64 / sizes.len() as f64
+        );
+        let total: u64 = sizes.iter().sum();
+        let elephant_bytes: u64 = sizes.iter().filter(|&&s| s >= 1024 * 1024).sum();
+        assert!(
+            elephant_bytes as f64 / total as f64 > 0.33,
+            "elephant byte share {}",
+            elephant_bytes as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn empirical_mean_tracks_formula() {
+        let d = BoundedPareto::web_search();
+        let mut rng = SimRng::seed(3);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut rng) as f64).sum();
+        let emp = sum / n as f64;
+        let formula = d.mean_bytes();
+        let err = (emp - formula).abs() / formula;
+        assert!(err < 0.15, "empirical {emp} vs formula {formula}");
+    }
+
+    #[test]
+    fn offered_load_matches_target() {
+        let load = BitRate::from_gbps(2.0);
+        let mut gen = FlowWorkload::new(load, BoundedPareto::web_search(), [10, 0, 0, 0], 80);
+        let mut rng = SimRng::seed(4);
+        let horizon = Nanos::from_secs(5);
+        let flows = gen.flows_until(horizon, &mut rng);
+        let bits: u64 = flows.iter().map(|f| f.bytes * 8).sum();
+        let gbps = bits as f64 / horizon.as_secs_f64() / 1e9;
+        assert!((gbps - 2.0).abs() < 0.8, "offered {gbps} Gbps");
+    }
+
+    #[test]
+    fn arrivals_strictly_increase_and_flows_differ() {
+        let mut gen = FlowWorkload::new(
+            BitRate::from_gbps(1.0),
+            BoundedPareto::web_search(),
+            [10, 0, 0, 0],
+            80,
+        );
+        let mut rng = SimRng::seed(5);
+        let flows = gen.flows_until(Nanos::from_secs(1), &mut rng);
+        assert!(flows.len() > 10);
+        for w in flows.windows(2) {
+            assert!(w[1].start > w[0].start);
+            assert_ne!(w[1].key, w[0].key);
+        }
+    }
+
+    #[test]
+    fn mouse_classification() {
+        let f = FlowSpec {
+            start: Nanos::ZERO,
+            bytes: 50 * 1024,
+            key: FlowKey::tcp([1, 1, 1, 1], 1, [2, 2, 2, 2], 2),
+        };
+        assert!(f.is_mouse());
+    }
+}

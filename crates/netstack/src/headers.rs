@@ -1,0 +1,315 @@
+//! Byte-level Ethernet / IPv4 / TCP / UDP header codecs.
+//!
+//! The simulator's fast path carries parsed [`crate::flow::FlowKey`]s, but
+//! the classifier substrate also supports operating on real frame bytes —
+//! these codecs encode a flow into a wire frame and parse it back, with an
+//! RFC 1071 checksum. Parsing failure modes are explicit ([`ParseFrameError`]).
+
+use bytes::{BufMut, BytesMut};
+use core::fmt;
+use std::net::Ipv4Addr;
+
+use crate::flow::{FlowKey, IpProto};
+
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+
+/// Errors produced while parsing a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseFrameError {
+    /// The buffer is shorter than the headers require.
+    Truncated {
+        /// Bytes needed to continue parsing.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// The EtherType is not IPv4.
+    UnsupportedEtherType(u16),
+    /// The IP version field is not 4.
+    BadIpVersion(u8),
+    /// The IPv4 header checksum does not verify.
+    BadChecksum,
+    /// The IHL field claims a header shorter than 20 bytes.
+    BadIhl(u8),
+}
+
+impl fmt::Display for ParseFrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseFrameError::Truncated { needed, have } => {
+                write!(f, "truncated frame: need {needed} bytes, have {have}")
+            }
+            ParseFrameError::UnsupportedEtherType(t) => {
+                write!(f, "unsupported ethertype {t:#06x}")
+            }
+            ParseFrameError::BadIpVersion(v) => write!(f, "bad IP version {v}"),
+            ParseFrameError::BadChecksum => write!(f, "IPv4 header checksum mismatch"),
+            ParseFrameError::BadIhl(v) => write!(f, "bad IHL {v}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseFrameError {}
+
+/// RFC 1071 internet checksum over `data`.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u16::from_be_bytes([c[0], c[1]]) as u32;
+    }
+    if let [last] = chunks.remainder() {
+        sum += (*last as u32) << 8;
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// A parsed frame: the flow tuple plus total frame length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParsedFrame {
+    /// The reconstructed 5-tuple.
+    pub flow: FlowKey,
+    /// Total frame length in bytes as seen on the wire buffer.
+    pub frame_len: usize,
+    /// IPv4 DSCP field.
+    pub dscp: u8,
+}
+
+/// Encodes a minimal Ethernet+IPv4+TCP/UDP frame of exactly `frame_len`
+/// bytes for the given flow, padding the payload with zeros.
+///
+/// The 4-byte FCS is included in `frame_len` accounting but written as
+/// zeros (the simulation never validates it).
+///
+/// # Panics
+///
+/// Panics if `frame_len` is too small to hold the headers (54 bytes for
+/// TCP, 42 for UDP, plus 4 FCS) or the protocol is [`IpProto::Other`].
+///
+/// # Example
+///
+/// ```
+/// use netstack::flow::FlowKey;
+/// use netstack::headers::{encode_frame, parse_frame};
+///
+/// let flow = FlowKey::tcp([10, 0, 0, 1], 40_000, [10, 0, 0, 2], 5001);
+/// let bytes = encode_frame(&flow, 128, 0);
+/// let parsed = parse_frame(&bytes).expect("frame roundtrips");
+/// assert_eq!(parsed.flow, flow);
+/// assert_eq!(parsed.frame_len, 128);
+/// ```
+pub fn encode_frame(flow: &FlowKey, frame_len: usize, dscp: u8) -> BytesMut {
+    let l4_len = match flow.proto {
+        IpProto::Tcp => 20,
+        IpProto::Udp => 8,
+        IpProto::Other(n) => panic!("cannot encode L4 header for protocol {n}"),
+    };
+    let min = 14 + 20 + l4_len + 4;
+    assert!(
+        frame_len >= min,
+        "frame_len {frame_len} below header minimum {min}"
+    );
+    let mut buf = BytesMut::with_capacity(frame_len);
+
+    // Ethernet: derive MACs from the IPs so encode/parse is self-consistent.
+    let mut dst_mac = [0x02u8, 0, 0, 0, 0, 0];
+    dst_mac[2..6].copy_from_slice(&flow.dst_ip.octets());
+    let mut src_mac = [0x02u8, 1, 0, 0, 0, 0];
+    src_mac[2..6].copy_from_slice(&flow.src_ip.octets());
+    buf.put_slice(&dst_mac);
+    buf.put_slice(&src_mac);
+    buf.put_u16(ETHERTYPE_IPV4);
+
+    // IPv4 header (20 bytes, no options).
+    let ip_total = (frame_len - 14 - 4) as u16; // minus Ethernet hdr and FCS
+    let mut ip = [0u8; 20];
+    ip[0] = 0x45; // version 4, IHL 5
+    ip[1] = dscp << 2;
+    ip[2..4].copy_from_slice(&ip_total.to_be_bytes());
+    ip[8] = 64; // TTL
+    ip[9] = flow.proto.number();
+    ip[12..16].copy_from_slice(&flow.src_ip.octets());
+    ip[16..20].copy_from_slice(&flow.dst_ip.octets());
+    let csum = internet_checksum(&ip);
+    ip[10..12].copy_from_slice(&csum.to_be_bytes());
+    buf.put_slice(&ip);
+
+    // L4 header.
+    match flow.proto {
+        IpProto::Tcp => {
+            let mut tcp = [0u8; 20];
+            tcp[0..2].copy_from_slice(&flow.src_port.to_be_bytes());
+            tcp[2..4].copy_from_slice(&flow.dst_port.to_be_bytes());
+            tcp[12] = 0x50; // data offset 5
+            tcp[13] = 0x18; // PSH|ACK
+            buf.put_slice(&tcp);
+        }
+        IpProto::Udp => {
+            let udp_len = ip_total - 20;
+            buf.put_slice(&flow.src_port.to_be_bytes());
+            buf.put_slice(&flow.dst_port.to_be_bytes());
+            buf.put_slice(&udp_len.to_be_bytes());
+            buf.put_slice(&[0, 0]); // checksum optional for IPv4 UDP
+        }
+        IpProto::Other(_) => unreachable!(),
+    }
+
+    // Zero payload + zero FCS.
+    buf.resize(frame_len, 0);
+    buf
+}
+
+/// Parses an Ethernet+IPv4+TCP/UDP frame back into its flow tuple.
+///
+/// # Errors
+///
+/// Returns [`ParseFrameError`] if the frame is truncated, not IPv4, has a
+/// corrupt IPv4 header checksum, or an invalid IHL.
+pub fn parse_frame(bytes: &[u8]) -> Result<ParsedFrame, ParseFrameError> {
+    let need = |n: usize| -> Result<(), ParseFrameError> {
+        if bytes.len() < n {
+            Err(ParseFrameError::Truncated {
+                needed: n,
+                have: bytes.len(),
+            })
+        } else {
+            Ok(())
+        }
+    };
+    need(14)?;
+    let ethertype = u16::from_be_bytes([bytes[12], bytes[13]]);
+    if ethertype != ETHERTYPE_IPV4 {
+        return Err(ParseFrameError::UnsupportedEtherType(ethertype));
+    }
+    need(14 + 20)?;
+    let ip = &bytes[14..];
+    let version = ip[0] >> 4;
+    if version != 4 {
+        return Err(ParseFrameError::BadIpVersion(version));
+    }
+    let ihl = (ip[0] & 0x0f) as usize;
+    if ihl < 5 {
+        return Err(ParseFrameError::BadIhl(ip[0] & 0x0f));
+    }
+    let ip_hdr_len = ihl * 4;
+    need(14 + ip_hdr_len)?;
+    if internet_checksum(&ip[..ip_hdr_len]) != 0 {
+        return Err(ParseFrameError::BadChecksum);
+    }
+    let dscp = ip[1] >> 2;
+    let proto = IpProto::from(ip[9]);
+    let src_ip = Ipv4Addr::new(ip[12], ip[13], ip[14], ip[15]);
+    let dst_ip = Ipv4Addr::new(ip[16], ip[17], ip[18], ip[19]);
+
+    let l4 = &bytes[14 + ip_hdr_len..];
+    let (src_port, dst_port) = match proto {
+        IpProto::Tcp | IpProto::Udp => {
+            need(14 + ip_hdr_len + 4)?;
+            (
+                u16::from_be_bytes([l4[0], l4[1]]),
+                u16::from_be_bytes([l4[2], l4[3]]),
+            )
+        }
+        IpProto::Other(_) => (0, 0),
+    };
+
+    Ok(ParsedFrame {
+        flow: FlowKey {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto,
+        },
+        frame_len: bytes.len(),
+        dscp,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_frame_roundtrips() {
+        let flow = FlowKey::tcp([10, 1, 2, 3], 1234, [10, 4, 5, 6], 80);
+        for len in [64usize, 128, 512, 1518] {
+            let bytes = encode_frame(&flow, len, 0);
+            assert_eq!(bytes.len(), len);
+            let parsed = parse_frame(&bytes).unwrap();
+            assert_eq!(parsed.flow, flow);
+            assert_eq!(parsed.frame_len, len);
+        }
+    }
+
+    #[test]
+    fn udp_frame_roundtrips_with_dscp() {
+        let flow = FlowKey::udp([192, 168, 1, 1], 5353, [224, 0, 0, 251], 5353);
+        let bytes = encode_frame(&flow, 100, 46);
+        let parsed = parse_frame(&bytes).unwrap();
+        assert_eq!(parsed.flow, flow);
+        assert_eq!(parsed.dscp, 46);
+    }
+
+    #[test]
+    fn checksum_verifies_and_detects_corruption() {
+        let flow = FlowKey::tcp([1, 1, 1, 1], 1, [2, 2, 2, 2], 2);
+        let mut bytes = encode_frame(&flow, 64, 0);
+        assert!(parse_frame(&bytes).is_ok());
+        bytes[14 + 8] = 63; // flip TTL without fixing checksum
+        assert_eq!(parse_frame(&bytes), Err(ParseFrameError::BadChecksum));
+    }
+
+    #[test]
+    fn truncated_frames_error() {
+        let flow = FlowKey::tcp([1, 1, 1, 1], 1, [2, 2, 2, 2], 2);
+        let bytes = encode_frame(&flow, 64, 0);
+        let err = parse_frame(&bytes[..10]).unwrap_err();
+        assert!(matches!(err, ParseFrameError::Truncated { .. }));
+    }
+
+    #[test]
+    fn non_ipv4_rejected() {
+        let mut bytes = vec![0u8; 64];
+        bytes[12] = 0x86; // 0x86DD = IPv6
+        bytes[13] = 0xdd;
+        assert_eq!(
+            parse_frame(&bytes),
+            Err(ParseFrameError::UnsupportedEtherType(0x86dd))
+        );
+    }
+
+    #[test]
+    fn checksum_of_zeroes_is_ffff() {
+        assert_eq!(internet_checksum(&[0, 0, 0, 0]), 0xffff);
+    }
+
+    #[test]
+    fn checksum_odd_length() {
+        // Odd-length buffers pad the final byte as the high octet.
+        let a = internet_checksum(&[0x12, 0x34, 0x56]);
+        let b = internet_checksum(&[0x12, 0x34, 0x56, 0x00]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn frame_too_small_for_headers_panics() {
+        let flow = FlowKey::tcp([1, 1, 1, 1], 1, [2, 2, 2, 2], 2);
+        let _ = encode_frame(&flow, 40, 0);
+    }
+
+    #[test]
+    fn error_display_messages() {
+        let e = ParseFrameError::Truncated { needed: 20, have: 3 };
+        assert_eq!(e.to_string(), "truncated frame: need 20 bytes, have 3");
+        assert_eq!(
+            ParseFrameError::BadChecksum.to_string(),
+            "IPv4 header checksum mismatch"
+        );
+    }
+}

@@ -1,0 +1,267 @@
+//! Open-loop NIC driver for stress experiments.
+//!
+//! Figure 13 measures maximum packet throughput under full-speed fixed-size
+//! injection; Figure 14 measures one-way delay at controlled load. Both are
+//! open-loop (the sender ignores feedback), so no global event queue is
+//! needed: each traffic source emits a deterministic arrival schedule, the
+//! harness merges them in time order and feeds the NIC.
+
+use netstack::flow::FlowKey;
+use netstack::gen::ArrivalProcess;
+use netstack::packet::{AppId, Packet, PacketIdGen, VfPort};
+use sim_core::rng::SimRng;
+use sim_core::stats::Histogram;
+use sim_core::time::Nanos;
+use sim_core::units::BitRate;
+
+use crate::nic::{NicStats, RxOutcome, SmartNic};
+
+/// One open-loop traffic source.
+pub struct Source {
+    /// The flow its packets belong to.
+    pub flow: FlowKey,
+    /// Application id for accounting.
+    pub app: AppId,
+    /// Virtual function the packets enter through.
+    pub vf: VfPort,
+    /// Arrival process generating the schedule.
+    pub process: Box<dyn ArrivalProcess>,
+}
+
+impl core::fmt::Debug for Source {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Source")
+            .field("flow", &self.flow)
+            .field("app", &self.app)
+            .field("vf", &self.vf)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Results of an open-loop run.
+#[derive(Debug)]
+pub struct OpenLoopReport {
+    /// Simulated duration.
+    pub horizon: Nanos,
+    /// NIC counters at the end of the run.
+    pub nic: NicStats,
+    /// Packets whose last bit left the wire within the horizon.
+    pub wire_packets: u64,
+    /// Transmitted packets per second (wire-completed only, so a deep
+    /// transmit backlog cannot inflate the rate past line rate).
+    pub tx_pps: f64,
+    /// Achieved frame-bit throughput (wire-completed only).
+    pub throughput: BitRate,
+    /// One-way delay (creation to delivery) of transmitted packets.
+    pub delay: Histogram,
+    /// Per-app transmitted bits.
+    pub per_app_bits: Vec<(AppId, u64)>,
+}
+
+impl OpenLoopReport {
+    /// Transmitted bits for one app (zero if absent).
+    pub fn app_bits(&self, app: AppId) -> u64 {
+        self.per_app_bits
+            .iter()
+            .find(|(a, _)| *a == app)
+            .map(|&(_, b)| b)
+            .unwrap_or(0)
+    }
+}
+
+/// Runs `sources` against `nic` for `horizon` of simulated time.
+///
+/// Returns the throughput/delay report. Sources are merged in timestamp
+/// order with deterministic tie-breaking by source index.
+///
+/// # Example
+///
+/// ```
+/// use netstack::flow::FlowKey;
+/// use netstack::gen::CbrProcess;
+/// use netstack::packet::{AppId, VfPort};
+/// use np_sim::config::NicConfig;
+/// use np_sim::harness::{run_open_loop, Source};
+/// use np_sim::nic::{PassthroughDecider, SmartNic};
+/// use sim_core::time::Nanos;
+/// use sim_core::units::BitRate;
+///
+/// let mut nic = SmartNic::new(NicConfig::agilio_cx_40g(), Box::new(PassthroughDecider));
+/// let sources = vec![Source {
+///     flow: FlowKey::udp([10, 0, 0, 1], 9000, [10, 0, 0, 2], 9000),
+///     app: AppId(0),
+///     vf: VfPort(0),
+///     process: Box::new(CbrProcess::new(BitRate::from_gbps(1.0), 1250)),
+/// }];
+/// let report = run_open_loop(&mut nic, sources, Nanos::from_millis(1), 42);
+/// assert!((report.throughput.as_gbps() - 1.0).abs() < 0.05);
+/// ```
+pub fn run_open_loop(
+    nic: &mut SmartNic,
+    sources: Vec<Source>,
+    horizon: Nanos,
+    seed: u64,
+) -> OpenLoopReport {
+    let mut rng = SimRng::seed(seed);
+    let mut ids = PacketIdGen::new();
+    let mut delay = Histogram::new_latency_ns();
+    let mut per_app: Vec<(AppId, u64)> = Vec::new();
+    let mut wire_packets = 0u64;
+    let mut wire_bits = 0u64;
+
+    // Next pending arrival per source.
+    let mut sources = sources;
+    let mut next: Vec<Option<(Nanos, u32)>> = sources
+        .iter_mut()
+        .map(|s| {
+            let (gap, len) = s.process.next_arrival(&mut rng);
+            Some((Nanos::ZERO + gap, len))
+        })
+        .collect();
+
+    // Clippy suggests `while let`, but the binding pattern (enumerate +
+    // filter + min) reads better with an explicit breakout.
+    #[allow(clippy::while_let_loop)]
+    loop {
+        // Earliest pending arrival across sources (stable by index).
+        let Some((idx, (t, len))) = next
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.map(|v| (i, v)))
+            .min_by_key(|&(i, (t, _))| (t, i))
+        else {
+            break;
+        };
+        if t >= horizon {
+            break;
+        }
+
+        let src = &mut sources[idx];
+        let pkt = Packet::new(ids.next_id(), src.flow, len, src.app, src.vf, t);
+        if let RxOutcome::Transmit {
+            delivered,
+            wire_done,
+        } = nic.rx(&pkt, t)
+        {
+            delay.record((delivered - t).as_nanos());
+            if wire_done <= horizon {
+                wire_packets += 1;
+                wire_bits += pkt.frame_bits();
+                match per_app.iter_mut().find(|(a, _)| *a == src.app) {
+                    Some((_, bits)) => *bits += pkt.frame_bits(),
+                    None => per_app.push((src.app, pkt.frame_bits())),
+                }
+            }
+        }
+
+        let (gap, len) = src.process.next_arrival(&mut rng);
+        next[idx] = Some((t + gap, len));
+    }
+
+    let nic_stats = nic.stats();
+    OpenLoopReport {
+        horizon,
+        nic: nic_stats,
+        wire_packets,
+        tx_pps: wire_packets as f64 / horizon.as_secs_f64(),
+        throughput: BitRate::from_bps(
+            (wire_bits as u128 * 1_000_000_000u128 / horizon.as_nanos() as u128) as u64,
+        ),
+        delay,
+        per_app_bits: per_app,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NicConfig;
+    use crate::nic::PassthroughDecider;
+    use netstack::gen::{CbrProcess, LineRateProcess};
+    use sim_core::units::WireFraming;
+
+    fn cbr_source(app: u16, gbps: f64, len: u32) -> Source {
+        Source {
+            flow: FlowKey::udp([10, 0, 0, 1], 9000 + app, [10, 0, 0, 2], 9000),
+            app: AppId(app),
+            vf: VfPort(app as u8),
+            process: Box::new(CbrProcess::new(BitRate::from_gbps(gbps), len)),
+        }
+    }
+
+    #[test]
+    fn undersubscribed_cbr_passes_cleanly() {
+        let mut nic = SmartNic::new(NicConfig::agilio_cx_40g(), Box::new(PassthroughDecider));
+        let report = run_open_loop(
+            &mut nic,
+            vec![cbr_source(0, 5.0, 1250), cbr_source(1, 5.0, 1250)],
+            Nanos::from_millis(2),
+            1,
+        );
+        assert_eq!(report.nic.rx_drops + report.nic.tail_drops, 0);
+        assert!((report.throughput.as_gbps() - 10.0).abs() < 0.2);
+        assert!(report.app_bits(AppId(0)) > 0);
+        assert!(report.app_bits(AppId(1)) > 0);
+        assert_eq!(report.app_bits(AppId(9)), 0);
+    }
+
+    #[test]
+    fn line_rate_64b_is_compute_bound_near_20mpps() {
+        // The Figure 13 headline: 64 B full-speed injection lands around
+        // 20 Mpps on the calibrated profile, far below the 59.5 Mpps wire limit.
+        let cfg = NicConfig::agilio_cx_40g();
+        let mut nic = SmartNic::new(cfg.clone(), Box::new(PassthroughDecider));
+        let report = run_open_loop(
+            &mut nic,
+            vec![Source {
+                flow: FlowKey::udp([10, 0, 0, 1], 9000, [10, 0, 0, 2], 9000),
+                app: AppId(0),
+                vf: VfPort(0),
+                process: Box::new(LineRateProcess::new(
+                    cfg.line_rate,
+                    64,
+                    WireFraming::ETHERNET,
+                )),
+            }],
+            Nanos::from_millis(1),
+            2,
+        );
+        let mpps = report.tx_pps / 1e6;
+        // Passthrough charges parse+forward+tx ≈ 820 cycles => ~48 Mpps
+        // compute bound; with scheduling it drops to ~20 (tested in
+        // flowvalve). Here we only assert the NIC sheds load sanely.
+        assert!(mpps > 10.0 && mpps < 59.0, "mpps {mpps}");
+        assert!(report.nic.rx_drops > 0);
+    }
+
+    #[test]
+    fn delay_includes_pipeline_latency() {
+        let cfg = NicConfig::agilio_cx_40g();
+        let base = cfg.base_pipeline_latency;
+        let mut nic = SmartNic::new(cfg, Box::new(PassthroughDecider));
+        let report = run_open_loop(
+            &mut nic,
+            vec![cbr_source(0, 1.0, 1250)],
+            Nanos::from_millis(1),
+            3,
+        );
+        assert!(report.delay.count() > 0);
+        assert!(report.delay.mean() >= base.as_nanos() as f64);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut nic =
+                SmartNic::new(NicConfig::agilio_cx_40g(), Box::new(PassthroughDecider));
+            run_open_loop(
+                &mut nic,
+                vec![cbr_source(0, 20.0, 800), cbr_source(1, 30.0, 800)],
+                Nanos::from_millis(1),
+                seed,
+            )
+            .nic
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

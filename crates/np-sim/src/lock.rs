@@ -1,0 +1,204 @@
+//! Virtual-time lock contention model.
+//!
+//! The scheduling tree's per-class update sections are guarded by locks
+//! (paper §IV-C, Figure 7). Under the discrete-event simulation the real
+//! `parking_lot` locks in `flowvalve` never contend (events are processed
+//! one at a time), so contention must be *modeled*: each simulated lock
+//! tracks when it becomes free, `try_acquire` fails while it is held, and a
+//! blocking `acquire` returns the delay a core would have spent spinning.
+//!
+//! This is the mechanism behind the Figure 7 ablation: a global-lock
+//! scheduler serializes every packet through one `LockId`, while FlowValve's
+//! per-class locks only collide on genuinely concurrent updates of the same
+//! class.
+
+use sim_core::time::Nanos;
+
+/// Identifies one simulated lock (e.g. one scheduling-tree class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct LockId(pub u32);
+
+/// Statistics about lock behaviour, for the ablation benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct LockStats {
+    /// Successful `try_acquire` calls.
+    pub try_acquired: u64,
+    /// Failed `try_acquire` calls (lock was held).
+    pub try_failed: u64,
+    /// Blocking acquires that had to wait.
+    pub contended: u64,
+    /// Total simulated time spent waiting in blocking acquires.
+    pub wait_total: Nanos,
+}
+
+/// A table of simulated locks.
+///
+/// # Example
+///
+/// ```
+/// use np_sim::lock::{LockId, LockTable};
+/// use sim_core::time::Nanos;
+///
+/// let mut locks = LockTable::new(4);
+/// let hold = Nanos::from_nanos(100);
+/// assert!(locks.try_acquire(LockId(0), Nanos::ZERO, hold));
+/// // Still held at t=50: a second core fails its try-lock and skips the
+/// // update, exactly as Algorithm 1 prescribes.
+/// assert!(!locks.try_acquire(LockId(0), Nanos::from_nanos(50), hold));
+/// // Free again at t=100.
+/// assert!(locks.try_acquire(LockId(0), Nanos::from_nanos(100), hold));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LockTable {
+    free_at: Vec<Nanos>,
+    stats: LockStats,
+}
+
+impl LockTable {
+    /// Creates a table of `n` locks, all initially free.
+    pub fn new(n: usize) -> Self {
+        LockTable {
+            free_at: vec![Nanos::ZERO; n],
+            stats: LockStats::default(),
+        }
+    }
+
+    /// Number of locks in the table.
+    pub fn len(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.free_at.is_empty()
+    }
+
+    /// Grows the table to hold at least `n` locks.
+    pub fn ensure(&mut self, n: usize) {
+        if self.free_at.len() < n {
+            self.free_at.resize(n, Nanos::ZERO);
+        }
+    }
+
+    /// Attempts to acquire `lock` at time `now`, holding it for `hold` on
+    /// success. Returns whether the acquisition succeeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lock` is out of range.
+    pub fn try_acquire(&mut self, lock: LockId, now: Nanos, hold: Nanos) -> bool {
+        let f = &mut self.free_at[lock.0 as usize];
+        if *f <= now {
+            *f = now + hold;
+            self.stats.try_acquired += 1;
+            true
+        } else {
+            self.stats.try_failed += 1;
+            false
+        }
+    }
+
+    /// Blocking acquire: waits until the lock frees, holds it for `hold`,
+    /// and returns the instant the critical section *begins* (≥ `now`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lock` is out of range.
+    pub fn acquire(&mut self, lock: LockId, now: Nanos, hold: Nanos) -> Nanos {
+        let f = &mut self.free_at[lock.0 as usize];
+        let start = (*f).max(now);
+        if start > now {
+            self.stats.contended += 1;
+            self.stats.wait_total += start - now;
+        }
+        *f = start + hold;
+        self.stats.try_acquired += 1;
+        start
+    }
+
+    /// When `lock` next becomes free.
+    pub fn free_at(&self, lock: LockId) -> Nanos {
+        self.free_at[lock.0 as usize]
+    }
+
+    /// Accumulated contention statistics.
+    pub fn stats(&self) -> LockStats {
+        self.stats
+    }
+
+    /// Resets all locks to free and clears statistics.
+    pub fn reset(&mut self) {
+        self.free_at.fill(Nanos::ZERO);
+        self.stats = LockStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOLD: Nanos = Nanos::from_nanos(100);
+
+    #[test]
+    fn try_acquire_fails_while_held() {
+        let mut t = LockTable::new(1);
+        assert!(t.try_acquire(LockId(0), Nanos::ZERO, HOLD));
+        assert!(!t.try_acquire(LockId(0), Nanos::from_nanos(99), HOLD));
+        assert!(t.try_acquire(LockId(0), Nanos::from_nanos(100), HOLD));
+        assert_eq!(t.stats().try_acquired, 2);
+        assert_eq!(t.stats().try_failed, 1);
+    }
+
+    #[test]
+    fn blocking_acquire_serializes() {
+        let mut t = LockTable::new(1);
+        // Three cores arrive simultaneously: they serialize back-to-back.
+        let s1 = t.acquire(LockId(0), Nanos::ZERO, HOLD);
+        let s2 = t.acquire(LockId(0), Nanos::ZERO, HOLD);
+        let s3 = t.acquire(LockId(0), Nanos::ZERO, HOLD);
+        assert_eq!(s1, Nanos::ZERO);
+        assert_eq!(s2, Nanos::from_nanos(100));
+        assert_eq!(s3, Nanos::from_nanos(200));
+        assert_eq!(t.stats().contended, 2);
+        assert_eq!(t.stats().wait_total, Nanos::from_nanos(300));
+    }
+
+    #[test]
+    fn independent_locks_do_not_interfere() {
+        let mut t = LockTable::new(2);
+        assert!(t.try_acquire(LockId(0), Nanos::ZERO, HOLD));
+        assert!(t.try_acquire(LockId(1), Nanos::ZERO, HOLD));
+    }
+
+    #[test]
+    fn acquire_after_free_is_uncontended() {
+        let mut t = LockTable::new(1);
+        t.acquire(LockId(0), Nanos::ZERO, HOLD);
+        let s = t.acquire(LockId(0), Nanos::from_nanos(500), HOLD);
+        assert_eq!(s, Nanos::from_nanos(500));
+        assert_eq!(t.stats().contended, 0);
+    }
+
+    #[test]
+    fn ensure_grows() {
+        let mut t = LockTable::new(1);
+        t.ensure(10);
+        assert_eq!(t.len(), 10);
+        assert!(t.try_acquire(LockId(9), Nanos::ZERO, HOLD));
+        t.ensure(5); // never shrinks
+        assert_eq!(t.len(), 10);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut t = LockTable::new(1);
+        t.acquire(LockId(0), Nanos::ZERO, HOLD);
+        t.acquire(LockId(0), Nanos::ZERO, HOLD);
+        t.reset();
+        assert_eq!(t.stats(), LockStats::default());
+        assert_eq!(t.free_at(LockId(0)), Nanos::ZERO);
+    }
+}

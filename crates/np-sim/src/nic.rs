@@ -1,0 +1,420 @@
+//! The assembled SmartNIC: ingress dispatch, run-to-completion processing,
+//! an egress decision hook, per-VF reordering, and the wire-side FIFO.
+//!
+//! The egress decision hook ([`EgressDecider`]) is where schedulers plug
+//! in: FlowValve's labeling + scheduling functions implement it in the
+//! `flowvalve` crate, and [`PassthroughDecider`] provides the
+//! scheduler-disabled baseline the paper uses to isolate pipeline latency.
+
+use netstack::packet::Packet;
+use sim_core::time::Nanos;
+use sim_core::units::BitRate;
+
+use crate::config::NicConfig;
+use crate::cost::{CostMeter, Op};
+use crate::engine::{Dispatch, WorkerPool};
+use crate::lock::LockTable;
+use crate::tm::TxFifo;
+
+/// A scheduling verdict for one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Transmit the packet to the wire.
+    Forward,
+    /// Drop the packet now (FlowValve's specialized early tail drop).
+    Drop,
+}
+
+/// The pluggable egress scheduling function.
+///
+/// Implementations run inside a worker's run-to-completion routine: they
+/// must charge every operation they perform to the [`CostMeter`] and model
+/// inter-core serialization through the [`LockTable`].
+pub trait EgressDecider: std::any::Any {
+    /// Decides the fate of `pkt` processed at time `now`.
+    fn decide(
+        &mut self,
+        pkt: &Packet,
+        now: Nanos,
+        meter: &mut CostMeter,
+        locks: &mut LockTable,
+    ) -> Decision;
+
+    /// Human-readable name for experiment output.
+    fn name(&self) -> &str {
+        "decider"
+    }
+
+    /// Downcast support, so owners of a boxed decider can reach
+    /// implementation-specific control interfaces (e.g. FlowValve's
+    /// policy hot-reload).
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// Forwards every packet without scheduling (the paper's "FlowValve
+/// disabled" configuration).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PassthroughDecider;
+
+impl EgressDecider for PassthroughDecider {
+    fn decide(
+        &mut self,
+        _pkt: &Packet,
+        _now: Nanos,
+        _meter: &mut CostMeter,
+        _locks: &mut LockTable,
+    ) -> Decision {
+        Decision::Forward
+    }
+
+    fn name(&self) -> &str {
+        "passthrough"
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// What happened to a packet offered to the NIC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RxOutcome {
+    /// Dropped at ingress: no worker freed up within the receive budget.
+    RxDrop,
+    /// The scheduling function dropped the packet at time `at`.
+    SchedDrop {
+        /// When the decision completed.
+        at: Nanos,
+    },
+    /// The traffic-manager FIFO was full at time `at`.
+    TailDrop {
+        /// When the enqueue attempt failed.
+        at: Nanos,
+    },
+    /// The packet was transmitted.
+    Transmit {
+        /// When the last bit left the wire.
+        wire_done: Nanos,
+        /// When the receiver sees the packet (wire + fixed pipeline latency).
+        delivered: Nanos,
+    },
+}
+
+/// Aggregate NIC counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct NicStats {
+    /// Packets offered to the NIC.
+    pub offered: u64,
+    /// Ingress (receive-ring) drops.
+    pub rx_drops: u64,
+    /// Scheduling-function drops.
+    pub sched_drops: u64,
+    /// Traffic-manager tail drops.
+    pub tail_drops: u64,
+    /// Packets transmitted.
+    pub tx_packets: u64,
+    /// Frame bits transmitted.
+    pub tx_bits: u64,
+}
+
+impl NicStats {
+    /// Fraction of offered packets transmitted.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.tx_packets as f64 / self.offered as f64
+    }
+}
+
+/// A simulated NP-based SmartNIC.
+///
+/// # Example
+///
+/// ```
+/// use netstack::flow::FlowKey;
+/// use netstack::packet::{AppId, Packet, VfPort};
+/// use np_sim::config::NicConfig;
+/// use np_sim::nic::{PassthroughDecider, RxOutcome, SmartNic};
+/// use sim_core::time::Nanos;
+///
+/// let mut nic = SmartNic::new(NicConfig::agilio_cx_40g(), Box::new(PassthroughDecider));
+/// let flow = FlowKey::tcp([10, 0, 0, 1], 4000, [10, 0, 0, 2], 5001);
+/// let pkt = Packet::new(0, flow, 1518, AppId(0), VfPort(0), Nanos::ZERO);
+/// match nic.rx(&pkt, Nanos::ZERO) {
+///     RxOutcome::Transmit { delivered, .. } => assert!(delivered > Nanos::ZERO),
+///     other => panic!("unexpected {other:?}"),
+/// }
+/// ```
+pub struct SmartNic {
+    config: NicConfig,
+    workers: WorkerPool,
+    locks: LockTable,
+    fifo: TxFifo,
+    decider: Box<dyn EgressDecider>,
+    meter: CostMeter,
+    /// Per-VF last release time into the transmit ring: the reorder system
+    /// guarantees packets of one VF enter the FIFO in arrival order.
+    vf_release: Vec<Nanos>,
+    stats: NicStats,
+}
+
+impl core::fmt::Debug for SmartNic {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SmartNic")
+            .field("config", &self.config)
+            .field("decider", &self.decider.name())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SmartNic {
+    /// Builds a NIC from a validated configuration and an egress decider.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`NicConfig::validate`].
+    pub fn new(config: NicConfig, decider: Box<dyn EgressDecider>) -> Self {
+        config.validate().expect("invalid NIC configuration");
+        SmartNic {
+            workers: WorkerPool::new(config.num_mes, config.freq, config.rx_max_wait),
+            locks: LockTable::new(64),
+            fifo: TxFifo::new(config.line_rate, config.framing, config.tm_queue_capacity),
+            meter: CostMeter::new(config.costs),
+            vf_release: vec![Nanos::ZERO; 256],
+            decider,
+            config,
+            stats: NicStats::default(),
+        }
+    }
+
+    /// The NIC configuration.
+    pub fn config(&self) -> &NicConfig {
+        &self.config
+    }
+
+    /// Offers one packet arriving from the host at time `now`.
+    ///
+    /// Resolves the entire run-to-completion pipeline: worker dispatch,
+    /// parse, the egress decision (with its cycle and lock costs), per-VF
+    /// reorder, and the wire-side FIFO.
+    pub fn rx(&mut self, pkt: &Packet, now: Nanos) -> RxOutcome {
+        self.stats.offered += 1;
+        let start = match self.workers.dispatch(now) {
+            Dispatch::RxOverflow => {
+                self.stats.rx_drops += 1;
+                return RxOutcome::RxDrop;
+            }
+            Dispatch::Started { start } => start,
+        };
+
+        self.meter.reset();
+        self.meter.charge(Op::Parse);
+        self.meter.charge(Op::ForwardBase);
+        let decision = self
+            .decider
+            .decide(pkt, start, &mut self.meter, &mut self.locks);
+        if decision == Decision::Forward {
+            self.meter.charge(Op::TxEnqueue);
+        }
+        let done = self.workers.complete(start, self.meter.total());
+
+        match decision {
+            Decision::Drop => {
+                self.stats.sched_drops += 1;
+                RxOutcome::SchedDrop { at: done }
+            }
+            Decision::Forward => {
+                let slot = &mut self.vf_release[pkt.vf.0 as usize];
+                let release = done.max(*slot);
+                *slot = release;
+                match self.fifo.enqueue(pkt.frame_len, release) {
+                    Ok(wire_done) => {
+                        self.stats.tx_packets += 1;
+                        self.stats.tx_bits += pkt.frame_bits();
+                        RxOutcome::Transmit {
+                            wire_done,
+                            delivered: wire_done + self.config.base_pipeline_latency,
+                        }
+                    }
+                    Err(_) => {
+                        self.stats.tail_drops += 1;
+                        RxOutcome::TailDrop { at: release }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> NicStats {
+        self.stats
+    }
+
+    /// Achieved frame-bit throughput over `[0, horizon]`.
+    pub fn throughput(&self, horizon: Nanos) -> BitRate {
+        self.fifo.throughput(horizon)
+    }
+
+    /// Lock contention statistics from the decider's lock usage.
+    pub fn lock_stats(&self) -> crate::lock::LockStats {
+        self.locks.stats()
+    }
+
+    /// Worker-pool utilization over `[0, horizon]`.
+    pub fn worker_utilization(&self, horizon: Nanos) -> f64 {
+        self.workers.utilization(horizon)
+    }
+
+    /// Mutable access to the decider (e.g. to update policies mid-run).
+    pub fn decider_mut(&mut self) -> &mut dyn EgressDecider {
+        &mut *self.decider
+    }
+
+    /// Downcasts the decider to a concrete type, for control interfaces
+    /// like FlowValve's policy hot-reload.
+    pub fn decider_as<T: 'static>(&mut self) -> Option<&mut T> {
+        self.decider.as_any_mut().downcast_mut::<T>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netstack::flow::FlowKey;
+    use netstack::packet::{AppId, VfPort};
+
+    fn pkt(id: u64, vf: u8, len: u32) -> Packet {
+        let flow = FlowKey::tcp([10, 0, 0, 1], 4000 + vf as u16, [10, 0, 0, 2], 5001);
+        Packet::new(id, flow, len, AppId(vf as u16), VfPort(vf), Nanos::ZERO)
+    }
+
+    /// Drops every packet of VF 1.
+    struct DropVf1;
+    impl EgressDecider for DropVf1 {
+        fn decide(
+            &mut self,
+            pkt: &Packet,
+            _now: Nanos,
+            _meter: &mut CostMeter,
+            _locks: &mut LockTable,
+        ) -> Decision {
+            if pkt.vf.0 == 1 {
+                Decision::Drop
+            } else {
+                Decision::Forward
+            }
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn passthrough_transmits() {
+        let mut nic = SmartNic::new(NicConfig::agilio_cx_40g(), Box::new(PassthroughDecider));
+        match nic.rx(&pkt(0, 0, 1518), Nanos::ZERO) {
+            RxOutcome::Transmit {
+                wire_done,
+                delivered,
+            } => {
+                assert!(wire_done > Nanos::ZERO);
+                assert_eq!(
+                    delivered,
+                    wire_done + nic.config().base_pipeline_latency
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(nic.stats().tx_packets, 1);
+        assert_eq!(nic.stats().delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn decider_drops_are_counted() {
+        let mut nic = SmartNic::new(NicConfig::agilio_cx_40g(), Box::new(DropVf1));
+        assert!(matches!(
+            nic.rx(&pkt(0, 1, 64), Nanos::ZERO),
+            RxOutcome::SchedDrop { .. }
+        ));
+        assert!(matches!(
+            nic.rx(&pkt(1, 0, 64), Nanos::ZERO),
+            RxOutcome::Transmit { .. }
+        ));
+        let s = nic.stats();
+        assert_eq!(s.sched_drops, 1);
+        assert_eq!(s.tx_packets, 1);
+        assert_eq!(s.offered, 2);
+    }
+
+    #[test]
+    fn per_vf_release_is_monotonic() {
+        let mut nic = SmartNic::new(NicConfig::agilio_cx_40g(), Box::new(PassthroughDecider));
+        let mut last = Nanos::ZERO;
+        for i in 0..20 {
+            if let RxOutcome::Transmit { wire_done, .. } =
+                nic.rx(&pkt(i, 0, 1518), Nanos::from_nanos(i * 10))
+            {
+                assert!(wire_done > last, "packet {i} reordered");
+                last = wire_done;
+            } else {
+                panic!("packet {i} not transmitted");
+            }
+        }
+    }
+
+    #[test]
+    fn overload_causes_drops() {
+        // 64B packets at far beyond compute capacity must shed load
+        // (via rx overflow and/or TM tail drop) but keep the wire busy.
+        let mut nic = SmartNic::new(NicConfig::agilio_cx_40g(), Box::new(PassthroughDecider));
+        let horizon = Nanos::from_micros(200);
+        let mut t = Nanos::ZERO;
+        let mut i = 0u64;
+        while t < horizon {
+            let _ = nic.rx(&pkt(i, (i % 4) as u8, 64), t);
+            i += 1;
+            t += Nanos::from_nanos(8); // 125 Mpps offered: hopeless overload
+        }
+        let s = nic.stats();
+        assert!(s.rx_drops + s.tail_drops > 0, "{s:?}");
+        assert!(s.tx_packets > 0);
+        assert!(s.delivery_ratio() < 1.0);
+    }
+
+    #[test]
+    fn line_rate_sustained_for_mtu_frames() {
+        // 1518B at exactly line rate: the pipeline must not be the bottleneck.
+        let cfg = NicConfig::agilio_cx_40g();
+        let gap = cfg
+            .framing
+            .serialization_time(cfg.line_rate, 1518);
+        let mut nic = SmartNic::new(cfg, Box::new(PassthroughDecider));
+        let horizon = Nanos::from_millis(2);
+        let mut t = Nanos::ZERO;
+        let mut i = 0u64;
+        let mut sent = 0u64;
+        while t < horizon {
+            if matches!(
+                nic.rx(&pkt(i, 0, 1518), t),
+                RxOutcome::Transmit { .. }
+            ) {
+                sent += 1;
+            }
+            i += 1;
+            t += gap;
+        }
+        assert_eq!(sent, i, "dropped {} of {} at line rate", i - sent, i);
+        let tput = nic.throughput(horizon);
+        assert!(tput.as_gbps() > 38.0, "throughput {tput}");
+    }
+
+    #[test]
+    fn debug_impl_mentions_decider() {
+        let nic = SmartNic::new(NicConfig::agilio_cx_40g(), Box::new(PassthroughDecider));
+        assert!(format!("{nic:?}").contains("passthrough"));
+    }
+}

@@ -1,0 +1,250 @@
+//! Traffic manager: the wire-side FIFO queue and serializer.
+//!
+//! FlowValve's key abstraction (paper §III-D) is to treat the transmit
+//! buffer plus the traffic manager's hardware queues as **one FIFO draining
+//! at line rate**, with no per-class queues and no user control over
+//! ordering. For a FIFO in front of a fixed-rate serializer, the queue
+//! occupancy at any instant is exactly `(wire_free_at − now) × rate`, so the
+//! whole traffic manager reduces to a single "next free" timestamp — both
+//! faithful and O(1).
+//!
+//! Tail drop happens when the backlog would exceed the configured byte
+//! capacity; this is the *un*-specialized tail drop that FlowValve's
+//! early-drop decisions are designed to pre-empt.
+
+use sim_core::time::Nanos;
+use sim_core::units::{BitRate, ByteSize, WireFraming};
+
+/// Why the traffic manager refused a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TmDrop {
+    /// The FIFO was full: classic tail drop.
+    TailDrop,
+}
+
+impl core::fmt::Display for TmDrop {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TmDrop::TailDrop => write!(f, "traffic-manager tail drop"),
+        }
+    }
+}
+
+impl std::error::Error for TmDrop {}
+
+/// Counters maintained by the FIFO wire model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct TmStats {
+    /// Packets accepted and serialized.
+    pub tx_packets: u64,
+    /// Frame bits transmitted (excluding wire framing overhead).
+    pub tx_bits: u64,
+    /// Packets tail-dropped at the FIFO.
+    pub tail_drops: u64,
+}
+
+/// A FIFO transmit queue in front of a fixed-rate wire.
+///
+/// # Example
+///
+/// ```
+/// use np_sim::tm::TxFifo;
+/// use sim_core::time::Nanos;
+/// use sim_core::units::{BitRate, ByteSize, WireFraming};
+///
+/// let mut fifo = TxFifo::new(
+///     BitRate::from_gbps(10.0),
+///     WireFraming::ETHERNET,
+///     ByteSize::from_kib(64),
+/// );
+/// let done = fifo.enqueue(1518, Nanos::ZERO).expect("queue is empty");
+/// // (1518 + 20) bytes at 10 Gbps ≈ 1.23 us.
+/// assert_eq!(done.as_nanos(), 1_231);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TxFifo {
+    rate: BitRate,
+    framing: WireFraming,
+    /// Maximum backlog expressed as drain time (capacity / rate).
+    max_backlog: Nanos,
+    /// When the wire finishes everything currently queued.
+    free_at: Nanos,
+    /// Latest enqueue timestamp seen, to keep internal time monotonic.
+    last_t: Nanos,
+    stats: TmStats,
+}
+
+impl TxFifo {
+    /// Creates a FIFO draining at `rate` with `capacity` bytes of buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` or `capacity` is zero.
+    pub fn new(rate: BitRate, framing: WireFraming, capacity: ByteSize) -> Self {
+        assert!(rate > BitRate::ZERO, "wire rate must be positive");
+        assert!(capacity > ByteSize::ZERO, "capacity must be positive");
+        TxFifo {
+            rate,
+            framing,
+            max_backlog: rate.serialization_time(capacity.as_bits()),
+            free_at: Nanos::ZERO,
+            last_t: Nanos::ZERO,
+            stats: TmStats::default(),
+        }
+    }
+
+    /// Offers a frame of `frame_len` bytes to the FIFO at time `t`.
+    ///
+    /// On success, returns the instant the frame's last bit leaves the wire.
+    /// Slightly out-of-order timestamps (from parallel workers completing
+    /// out of order) are clamped to the last seen time, mirroring the
+    /// reorder system's behaviour at the transmit ring.
+    ///
+    /// # Errors
+    ///
+    /// [`TmDrop::TailDrop`] when the backlog would exceed capacity.
+    pub fn enqueue(&mut self, frame_len: u32, t: Nanos) -> Result<Nanos, TmDrop> {
+        let t = t.max(self.last_t);
+        self.last_t = t;
+        let backlog = self.free_at.saturating_sub(t);
+        if backlog > self.max_backlog {
+            self.stats.tail_drops += 1;
+            return Err(TmDrop::TailDrop);
+        }
+        let ser = self.framing.serialization_time(self.rate, frame_len as u64);
+        self.free_at = self.free_at.max(t) + ser;
+        self.stats.tx_packets += 1;
+        self.stats.tx_bits += frame_len as u64 * 8;
+        Ok(self.free_at)
+    }
+
+    /// Current queue backlog in bytes at time `t`.
+    pub fn backlog_bytes(&self, t: Nanos) -> u64 {
+        let backlog = self.free_at.saturating_sub(t.max(self.last_t));
+        self.rate.bits_in(backlog) / 8
+    }
+
+    /// Queueing delay a frame enqueued at `t` would experience before its
+    /// first bit hits the wire.
+    pub fn queueing_delay(&self, t: Nanos) -> Nanos {
+        self.free_at.saturating_sub(t.max(self.last_t))
+    }
+
+    /// The configured wire rate.
+    pub fn rate(&self) -> BitRate {
+        self.rate
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> TmStats {
+        self.stats
+    }
+
+    /// Achieved throughput over `[0, horizon]` (frame bits, no framing).
+    pub fn throughput(&self, horizon: Nanos) -> BitRate {
+        if horizon == Nanos::ZERO {
+            return BitRate::ZERO;
+        }
+        BitRate::from_bps(
+            (self.stats.tx_bits as u128 * 1_000_000_000u128 / horizon.as_nanos() as u128) as u64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fifo_1g() -> TxFifo {
+        // 1 Gbps, no framing overhead, 10 KB buffer => 80 us max backlog.
+        TxFifo::new(
+            BitRate::from_bps(1_000_000_000),
+            WireFraming::NONE,
+            ByteSize::from_bytes(10_000),
+        )
+    }
+
+    #[test]
+    fn empty_fifo_serializes_immediately() {
+        let mut f = fifo_1g();
+        // 1000 bytes = 8000 bits at 1 bit/ns.
+        let done = f.enqueue(1_000, Nanos::ZERO).unwrap();
+        assert_eq!(done, Nanos::from_nanos(8_000));
+    }
+
+    #[test]
+    fn backlog_accumulates_fifo_order() {
+        let mut f = fifo_1g();
+        let d1 = f.enqueue(1_000, Nanos::ZERO).unwrap();
+        let d2 = f.enqueue(1_000, Nanos::ZERO).unwrap();
+        assert_eq!(d2, d1 + Nanos::from_nanos(8_000));
+        assert_eq!(f.backlog_bytes(Nanos::ZERO), 2_000);
+    }
+
+    #[test]
+    fn wire_drains_over_time() {
+        let mut f = fifo_1g();
+        f.enqueue(1_000, Nanos::ZERO).unwrap();
+        assert_eq!(f.backlog_bytes(Nanos::from_nanos(4_000)), 500);
+        assert_eq!(f.backlog_bytes(Nanos::from_nanos(8_000)), 0);
+    }
+
+    #[test]
+    fn tail_drop_when_full() {
+        let mut f = fifo_1g();
+        // Fill past 10 KB: each enqueue is 1 KB; at t=0, 11th packet sees
+        // 80 us backlog == max => allowed; 12th sees 88 us > 80 us => drop.
+        let mut accepted = 0;
+        for _ in 0..12 {
+            if f.enqueue(1_000, Nanos::ZERO).is_ok() {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 11);
+        assert_eq!(f.stats().tail_drops, 1);
+    }
+
+    #[test]
+    fn out_of_order_timestamps_clamped() {
+        let mut f = fifo_1g();
+        f.enqueue(1_000, Nanos::from_nanos(100)).unwrap();
+        // Enqueue "at 50 ns" after one at 100 ns: treated as 100 ns.
+        let done = f.enqueue(1_000, Nanos::from_nanos(50)).unwrap();
+        assert_eq!(done, Nanos::from_nanos(100 + 16_000));
+    }
+
+    #[test]
+    fn framing_overhead_charged_on_wire_only() {
+        let mut f = TxFifo::new(
+            BitRate::from_bps(1_000_000_000),
+            WireFraming::ETHERNET,
+            ByteSize::from_kib(64),
+        );
+        let done = f.enqueue(64, Nanos::ZERO).unwrap();
+        // (64 + 20) * 8 = 672 ns on the wire...
+        assert_eq!(done, Nanos::from_nanos(672));
+        // ...but only 512 frame bits counted as throughput.
+        assert_eq!(f.stats().tx_bits, 512);
+    }
+
+    #[test]
+    fn throughput_accounting() {
+        let mut f = fifo_1g();
+        for i in 0..10u64 {
+            let _ = f.enqueue(1_000, Nanos::from_micros(i * 10));
+        }
+        let tput = f.throughput(Nanos::from_micros(100));
+        // 80_000 bits over 100 us = 800 Mbps.
+        assert_eq!(tput, BitRate::from_mbps(800));
+        assert_eq!(f.throughput(Nanos::ZERO), BitRate::ZERO);
+    }
+
+    #[test]
+    fn queueing_delay_reported() {
+        let mut f = fifo_1g();
+        assert_eq!(f.queueing_delay(Nanos::ZERO), Nanos::ZERO);
+        f.enqueue(1_000, Nanos::ZERO).unwrap();
+        assert_eq!(f.queueing_delay(Nanos::ZERO), Nanos::from_nanos(8_000));
+    }
+}

@@ -1,0 +1,72 @@
+//! Qdisc shootout: how many packets per second can each scheduler move,
+//! and what does it cost in CPU?
+//!
+//! A compact version of the paper's Figure 13 argument, runnable in a few
+//! seconds: sweep packet sizes, measure FlowValve's on-NIC throughput, and
+//! put the software baselines' cost models next to it.
+//!
+//! Run with: `cargo run --release --example qdisc_shootout`
+
+use flowvalve::pipeline::FlowValvePipeline;
+use flowvalve::tree::TreeParams;
+use hostsim::policies;
+use hostsim::scenario::Scenario;
+use netstack::flow::FlowKey;
+use netstack::gen::LineRateProcess;
+use netstack::packet::{AppId, VfPort};
+use np_sim::config::NicConfig;
+use np_sim::harness::{run_open_loop, Source};
+use np_sim::nic::SmartNic;
+use qdisc::costmodel::{DpdkCpuModel, KernelCpuModel};
+use sim_core::time::Nanos;
+
+fn main() {
+    let cfg = NicConfig::agilio_cx_40g();
+    let dpdk = DpdkCpuModel::default();
+    let kernel = KernelCpuModel::default();
+
+    println!("maximum scheduling throughput (Mpps), fair-queueing policy:\n");
+    println!(
+        "{:>6} {:>10} {:>12} {:>14} {:>14}",
+        "size", "line", "flowvalve", "dpdk (4 core)", "kernel htb"
+    );
+    for size in [64u32, 512, 1518] {
+        let scenario = Scenario::fair_queueing_40g(4);
+        let policy = policies::fair_queueing_fv(cfg.line_rate, &scenario);
+        let pipeline = FlowValvePipeline::compile(&policy, TreeParams::default(), &cfg)
+            .expect("policy compiles");
+        let mut nic = SmartNic::new(cfg.clone(), Box::new(pipeline));
+        let sources: Vec<Source> = (0..4u16)
+            .map(|i| Source {
+                flow: FlowKey::tcp(
+                    [10, 0, 1 + i as u8, 1],
+                    40_000,
+                    [10, 0, 255, 1],
+                    9000 + i,
+                ),
+                app: AppId(i),
+                vf: VfPort(i as u8),
+                process: Box::new(LineRateProcess::new(
+                    cfg.line_rate.scaled(2, 4),
+                    size,
+                    cfg.framing,
+                )),
+            })
+            .collect();
+        let report = run_open_loop(&mut nic, sources, Nanos::from_millis(2), 9);
+
+        let line = cfg.framing.line_rate_pps(cfg.line_rate, size as u64) / 1e6;
+        let fv = report.tx_pps / 1e6;
+        let d = dpdk.max_pps(4).min(line * 1e6) / 1e6;
+        let k = kernel.max_pps(4) / 1e6;
+        println!("{size:>5}B {line:>10.2} {fv:>12.2} {d:>14.2} {k:>14.2}");
+    }
+
+    println!("\nCPU cores to schedule 64 B packets at FlowValve's rate:");
+    println!("  flowvalve : 0 host cores (it runs on the NIC)");
+    println!(
+        "  dpdk-qos  : {} cores",
+        dpdk.cores_needed(19.67e6)
+    );
+    println!("  kernel-htb: cannot reach it at any core count (qdisc lock)");
+}

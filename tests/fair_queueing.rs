@@ -1,0 +1,111 @@
+//! Integration tests for FlowValve fair queueing: equal splits, work
+//! conservation as apps come and go, and robustness to asymmetric
+//! connection counts — the properties behind the paper's Figure 11(b).
+
+use flowvalve::pipeline::FlowValvePipeline;
+use flowvalve::tree::TreeParams;
+use hostsim::engine::{run, RunReport};
+use hostsim::path::EgressPath;
+use hostsim::policies;
+use hostsim::scenario::{AppSpec, Scenario};
+use np_sim::config::NicConfig;
+use np_sim::nic::SmartNic;
+use sim_core::time::Nanos;
+use sim_core::units::BitRate;
+
+const LINK: f64 = 4.0;
+
+/// Four staged apps on a 4 Gbps link (scaled-down Figure 11(b)).
+fn scenario(conns: [usize; 4]) -> Scenario {
+    let mut s = Scenario::new(BitRate::from_gbps(LINK), Nanos::from_millis(200));
+    s.time_scale = Nanos::from_millis(8);
+    let f = |x: f64| Nanos::from_nanos((8e6 * x) as u64);
+    s.apps = vec![
+        AppSpec::new("App0", 0, 0, 9000, conns[0], f(0.0), f(20.0)),
+        AppSpec::new("App1", 1, 1, 9001, conns[1], f(5.0), f(25.0)),
+        AppSpec::new("App2", 2, 2, 9002, conns[2], f(10.0), f(25.0)),
+        AppSpec::new("App3", 3, 3, 9003, conns[3], f(15.0), f(25.0)),
+    ];
+    s
+}
+
+fn run_fair(s: &Scenario) -> RunReport {
+    let mut cfg = NicConfig::agilio_cx_40g();
+    cfg.line_rate = s.link;
+    let policy = policies::fair_queueing_fv(s.link, s);
+    let params = TreeParams {
+        burst_window: Nanos::from_millis(1),
+        ..TreeParams::default()
+    };
+    let pipeline = FlowValvePipeline::compile(&policy, params, &cfg).expect("compiles");
+    let (report, _path) = run(s, EgressPath::flowvalve(SmartNic::new(cfg, Box::new(pipeline))));
+    report
+}
+
+#[test]
+fn equal_split_among_active_apps_at_every_stage() {
+    let s = scenario([2, 2, 2, 2]);
+    let report = run_fair(&s);
+    let m = |a: &str, f: f64, t: f64| report.mean_gbps(&s, a, f, t);
+
+    // One app: takes (almost) everything.
+    assert!(m("App0", 2.0, 5.0) > 0.7 * LINK, "solo app underutilizes");
+
+    // Two apps: ~half each.
+    for a in ["App0", "App1"] {
+        let g = m(a, 7.0, 10.0);
+        assert!(
+            (g - LINK / 2.0).abs() < 0.30 * LINK / 2.0,
+            "{a} got {g} of {}",
+            LINK / 2.0
+        );
+    }
+
+    // Four apps: ~quarter each.
+    for a in ["App0", "App1", "App2", "App3"] {
+        let g = m(a, 17.0, 20.0);
+        assert!(
+            (g - LINK / 4.0).abs() < 0.35 * LINK / 4.0,
+            "{a} got {g} of {}",
+            LINK / 4.0
+        );
+    }
+}
+
+#[test]
+fn departures_are_work_conserving() {
+    let s = scenario([2, 2, 2, 2]);
+    let report = run_fair(&s);
+    // After App0 leaves at 20, the remaining three share the link.
+    let total: f64 = ["App1", "App2", "App3"]
+        .iter()
+        .map(|a| report.mean_gbps(&s, a, 22.0, 25.0))
+        .sum();
+    assert!(total > 0.75 * LINK, "link underutilized after departure: {total}");
+}
+
+#[test]
+fn fairness_is_robust_to_connection_counts() {
+    // 2 vs 12 connections: class-based fairness must still hold (the
+    // paper varies 4..256 connections with unchanged results).
+    let s = scenario([2, 12, 2, 12]);
+    let report = run_fair(&s);
+    let a0 = report.mean_gbps(&s, "App0", 8.0, 10.0);
+    let a1 = report.mean_gbps(&s, "App1", 8.0, 10.0);
+    let ratio = a0 / a1.max(1e-9);
+    assert!(
+        (0.6..1.6).contains(&ratio),
+        "connection count broke fairness: {a0} vs {a1}"
+    );
+}
+
+#[test]
+fn drops_shape_instead_of_queueing() {
+    let s = scenario([2, 2, 2, 2]);
+    let report = run_fair(&s);
+    // Rate control by early drop: drops happen, and the delay stays
+    // bounded (no multi-millisecond standing queues).
+    assert!(report.dropped > 0, "no drops under 4x oversubscription");
+    let p99_us = report.delay.quantile(0.99) as f64 / 1e3;
+    assert!(p99_us < 2_500.0, "standing queue built up: p99 {p99_us} us");
+}

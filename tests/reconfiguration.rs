@@ -1,0 +1,165 @@
+//! Runtime reconfiguration and failure injection: policy hot-reload on a
+//! live NIC, ingress overload shedding, and expiry-driven recovery.
+
+use flowvalve::frontend::Policy;
+use flowvalve::label::ClassId;
+use flowvalve::pipeline::FlowValvePipeline;
+use flowvalve::tree::TreeParams;
+use netstack::flow::FlowKey;
+use netstack::packet::{AppId, Packet, VfPort};
+use np_sim::config::NicConfig;
+use np_sim::nic::{RxOutcome, SmartNic};
+use sim_core::time::Nanos;
+use sim_core::units::BitRate;
+
+fn policy(cap_mbit: u32) -> Policy {
+    Policy::parse(&format!(
+        "fv qdisc add dev nic0 root handle 1: fv default 1:10\n\
+         fv class add dev nic0 parent root classid 1:1 rate 10gbit\n\
+         fv class add dev nic0 parent 1:1 classid 1:10 ceil {cap_mbit}mbit\n",
+    ))
+    .expect("policy parses")
+}
+
+/// Offers `gbps` of MTU traffic for `dur` starting at `t0`; returns the
+/// delivered rate in Gbps.
+fn offer(nic: &mut SmartNic, t0: Nanos, dur: Nanos, gbps: f64, id0: u64) -> f64 {
+    let flow = FlowKey::tcp([10, 0, 0, 1], 40_000, [10, 0, 255, 1], 5001);
+    let gap = Nanos::from_nanos((12_144.0 / gbps) as u64);
+    let mut t = t0;
+    let mut id = id0;
+    let mut bits = 0u64;
+    while t < t0 + dur {
+        let pkt = Packet::new(id, flow, 1_518, AppId(0), VfPort(0), t);
+        if matches!(nic.rx(&pkt, t), RxOutcome::Transmit { .. }) {
+            bits += pkt.frame_bits();
+        }
+        id += 1;
+        t += gap;
+    }
+    bits as f64 / dur.as_nanos() as f64
+}
+
+#[test]
+fn policy_hot_reload_reshapes_live_traffic() {
+    let cfg = NicConfig::agilio_cx_10g();
+    let pipeline = FlowValvePipeline::compile(&policy(2_000), TreeParams::default(), &cfg)
+        .expect("compiles");
+    let mut nic = SmartNic::new(cfg.clone(), Box::new(pipeline));
+
+    // Phase 1: 2 Gbps ceiling.
+    let dur = Nanos::from_millis(10);
+    let before = offer(&mut nic, Nanos::ZERO, dur, 6.0, 0);
+    assert!((1.6..2.5).contains(&before), "phase 1 rate {before}");
+
+    // Hot-reload to a 4 Gbps ceiling without rebuilding the NIC.
+    nic.decider_as::<FlowValvePipeline>()
+        .expect("decider is the FlowValve pipeline")
+        .reload(&policy(4_000), TreeParams::default(), &cfg)
+        .expect("new policy compiles");
+
+    // Phase 2: same offered load now passes at ~4 Gbps.
+    let after = offer(&mut nic, dur, dur, 6.0, 1_000_000);
+    assert!((3.3..4.6).contains(&after), "phase 2 rate {after}");
+}
+
+#[test]
+fn reload_failure_keeps_the_old_policy() {
+    let cfg = NicConfig::agilio_cx_10g();
+    let pipeline = FlowValvePipeline::compile(&policy(2_000), TreeParams::default(), &cfg)
+        .expect("compiles");
+    let mut nic = SmartNic::new(cfg.clone(), Box::new(pipeline));
+
+    // An invalid policy (filter to a nonexistent class) must be rejected...
+    let bad = Policy::parse(
+        "fv class add dev nic0 parent root classid 1:1 rate 10gbit\n\
+         fv filter add dev nic0 match any flowid 1:99\n",
+    )
+    .expect("parses syntactically");
+    let err = nic
+        .decider_as::<FlowValvePipeline>()
+        .expect("decider is the FlowValve pipeline")
+        .reload(&bad, TreeParams::default(), &cfg);
+    assert!(err.is_err());
+
+    // ...and the old 2 Gbps ceiling keeps being enforced.
+    let rate = offer(&mut nic, Nanos::ZERO, Nanos::from_millis(10), 6.0, 0);
+    assert!((1.6..2.5).contains(&rate), "old policy lost: {rate}");
+}
+
+#[test]
+fn ingress_overload_sheds_load_but_keeps_line_rate() {
+    // 64 B frames far beyond compute capacity: the NIC sheds at ingress
+    // yet keeps transmitting at its compute bound.
+    let cfg = NicConfig::agilio_cx_40g();
+    let pipeline = FlowValvePipeline::compile(
+        &policy(40_000),
+        TreeParams::default(),
+        &cfg,
+    )
+    .expect("compiles");
+    let mut nic = SmartNic::new(cfg, Box::new(pipeline));
+    let flow = FlowKey::tcp([10, 0, 0, 1], 40_000, [10, 0, 255, 1], 5001);
+    let horizon = Nanos::from_millis(2);
+    let mut t = Nanos::ZERO;
+    let mut id = 0u64;
+    while t < horizon {
+        let pkt = Packet::new(id, flow, 64, AppId(0), VfPort(0), t);
+        let _ = nic.rx(&pkt, t);
+        id += 1;
+        t += Nanos::from_nanos(10); // 100 Mpps offered
+    }
+    let s = nic.stats();
+    assert!(s.rx_drops > 0, "no ingress shedding: {s:?}");
+    let mpps = s.tx_packets as f64 / horizon.as_secs_f64() / 1e6;
+    assert!(mpps > 15.0, "collapsed under overload: {mpps} Mpps");
+}
+
+#[test]
+fn expiry_restores_rates_after_a_class_vanishes() {
+    // Two equal classes; one stops abruptly. After the expiry window the
+    // survivor's θ recovers the whole link without any reconfiguration.
+    let p = Policy::parse(
+        "fv qdisc add dev nic0 root handle 1: fv\n\
+         fv class add dev nic0 parent root classid 1:1 rate 10gbit\n\
+         fv class add dev nic0 parent 1:1 classid 1:10\n\
+         fv class add dev nic0 parent 1:1 classid 1:20\n\
+         fv filter add dev nic0 match ip dport 5001 flowid 1:10\n\
+         fv filter add dev nic0 match ip dport 5002 flowid 1:20\n",
+    )
+    .expect("parses");
+    let cfg = NicConfig::agilio_cx_10g();
+    let pipeline =
+        FlowValvePipeline::compile(&p, TreeParams::default(), &cfg).expect("compiles");
+    let tree = pipeline.tree().clone();
+    let mut nic = SmartNic::new(cfg, Box::new(pipeline));
+
+    let f1 = FlowKey::tcp([10, 0, 0, 1], 40_000, [10, 0, 255, 1], 5001);
+    let f2 = FlowKey::tcp([10, 0, 0, 2], 40_000, [10, 0, 255, 1], 5002);
+    let mut id = 0u64;
+    // Phase 1: both hungry for 5 ms.
+    let mut t = Nanos::ZERO;
+    while t < Nanos::from_millis(5) {
+        for f in [f1, f2] {
+            let pkt = Packet::new(id, f, 1_518, AppId(0), VfPort(0), t);
+            let _ = nic.rx(&pkt, t);
+            id += 1;
+        }
+        t += Nanos::from_nanos(2_000);
+    }
+    let theta_mid = tree.theta(ClassId(10)).expect("class exists");
+    assert!(theta_mid < BitRate::from_gbps(7.0), "split not applied: {theta_mid}");
+
+    // Phase 2: class 20 stops; only class 10 sends.
+    while t < Nanos::from_millis(12) {
+        let pkt = Packet::new(id, f1, 1_518, AppId(0), VfPort(0), t);
+        let _ = nic.rx(&pkt, t);
+        id += 1;
+        t += Nanos::from_nanos(1_500);
+    }
+    let theta_after = tree.theta(ClassId(10)).expect("class exists");
+    assert!(
+        theta_after > BitRate::from_gbps(8.5),
+        "expiry did not restore the survivor: {theta_after}"
+    );
+}
