@@ -83,7 +83,9 @@ fn bench_baselines(c: &mut Criterion) {
             TreeParams::default(),
         )
         .expect("tree builds");
-        let label = tree.label(ClassId(10), &[ClassId(20)]).expect("leaf exists");
+        let label = tree
+            .label(ClassId(10), &[ClassId(20)])
+            .expect("leaf exists");
         let clock = WallClock::new();
         let mut exec = RealExec;
         b.iter(|| std::hint::black_box(tree.schedule(&label, 12_144, clock.now(), &mut exec)));

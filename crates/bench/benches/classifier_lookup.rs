@@ -34,16 +34,19 @@ fn bench_classify(c: &mut Criterion) {
     // hardware EMFC exists to avoid). Each iteration uses a fresh flow so
     // the cache never helps; the cache is large enough not to evict.
     for rules in [16u16, 64, 256] {
-        g.bench_with_input(BenchmarkId::new("miss_table_walk", rules), &rules, |b, &rules| {
-            let mut cls = classifier_with_rules(rules);
-            let mut port = 0u16;
-            b.iter(|| {
-                port = port.wrapping_add(1);
-                let flow =
-                    FlowKey::tcp([10, 0, 0, 1], port, [10, 0, 255, 1], 65_000);
-                std::hint::black_box(cls.classify(&flow, VfPort(0)).1)
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("miss_table_walk", rules),
+            &rules,
+            |b, &rules| {
+                let mut cls = classifier_with_rules(rules);
+                let mut port = 0u16;
+                b.iter(|| {
+                    port = port.wrapping_add(1);
+                    let flow = FlowKey::tcp([10, 0, 0, 1], port, [10, 0, 255, 1], 65_000);
+                    std::hint::black_box(cls.classify(&flow, VfPort(0)).1)
+                });
+            },
+        );
     }
     g.finish();
 }

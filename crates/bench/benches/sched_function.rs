@@ -12,13 +12,13 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use flowvalve::label::ClassId;
 use flowvalve::sched::RealExec;
 use flowvalve::tree::{ClassSpec, SchedulingTree, TreeParams};
+use fv_telemetry::Registry;
 use sim_core::clock::{Clock, WallClock};
 use sim_core::units::BitRate;
 
 /// A fair-queueing tree with `n` leaves under one root.
 fn tree(leaves: usize) -> Arc<SchedulingTree> {
-    let mut specs =
-        vec![ClassSpec::new(ClassId(1), "root", None).rate(BitRate::from_gbps(40.0))];
+    let mut specs = vec![ClassSpec::new(ClassId(1), "root", None).rate(BitRate::from_gbps(40.0))];
     for i in 0..leaves {
         specs.push(ClassSpec::new(
             ClassId(10 + i as u16),
@@ -43,9 +43,7 @@ fn bench_schedule(c: &mut Criterion) {
             &depth_leaves,
             |b, _| {
                 let mut exec = RealExec;
-                b.iter(|| {
-                    std::hint::black_box(t.schedule(&label, 12_000, clock.now(), &mut exec))
-                });
+                b.iter(|| std::hint::black_box(t.schedule(&label, 12_000, clock.now(), &mut exec)));
             },
         );
     }
@@ -120,6 +118,51 @@ fn bench_schedule(c: &mut Criterion) {
                 });
             },
         );
+    }
+    // The dual-clock contract's wall-clock half: the SAME telemetry
+    // primitives the discrete-event NIC model records into (tree refill
+    // trace + per-packet counter/histogram) running on real OS threads
+    // with wall-clock timestamps. The per-packet path is relaxed atomics
+    // only — per-thread counter shards, no locks, no clock reads inside
+    // the telemetry itself.
+    for threads in [1usize, 8] {
+        let t = tree(8);
+        let registry = Registry::new();
+        t.attach_telemetry(&registry);
+        let decisions = registry.counter("bench.decisions");
+        let wire_hist = registry.histogram("bench.wire_bits");
+        g.bench_with_input(
+            BenchmarkId::new("instrumented_threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let clock = WallClock::new();
+                    let start = Instant::now();
+                    std::thread::scope(|s| {
+                        for k in 0..threads {
+                            let t = Arc::clone(&t);
+                            let clock = &clock;
+                            let decisions = Arc::clone(&decisions);
+                            let wire_hist = Arc::clone(&wire_hist);
+                            s.spawn(move || {
+                                let label = t
+                                    .label(ClassId(10 + (k % 8) as u16), &[])
+                                    .expect("leaf exists");
+                                let mut exec = RealExec;
+                                for _ in 0..iters / threads as u64 {
+                                    let v = t.schedule(&label, 12_000, clock.now(), &mut exec);
+                                    decisions.incr(k);
+                                    wire_hist.record(12_000);
+                                    std::hint::black_box(v);
+                                }
+                            });
+                        }
+                    });
+                    start.elapsed()
+                });
+            },
+        );
+        assert!(decisions.total() > 0, "telemetry saw the hot path");
     }
     g.finish();
 }

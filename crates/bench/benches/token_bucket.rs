@@ -41,9 +41,7 @@ fn bench_meter(c: &mut Criterion) {
                             let bucket = Arc::clone(&bucket);
                             s.spawn(move || {
                                 for _ in 0..iters / threads as u64 {
-                                    std::hint::black_box(
-                                        bucket.meter(Tokens::from_bits(1)),
-                                    );
+                                    std::hint::black_box(bucket.meter(Tokens::from_bits(1)));
                                 }
                             });
                         }

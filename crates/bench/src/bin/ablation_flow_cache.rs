@@ -52,7 +52,12 @@ fn measure(flows: u16, cache_small: bool) -> (f64, f64) {
     let mut i = 0u64;
     while t < HORIZON {
         let f = (i % flows as u64) as u16;
-        let flow = FlowKey::tcp([10, 0, (f >> 8) as u8, f as u8], 40_000, [10, 0, 255, 1], 9000);
+        let flow = FlowKey::tcp(
+            [10, 0, (f >> 8) as u8, f as u8],
+            40_000,
+            [10, 0, 255, 1],
+            9000,
+        );
         let pkt = Packet::new(ids.next_id(), flow, 64, AppId(0), VfPort(0), t);
         if let RxOutcome::Transmit { wire_done, .. } = nic.rx(&pkt, t) {
             if wire_done <= HORIZON {

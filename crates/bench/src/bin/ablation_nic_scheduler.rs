@@ -32,8 +32,16 @@ fn run_hw_tm() -> (f64, f64) {
         BitRate::from_gbps(6.0),
         WireFraming::ETHERNET,
         vec![
-            HwQueueConfig { prio: 0, weight: 1, capacity: 256 },
-            HwQueueConfig { prio: 1, weight: 1, capacity: 256 },
+            HwQueueConfig {
+                prio: 0,
+                weight: 1,
+                capacity: 256,
+            },
+            HwQueueConfig {
+                prio: 1,
+                weight: 1,
+                capacity: 256,
+            },
         ],
     );
     let mut ids = PacketIdGen::new();
@@ -44,8 +52,14 @@ fn run_hw_tm() -> (f64, f64) {
     let ml_flow = FlowKey::tcp([10, 0, 0, 2], 1, [10, 0, 255, 1], 5002);
     let mut drain_t = Nanos::ZERO;
     while t < HORIZON {
-        tm.enqueue(0, Packet::new(ids.next_id(), kvs_flow, 1_518, AppId(0), VfPort(0), t));
-        tm.enqueue(1, Packet::new(ids.next_id(), ml_flow, 1_518, AppId(1), VfPort(0), t));
+        tm.enqueue(
+            0,
+            Packet::new(ids.next_id(), kvs_flow, 1_518, AppId(0), VfPort(0), t),
+        );
+        tm.enqueue(
+            1,
+            Packet::new(ids.next_id(), ml_flow, 1_518, AppId(1), VfPort(0), t),
+        );
         // Drain everything the wire permits up to the next arrival.
         drain_t = drain_t.max(t);
         while drain_t <= t + gap {
@@ -110,9 +124,15 @@ fn main() {
     println!("\npolicy: KVS prior to ML inside a 6 Gbps subtree, ML guaranteed 2 Gbps\n");
     println!("{:<26} {:>10} {:>10}", "scheduler", "KVS Gbps", "ML Gbps");
     let (k_hw, m_hw) = run_hw_tm();
-    println!("{:<26} {k_hw:>10.2} {m_hw:>10.2}   <- ML starved", "hw strict-prio + wrr");
+    println!(
+        "{:<26} {k_hw:>10.2} {m_hw:>10.2}   <- ML starved",
+        "hw strict-prio + wrr"
+    );
     let (k_fv, m_fv) = run_flowvalve();
-    println!("{:<26} {k_fv:>10.2} {m_fv:>10.2}   <- guarantee held", "flowvalve");
+    println!(
+        "{:<26} {k_fv:>10.2} {m_fv:>10.2}   <- guarantee held",
+        "flowvalve"
+    );
 
     println!("\nthe fixed scheme has no way to express \"prior *unless* the sibling");
     println!("falls below its guarantee\": strict priority starves ML entirely, while");

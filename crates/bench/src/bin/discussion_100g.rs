@@ -46,12 +46,7 @@ fn main() {
         let mut nic = SmartNic::new(cfg.clone(), Box::new(pipeline));
         let sources: Vec<Source> = (0..4u16)
             .map(|i| Source {
-                flow: FlowKey::tcp(
-                    [10, 0, 1 + i as u8, 1],
-                    40_000,
-                    [10, 0, 255, 1],
-                    9000 + i,
-                ),
+                flow: FlowKey::tcp([10, 0, 1 + i as u8, 1], 40_000, [10, 0, 255, 1], 9000 + i),
                 app: AppId(i),
                 vf: VfPort(i as u8),
                 process: Box::new(LineRateProcess::new(
@@ -64,7 +59,11 @@ fn main() {
         let report = run_open_loop(&mut nic, sources, Nanos::from_millis(2), 21);
         let line = cfg.framing.line_rate_pps(cfg.line_rate, size as u64) / 1e6;
         let mpps = report.tx_pps / 1e6;
-        let bound = if mpps >= line * 0.97 { "line-rate" } else { "compute" };
+        let bound = if mpps >= line * 0.97 {
+            "line-rate"
+        } else {
+            "compute"
+        };
         println!(
             "{size:>5}B {line:>12.2} {mpps:>12.2} {:>10.2} {bound:>12}",
             report.throughput.as_gbps()

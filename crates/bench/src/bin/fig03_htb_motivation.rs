@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p bench --bin fig03_htb_motivation`
 
-use bench::{banner, sparkline_chart, kernel_path, throughput_table, window_summary, write_json};
+use bench::{banner, kernel_path, sparkline_chart, throughput_table, window_summary, write_json};
 use hostsim::engine::run;
 use hostsim::policies;
 use hostsim::scenario::Scenario;
@@ -68,10 +68,16 @@ fn main() {
     );
 
     let rows: Vec<(String, f64)> = vec![
-        ("nc_0_15".into(), report.mean_gbps(&scenario, "NC", 2.0, 15.0)),
+        (
+            "nc_0_15".into(),
+            report.mean_gbps(&scenario, "NC", 2.0, 15.0),
+        ),
         ("kvs_15_30".into(), kvs),
         ("ml_15_30".into(), ml),
-        ("ws_15_30".into(), report.mean_gbps(&scenario, "WS", 17.0, 30.0)),
+        (
+            "ws_15_30".into(),
+            report.mean_gbps(&scenario, "WS", 17.0, 30.0),
+        ),
         ("total_15_30".into(), total_15_30),
     ];
     let p = write_json("fig03_htb_motivation", &rows);

@@ -52,7 +52,10 @@ fn main() {
         "scheduling-tree update disciplines: per-class try-lock vs global lock",
     );
 
-    println!("\n{:<22} {:>10} {:>10}", "discipline", "64B Mpps", "1518B Gbps");
+    println!(
+        "\n{:<22} {:>10} {:>10}",
+        "discipline", "64B Mpps", "1518B Gbps"
+    );
     let mut rows = Vec::new();
     for (name, d) in [
         ("per-class try-lock", LockDiscipline::PerClass),

@@ -23,19 +23,13 @@ use sim_core::units::BitRate;
 /// paper's Figure 10 scenario.
 fn prio_chain(n: usize, params: TreeParams) -> SchedulingTree {
     assert!(n >= 2, "need at least A0 and one lower class");
-    let mut specs = vec![
-        ClassSpec::new(ClassId(1), "root", None).rate(BitRate::from_gbps(10.0)),
-    ];
+    let mut specs = vec![ClassSpec::new(ClassId(1), "root", None).rate(BitRate::from_gbps(10.0))];
     let mut parent = ClassId(1);
     for i in 0..n - 1 {
         // Leaf Ai (prio 0) and interior S{i+1} (prio 1) under `parent`.
-        specs.push(
-            ClassSpec::new(ClassId(10 + i as u16), format!("a{i}"), Some(parent)).prio(0),
-        );
+        specs.push(ClassSpec::new(ClassId(10 + i as u16), format!("a{i}"), Some(parent)).prio(0));
         let interior = ClassId(100 + i as u16);
-        specs.push(
-            ClassSpec::new(interior, format!("s{}", i + 1), Some(parent)).prio(1),
-        );
+        specs.push(ClassSpec::new(interior, format!("s{}", i + 1), Some(parent)).prio(1));
         parent = interior;
     }
     // Deepest leaf.
@@ -99,8 +93,8 @@ fn convergence_delay(depth: usize, interval: Nanos, from: f64, to: f64) -> Nanos
 
         if now > step_at && settled.is_none() {
             let theta = tree.theta(last).unwrap();
-            let err = (theta.as_gbps() - expect_after.as_gbps()).abs()
-                / expect_after.as_gbps().max(0.1);
+            let err =
+                (theta.as_gbps() - expect_after.as_gbps()).abs() / expect_after.as_gbps().max(0.1);
             if err < 0.10 {
                 settled = Some(now - step_at);
             }
@@ -121,10 +115,7 @@ fn main() {
     for depth in [2usize, 3, 4, 6] {
         for interval_us in [50u64, 100, 200] {
             let d = convergence_delay(depth, Nanos::from_micros(interval_us), 2.0, 7.0);
-            println!(
-                "{depth:>6} {interval_us:>12} {:>16.3}",
-                d.as_millis_f64()
-            );
+            println!("{depth:>6} {interval_us:>12} {:>16.3}", d.as_millis_f64());
             rows.push((depth, interval_us, d.as_millis_f64()));
         }
     }

@@ -7,7 +7,9 @@
 //!
 //! Run: `cargo run --release -p bench --bin fig11a_flowvalve_motivation`
 
-use bench::{banner, sparkline_chart, flowvalve_path, throughput_table, window_summary, write_json};
+use bench::{
+    banner, flowvalve_path, sparkline_chart, throughput_table, window_summary, write_json,
+};
 use hostsim::engine::run;
 use hostsim::policies;
 use hostsim::scenario::Scenario;
@@ -54,7 +56,9 @@ fn main() {
     println!("  NC alone (0-15s)    paper ~10 Gbps (all available)  measured {nc:.2}");
     println!("  ceiling (15-30s)    paper ≤10 Gbps                  measured {total:.2}");
     println!("  ML guarantee        paper ≥2 Gbps                   measured {ml:.2}");
-    println!("  KVS > ML priority   paper KVS gets the S2 residual  measured KVS {kvs:.2} vs ML {ml:.2}");
+    println!(
+        "  KVS > ML priority   paper KVS gets the S2 residual  measured KVS {kvs:.2} vs ML {ml:.2}"
+    );
     println!("  WS weight (1/3 S1)  paper ~3.3 Gbps                 measured {ws:.2}");
 
     let rows: Vec<(String, f64)> = vec![
@@ -63,8 +67,14 @@ fn main() {
         ("ml_15_30".into(), ml),
         ("ws_15_30".into(), ws),
         ("total_15_30".into(), total),
-        ("kvs_30_45".into(), report.mean_gbps(&scenario, "KVS", 32.0, 45.0)),
-        ("ws_30_45".into(), report.mean_gbps(&scenario, "WS", 32.0, 45.0)),
+        (
+            "kvs_30_45".into(),
+            report.mean_gbps(&scenario, "KVS", 32.0, 45.0),
+        ),
+        (
+            "ws_30_45".into(),
+            report.mean_gbps(&scenario, "WS", 32.0, 45.0),
+        ),
     ];
     let p = write_json("fig11a_flowvalve_motivation", &rows);
     println!("results -> {}", p.display());

@@ -67,10 +67,7 @@ fn main() {
                 results.push((format!("c{conns_a}_{conns_b}_{a}_{from}_{to}"), *m));
             }
         }
-        println!(
-            "delivered {} dropped {}",
-            report.delivered, report.dropped
-        );
+        println!("delivered {} dropped {}", report.delivered, report.dropped);
     }
 
     let p = write_json("fig11b_fair_queueing", &results);

@@ -8,14 +8,17 @@
 //!
 //! Run: `cargo run --release -p bench --bin fig11c_weighted_fairness`
 
-use bench::{banner, sparkline_chart, flowvalve_path, throughput_table, write_json};
+use bench::{banner, flowvalve_path, sparkline_chart, throughput_table, write_json};
 use hostsim::engine::run;
 use hostsim::policies;
 use hostsim::scenario::Scenario;
 use np_sim::config::NicConfig;
 
 fn main() {
-    banner("Figure 11(c)", "40 Gbps weighted fair queueing (Figure 12 policy)");
+    banner(
+        "Figure 11(c)",
+        "40 Gbps weighted fair queueing (Figure 12 policy)",
+    );
     let scenario = Scenario::weighted_fairness_40g(4);
     let path = flowvalve_path(
         &policies::weighted_fairness_fv(scenario.link, &scenario),
@@ -33,7 +36,10 @@ fn main() {
     // over multiple figure seconds that would be sub-pixel in the paper.
     let m = |a: &str, f: f64, t: f64| report.mean_gbps(&scenario, a, f, t);
     println!("\nstage summaries (steady-state windows):");
-    println!("  [ 2..10s)  App0 alone              expect ~40: App0={:.1}", m("App0", 2.0, 10.0));
+    println!(
+        "  [ 2..10s)  App0 alone              expect ~40: App0={:.1}",
+        m("App0", 2.0, 10.0)
+    );
     println!(
         "  [14..20s)  App0:App1 = 1:1          expect 20/20: App0={:.1} App1={:.1}",
         m("App0", 14.0, 20.0),

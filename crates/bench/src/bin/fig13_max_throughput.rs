@@ -30,8 +30,8 @@ fn flowvalve_mpps(frame_len: u32) -> (f64, f64) {
     let cfg = NicConfig::agilio_cx_40g();
     let scenario = Scenario::fair_queueing_40g(4); // names/vfs/ports only
     let policy = policies::fair_queueing_fv(cfg.line_rate, &scenario);
-    let pipeline = FlowValvePipeline::compile(&policy, TreeParams::default(), &cfg)
-        .expect("policy compiles");
+    let pipeline =
+        FlowValvePipeline::compile(&policy, TreeParams::default(), &cfg).expect("policy compiles");
     let mut nic = SmartNic::new(cfg.clone(), Box::new(pipeline));
 
     // Each source injects one quarter of 2x line rate.

@@ -96,7 +96,10 @@ fn row(name: &str, h: &Histogram) -> (String, f64, f64, f64) {
 }
 
 fn main() {
-    banner("Figure 14", "one-way delay under saturating fair-queueing TCP load");
+    banner(
+        "Figure 14",
+        "one-way delay under saturating fair-queueing TCP load",
+    );
 
     let mut rows = Vec::new();
     println!(

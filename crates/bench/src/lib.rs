@@ -127,14 +127,10 @@ pub fn results_dir() -> PathBuf {
 
 /// Writes a serializable result to `results/<name>.json` (best-effort) and
 /// returns the path.
-pub fn write_json<T: serde::Serialize>(name: &str, value: &T) -> PathBuf {
+pub fn write_json<T: fv_telemetry::ToJson + ?Sized>(name: &str, value: &T) -> PathBuf {
     let path = results_dir().join(format!("{name}.json"));
     if let Ok(mut f) = std::fs::File::create(&path) {
-        let _ = f.write_all(
-            serde_json::to_string_pretty(value)
-                .unwrap_or_else(|_| "{}".into())
-                .as_bytes(),
-        );
+        let _ = f.write_all(value.to_json().to_pretty().as_bytes());
     }
     path
 }

@@ -21,7 +21,6 @@ pub enum CacheResult {
 
 /// Cache occupancy and traffic counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct CacheStats {
     /// Lookups that hit.
     pub hits: u64,

@@ -13,7 +13,6 @@ use netstack::packet::VfPort;
 
 /// An IPv4 CIDR prefix match.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct Cidr {
     /// Network address.
     pub addr: Ipv4Addr,
@@ -58,7 +57,6 @@ impl fmt::Display for Cidr {
 
 /// The match half of a filter rule; unset fields are wildcards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct FlowMatch {
     /// Source address prefix.
     pub src: Option<Cidr>,
@@ -165,7 +163,6 @@ impl FlowMatch {
 
 /// A filter rule: a match plus a verdict, ordered by priority.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct FilterRule<V> {
     /// Lower value = matched first (kernel `tc filter` convention).
     pub priority: u16,

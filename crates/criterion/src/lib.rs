@@ -1,0 +1,284 @@
+//! A drop-in subset of the [Criterion.rs](https://docs.rs/criterion) API.
+//!
+//! This workspace builds in environments with **no crates.io access**, so
+//! the real `criterion` crate cannot be fetched. The benches only use a
+//! small, stable slice of its API — groups, `bench_function`,
+//! `bench_with_input`, `iter`, `iter_custom`, throughput annotation — which
+//! this crate reimplements with a plain warm-up / sample / report loop.
+//! Numbers are comparable run-to-run on the same machine; there is no
+//! statistical regression analysis.
+//!
+//! The point of keeping the benches compiling (rather than deleting them)
+//! is the dual-clock telemetry contract: the same `fv-telemetry`
+//! instrumentation that runs under virtual time in the simulator is
+//! exercised here under wall-clock time on real threads.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver. Mirrors `criterion::Criterion`.
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the time spent collecting samples per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation: reported as elements (or bytes) per second.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// `n` logical elements processed per iteration.
+    Elements(u64),
+    /// `n` bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A parameterized benchmark name, e.g. `parallel_threads/8`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter into one id.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration. Mirrors
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs a benchmark closure against a [`Bencher`].
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; provided for API parity).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: String, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 1,
+        };
+        // Warm-up & calibration: grow the per-sample iteration count until
+        // one sample costs roughly measurement_time / sample_size.
+        let warm_up_end = Instant::now() + self.criterion.warm_up_time;
+        let target = self.criterion.measurement_time / self.criterion.sample_size as u32;
+        loop {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            let elapsed = bencher.elapsed;
+            if Instant::now() >= warm_up_end {
+                if elapsed >= target || bencher.iters >= u64::MAX / 2 {
+                    break;
+                }
+                let grow = (target.as_nanos() as f64 / elapsed.as_nanos().max(1) as f64).min(16.0);
+                bencher.iters = ((bencher.iters as f64 * grow) as u64).max(bencher.iters + 1);
+            } else if elapsed < Duration::from_millis(10) {
+                bencher.iters = bencher.iters.saturating_mul(2);
+            }
+        }
+        // Measurement: fixed iteration count per sample, keep per-iter times.
+        let mut samples: Vec<f64> = Vec::with_capacity(self.criterion.sample_size);
+        for _ in 0..self.criterion.sample_size {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            samples.push(bencher.elapsed.as_nanos() as f64 / bencher.iters.max(1) as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let lo = samples[0];
+        let hi = samples[samples.len() - 1];
+        let mut line = format!(
+            "{}/{id}: time [{} {} {}]",
+            self.name,
+            fmt_ns(lo),
+            fmt_ns(median),
+            fmt_ns(hi)
+        );
+        if let Some(t) = self.throughput {
+            let (per_iter, unit) = match t {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            if median > 0.0 {
+                let per_sec = per_iter as f64 * 1e9 / median;
+                line.push_str(&format!("  thrpt {:.3} M{unit}/s", per_sec / 1e6));
+            }
+        }
+        eprintln!("{line}");
+    }
+}
+
+/// Timing handle passed to benchmark closures. Mirrors `criterion::Bencher`.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Lets the closure time `iters` iterations itself (e.g. across
+    /// threads) and report the total elapsed wall time.
+    pub fn iter_custom(&mut self, mut f: impl FnMut(u64) -> Duration) {
+        self.elapsed = f(self.iters);
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Re-export for code that uses `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group runner. Supports both the struct form
+/// (`name = ...; config = ...; targets = ...`) and the simple list form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `main` running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(5))
+            .sample_size(5);
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(1));
+        let mut calls = 0u64;
+        g.bench_function("noop", |b| b.iter(|| calls += 1));
+        g.bench_with_input(BenchmarkId::new("with_input", 3), &3u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(1 + 1);
+                }
+                start.elapsed()
+            })
+        });
+        g.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("threads", 8).id, "threads/8");
+    }
+}

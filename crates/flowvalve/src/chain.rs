@@ -166,11 +166,14 @@ mod tests {
     use sim_core::units::BitRate;
 
     fn tree(root_gbps: f64, leaves: &[u16]) -> Arc<SchedulingTree> {
-        let mut specs = vec![
-            ClassSpec::new(ClassId(1), "root", None).rate(BitRate::from_gbps(root_gbps)),
-        ];
+        let mut specs =
+            vec![ClassSpec::new(ClassId(1), "root", None).rate(BitRate::from_gbps(root_gbps))];
         for &l in leaves {
-            specs.push(ClassSpec::new(ClassId(l), format!("c{l}"), Some(ClassId(1))));
+            specs.push(ClassSpec::new(
+                ClassId(l),
+                format!("c{l}"),
+                Some(ClassId(1)),
+            ));
         }
         Arc::new(SchedulingTree::build(specs, TreeParams::default()).expect("tree builds"))
     }

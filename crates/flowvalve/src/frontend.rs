@@ -328,18 +328,16 @@ where
                     .ok_or(ParseFvError::MissingOption("match ip value"))?;
                 match field {
                     "dport" => {
-                        m.dst_port =
-                            Some(value.parse().map_err(|_| ParseFvError::BadValue {
-                                option: "dport",
-                                value: value.to_owned(),
-                            })?)
+                        m.dst_port = Some(value.parse().map_err(|_| ParseFvError::BadValue {
+                            option: "dport",
+                            value: value.to_owned(),
+                        })?)
                     }
                     "sport" => {
-                        m.src_port =
-                            Some(value.parse().map_err(|_| ParseFvError::BadValue {
-                                option: "sport",
-                                value: value.to_owned(),
-                            })?)
+                        m.src_port = Some(value.parse().map_err(|_| ParseFvError::BadValue {
+                            option: "sport",
+                            value: value.to_owned(),
+                        })?)
                     }
                     "src" => m.src = Some(parse_cidr(value)?),
                     "dst" => m.dst = Some(parse_cidr(value)?),

@@ -22,8 +22,6 @@ pub const MAX_BORROW: usize = 8;
 /// A traffic-class identifier (the minor number of a `tc` `major:minor`
 /// handle; the reproduction uses a single qdisc so the major is implicit).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
-#[serde(transparent)]
 pub struct ClassId(pub u16);
 
 impl fmt::Display for ClassId {
@@ -49,7 +47,6 @@ impl fmt::Display for ClassId {
 /// assert_eq!(label.borrow().len(), 2);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct QosLabel {
     path: [ClassId; MAX_DEPTH],
     depth: u8,

@@ -1,9 +1,13 @@
 //! The NIC back-end pipeline: labeling function + scheduling function,
 //! plugged into the SmartNIC model as an egress decider (paper Figure 5).
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use classifier::{CacheResult, Classifier, FilterRule};
+use fv_telemetry::metrics::Counter;
+use fv_telemetry::trace::{EventRing, TraceKind};
+use fv_telemetry::Registry;
 use netstack::packet::Packet;
 use np_sim::config::NicConfig;
 use np_sim::cost::{CostMeter, Op};
@@ -13,8 +17,8 @@ use sim_core::time::{Cycles, Nanos};
 
 use crate::error::ParseFvError;
 use crate::frontend::Policy;
-use crate::label::QosLabel;
-use crate::sched::{GlobalLockExec, SimExec};
+use crate::label::{ClassId, QosLabel};
+use crate::sched::{GlobalLockExec, SchedVerdict, SimExec};
 use crate::tree::{SchedulingTree, TreeParams};
 
 /// How scheduling-tree updates are serialized (the Figure 7 ablation).
@@ -56,6 +60,79 @@ pub enum LockDiscipline {
 /// assert!(format!("{nic:?}").contains("flowvalve"));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
+/// Per-class verdict counters, one set per scheduling-tree class.
+struct ClassChannels {
+    forwarded: Arc<Counter>,
+    borrowed: Arc<Counter>,
+    dropped: Arc<Counter>,
+    lent: Arc<Counter>,
+    tx_bits: Arc<Counter>,
+}
+
+/// Registry handles for the pipeline's per-class verdict accounting and
+/// scheduler trace events (`fv.class.<id>.*` namespace).
+struct PipelineTelemetry {
+    registry: Registry,
+    per_class: HashMap<ClassId, ClassChannels>,
+    ring: Arc<EventRing>,
+}
+
+impl PipelineTelemetry {
+    fn new(registry: &Registry, tree: &SchedulingTree) -> Self {
+        let per_class = tree
+            .class_ids()
+            .into_iter()
+            .map(|id| {
+                let base = format!("fv.class.{id}");
+                let channels = ClassChannels {
+                    forwarded: registry.counter(&format!("{base}.forwarded")),
+                    borrowed: registry.counter(&format!("{base}.borrowed")),
+                    dropped: registry.counter(&format!("{base}.dropped")),
+                    lent: registry.counter(&format!("{base}.lent")),
+                    tx_bits: registry.counter(&format!("{base}.tx_bits")),
+                };
+                (id, channels)
+            })
+            .collect();
+        PipelineTelemetry {
+            registry: registry.clone(),
+            per_class,
+            ring: registry.ring(),
+        }
+    }
+
+    fn record(&self, now: Nanos, leaf: ClassId, wire_bits: u64, verdict: SchedVerdict) {
+        match verdict {
+            SchedVerdict::Forward => {
+                if let Some(c) = self.per_class.get(&leaf) {
+                    c.forwarded.incr(0);
+                    c.tx_bits.add(0, wire_bits);
+                }
+                self.ring
+                    .record(now, TraceKind::SchedForward, leaf.0 as u64, wire_bits);
+            }
+            SchedVerdict::Borrowed(lender) => {
+                if let Some(c) = self.per_class.get(&leaf) {
+                    c.borrowed.incr(0);
+                    c.tx_bits.add(0, wire_bits);
+                }
+                if let Some(c) = self.per_class.get(&lender) {
+                    c.lent.incr(0);
+                }
+                self.ring
+                    .record(now, TraceKind::SchedBorrow, leaf.0 as u64, lender.0 as u64);
+            }
+            SchedVerdict::Drop => {
+                if let Some(c) = self.per_class.get(&leaf) {
+                    c.dropped.incr(0);
+                }
+                self.ring
+                    .record(now, TraceKind::SchedDrop, leaf.0 as u64, wire_bits);
+            }
+        }
+    }
+}
+
 pub struct FlowValvePipeline {
     tree: Arc<SchedulingTree>,
     classifier: Classifier<Option<QosLabel>>,
@@ -63,6 +140,7 @@ pub struct FlowValvePipeline {
     discipline: LockDiscipline,
     freq: sim_core::time::Freq,
     framing: sim_core::units::WireFraming,
+    telemetry: Option<PipelineTelemetry>,
 }
 
 impl core::fmt::Debug for FlowValvePipeline {
@@ -109,6 +187,7 @@ impl FlowValvePipeline {
             discipline: LockDiscipline::PerClass,
             freq: nic.freq,
             framing: nic.framing,
+            telemetry: None,
         }
     }
 
@@ -133,7 +212,41 @@ impl FlowValvePipeline {
             discipline: LockDiscipline::PerClass,
             freq: nic.freq,
             framing: nic.framing,
+            telemetry: None,
         }
+    }
+
+    /// Wires per-class verdict counters (`fv.class.<id>.*`), scheduler
+    /// trace events, and the tree's refill telemetry into `registry`.
+    /// Typically called with the same registry the owning
+    /// [`np_sim::nic::SmartNic`] records into, so one snapshot covers the
+    /// whole pipeline.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.tree.attach_telemetry(registry);
+        self.telemetry = Some(PipelineTelemetry::new(registry, &self.tree));
+    }
+
+    /// Publishes point-in-time gauges — per-class θ/Γ in bits per second
+    /// and flow-cache hit/miss totals — into the attached registry. A
+    /// no-op without [`FlowValvePipeline::attach_telemetry`]; cold path,
+    /// call right before taking a snapshot.
+    pub fn sync_gauges(&self, now: Nanos) {
+        let Some(t) = &self.telemetry else { return };
+        for id in self.tree.class_ids() {
+            if let Some(theta) = self.tree.theta(id) {
+                t.registry
+                    .gauge(&format!("fv.class.{id}.theta_bps"))
+                    .set(theta.as_bps());
+            }
+            if let Some(gamma) = self.tree.gamma(id, now) {
+                t.registry
+                    .gauge(&format!("fv.class.{id}.gamma_bps"))
+                    .set(gamma.as_bps());
+            }
+        }
+        let cache = self.classifier.cache_stats();
+        t.registry.gauge("fv.cache.hits").set(cache.hits);
+        t.registry.gauge("fv.cache.misses").set(cache.misses);
     }
 
     /// Switches the update serialization discipline (builder-style); the
@@ -176,6 +289,14 @@ impl FlowValvePipeline {
         self.update_hold = nic.freq.duration_of(Cycles::new(nic.costs.class_update));
         self.freq = nic.freq;
         self.framing = nic.framing;
+        // Re-wire telemetry against the new tree: classes may have changed,
+        // and the fresh tree has no ring attached yet. Counters for classes
+        // that survive the reload keep accumulating.
+        if let Some(t) = &self.telemetry {
+            let registry = t.registry.clone();
+            self.tree.attach_telemetry(&registry);
+            self.telemetry = Some(PipelineTelemetry::new(&registry, &self.tree));
+        }
         Ok(())
     }
 
@@ -209,16 +330,14 @@ impl EgressDecider for FlowValvePipeline {
         match label {
             None => Decision::Forward,
             Some(label) => {
-                let passes = match self.discipline {
+                let verdict = match self.discipline {
                     LockDiscipline::PerClass => {
                         let mut exec = SimExec {
                             meter,
                             locks,
                             update_hold: self.update_hold,
                         };
-                        self.tree
-                            .schedule(&label, wire_bits, now, &mut exec)
-                            .passes()
+                        self.tree.schedule(&label, wire_bits, now, &mut exec)
                     }
                     LockDiscipline::Global => {
                         let mut exec = GlobalLockExec {
@@ -232,10 +351,13 @@ impl EgressDecider for FlowValvePipeline {
                         // lock: charge the wait as busy cycles.
                         let wait = exec.wait;
                         meter.charge_cycles(self.freq.cycles_in(wait));
-                        verdict.passes()
+                        verdict
                     }
                 };
-                if passes {
+                if let Some(t) = &self.telemetry {
+                    t.record(now, label.leaf(), wire_bits, verdict);
+                }
+                if verdict.passes() {
                     Decision::Forward
                 } else {
                     Decision::Drop
@@ -342,5 +464,54 @@ mod tests {
     fn tree_telemetry_is_reachable() {
         let p = pipeline_10g();
         assert_eq!(p.tree().len(), 3);
+    }
+
+    #[test]
+    fn telemetry_mirrors_per_class_verdicts() {
+        let mut p = pipeline_10g();
+        let registry = Registry::new();
+        p.attach_telemetry(&registry);
+        let mut meter = CostMeter::new(CycleCosts::agilio());
+        let mut locks = LockTable::new(16);
+        // Same overload as `overload_is_dropped_by_the_scheduler`: 20 Gbps
+        // offered to a 10 Gbps tree, so class 1:20 both forwards and drops.
+        let mut fwd = 0u64;
+        let mut drops = 0u64;
+        for i in 0..20_000u64 {
+            let now = Nanos::from_nanos(i * 500);
+            match p.decide(&pkt(i, 5002), now, &mut meter, &mut locks) {
+                Decision::Forward => fwd += 1,
+                Decision::Drop => drops += 1,
+            }
+        }
+        let end = Nanos::from_nanos(20_000 * 500);
+        p.sync_gauges(end);
+        let snap = registry.snapshot(end);
+        // Registry counters agree with the decisions the caller saw.
+        assert_eq!(snap.counter("fv.class.1:20.forwarded"), fwd);
+        assert_eq!(snap.counter("fv.class.1:20.dropped"), drops);
+        assert!(drops > 0);
+        // The idle sibling never produced a verdict.
+        assert_eq!(snap.counter("fv.class.1:10.forwarded"), 0);
+        // Refill epochs fired and were traced by the tree.
+        assert!(snap.counter("fv.tree.updates") > 0);
+        assert!(snap
+            .events
+            .iter()
+            .any(|e| e.kind == TraceKind::SchedDrop && e.a == 20));
+        // Refill events are sparse (one epoch per 50 us), so look past the
+        // snapshot's 64-event tail into the full ring.
+        let ring = registry.ring();
+        assert!(ring
+            .recent(ring.capacity())
+            .iter()
+            .any(|e| e.kind == TraceKind::TokenRefill));
+        // sync_gauges published the configured rate for the leaf.
+        match snap.get("fv.class.1:20.theta_bps") {
+            Some(fv_telemetry::MetricValue::Gauge { value, .. }) => {
+                assert!(*value > 0, "theta gauge should be non-zero");
+            }
+            other => panic!("expected theta gauge, got {other:?}"),
+        }
     }
 }

@@ -15,7 +15,7 @@
 //!   *modeled* through [`np_sim::lock::LockTable`] and every operation is
 //!   charged to a [`np_sim::cost::CostMeter`];
 //! * [`RealExec`] — on real OS threads (Criterion benchmarks): locks are
-//!   the nodes' actual `parking_lot` mutexes, and no costs are charged
+//!   the nodes' actual `std::sync` mutexes, and no costs are charged
 //!   because the hardware is doing the timing.
 
 use np_sim::cost::{CostMeter, Op};
@@ -120,7 +120,7 @@ impl Exec for SimExec<'_> {
     }
 }
 
-/// Real-thread execution: the tree's own `parking_lot` mutexes, no cost
+/// Real-thread execution: the tree's own `std::sync` mutexes, no cost
 /// model. Used by the multi-threaded Criterion benchmarks.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct RealExec;
@@ -138,18 +138,18 @@ impl Exec for RealExec {
         let node = tree.node(idx);
         match kind {
             LockKind::Class => match node.update_mutex.try_lock() {
-                Some(_guard) => {
+                Ok(_guard) => {
                     tree.update_node(idx, now);
                     true
                 }
-                None => false,
+                Err(_) => false,
             },
             LockKind::Shadow => match node.shadow_mutex.try_lock() {
-                Some(_guard) => {
+                Ok(_guard) => {
                     tree.update_shadow(idx, now);
                     true
                 }
-                None => false,
+                Err(_) => false,
             },
         }
     }
@@ -346,7 +346,14 @@ mod tests {
         let tree = tree_prio();
         let label = tree.label(ClassId(10), &[]).unwrap();
         // 12 kbit packets every 2 us = 6 Gbps < 10 Gbps: everything passes.
-        let passed = drive(&tree, &label, 12_000, Nanos::from_micros(2), 5_000, Nanos::ZERO);
+        let passed = drive(
+            &tree,
+            &label,
+            12_000,
+            Nanos::from_micros(2),
+            5_000,
+            Nanos::ZERO,
+        );
         assert_eq!(passed, 5_000);
         let c = tree.counters(ClassId(10)).unwrap();
         assert_eq!(c.forwarded, 5_000);
@@ -360,7 +367,14 @@ mod tests {
         // lo's θ starts at the full 10 Gbps (hi idle)... but offered 20 Gbps:
         // 12 kbit packets every 0.6 us ≈ 20 Gbps. Roughly half must drop.
         let pkts = 40_000;
-        let passed = drive(&tree, &label, 12_000, Nanos::from_nanos(600), pkts, Nanos::ZERO);
+        let passed = drive(
+            &tree,
+            &label,
+            12_000,
+            Nanos::from_nanos(600),
+            pkts,
+            Nanos::ZERO,
+        );
         let ratio = passed as f64 / pkts as f64;
         assert!((0.40..0.62).contains(&ratio), "pass ratio {ratio}");
     }

@@ -4,9 +4,10 @@
 //! read of every class's configured policy, published rate θ, measured
 //! rate Γ, and data-path counters. [`TreeSnapshot`] gathers those with
 //! plain atomic loads — the same wait-free reads the data plane uses — and
-//! serializes with serde for dashboards or the experiment harness.
+//! exports as JSON (via `fv_telemetry::json`) for dashboards or the
+//! experiment harness.
 
-use serde::{Deserialize, Serialize};
+use fv_telemetry::json::{JsonValue, ToJson};
 use sim_core::time::Nanos;
 use sim_core::units::BitRate;
 
@@ -14,7 +15,7 @@ use crate::label::ClassId;
 use crate::tree::{ClassCounters, SchedulingTree};
 
 /// One class's state at snapshot time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClassSnapshot {
     /// Class id.
     pub id: ClassId,
@@ -63,7 +64,7 @@ pub struct ClassSnapshot {
 /// assert_eq!(snap.class(ClassId(10)).expect("leaf present").name, "leaf");
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TreeSnapshot {
     /// Snapshot instant.
     pub at: Nanos,
@@ -141,6 +142,36 @@ impl TreeSnapshot {
     }
 }
 
+impl ToJson for ClassSnapshot {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("id", self.id.to_string().to_json()),
+            ("name", self.name.to_json()),
+            ("parent", self.parent.map(|p| p.to_string()).to_json()),
+            ("prio", self.prio.to_json()),
+            ("weight", self.weight.to_json()),
+            ("rate_bps", self.rate.map(|r| r.as_bps()).to_json()),
+            ("ceil_bps", self.ceil.map(|r| r.as_bps()).to_json()),
+            ("theta_bps", self.theta.as_bps().to_json()),
+            ("gamma_bps", self.gamma.as_bps().to_json()),
+            ("active", self.active.to_json()),
+            ("forwarded", self.counters.forwarded.to_json()),
+            ("borrowed", self.counters.borrowed.to_json()),
+            ("dropped", self.counters.dropped.to_json()),
+            ("lent", self.counters.lent.to_json()),
+        ])
+    }
+}
+
+impl ToJson for TreeSnapshot {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("at_ns", self.at.as_nanos().to_json()),
+            ("classes", self.classes.to_json()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,10 +217,20 @@ mod tests {
     fn snapshot_serializes() {
         let t = tree();
         let snap = TreeSnapshot::capture(&t, Nanos::ZERO);
-        let json = serde_json::to_string(&snap).expect("serializes");
+        let doc = snap.to_json();
+        let json = doc.to_compact();
         assert!(json.contains("\"root\""));
-        let back: TreeSnapshot = serde_json::from_str(&json).expect("deserializes");
-        assert_eq!(back, snap);
+        let classes = doc
+            .get("classes")
+            .and_then(JsonValue::as_arr)
+            .expect("classes");
+        assert_eq!(classes.len(), 3);
+        let root = &classes[0];
+        assert_eq!(root.get("name").and_then(JsonValue::as_str), Some("root"));
+        assert_eq!(
+            root.get("theta_bps").and_then(JsonValue::as_u64),
+            Some(snap.classes[0].theta.as_bps())
+        );
     }
 
     #[test]

@@ -21,11 +21,16 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
-use parking_lot::Mutex;
-use sim_core::fixed::{Tokens, TokenRate, RATE_FRAC_BITS};
+use fv_telemetry::metrics::Counter;
+use fv_telemetry::trace::{EventRing, TraceKind};
+use fv_telemetry::Registry;
+
+use sim_core::fixed::{TokenRate, Tokens, RATE_FRAC_BITS};
 use sim_core::time::Nanos;
 use sim_core::units::BitRate;
+use std::sync::Mutex;
 
 use crate::bucket::{AtomicRate, TokenBucket};
 use crate::error::BuildTreeError;
@@ -33,7 +38,6 @@ use crate::label::{ClassId, QosLabel, MAX_DEPTH};
 
 /// User-facing configuration of one traffic class.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct ClassSpec {
     /// Class id (unique within the tree).
     pub id: ClassId,
@@ -95,7 +99,6 @@ impl ClassSpec {
 
 /// Tuning knobs of the scheduling functions.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct TreeParams {
     /// Minimum interval between update epochs of one class (ΔT floor).
     pub min_update_interval: Nanos,
@@ -121,7 +124,6 @@ impl Default for TreeParams {
 
 /// Per-class data-path counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct ClassCounters {
     /// Packets forwarded from this class's own budget.
     pub forwarded: u64,
@@ -228,12 +230,23 @@ fn inst_rate_raw(bits: u64, dt: Nanos) -> u64 {
 /// assert_eq!(label.path().len(), 2);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
+/// Registry handles for update-epoch activity: token-bucket and
+/// shadow-bucket refills, surfaced as counters and trace-ring events.
+/// Recording is wait-free, so the identical instrumentation runs under the
+/// virtual clock (SimExec) and on real OS threads (RealExec benches).
+pub(crate) struct TreeTelemetry {
+    pub(crate) updates: Arc<Counter>,
+    pub(crate) shadow_updates: Arc<Counter>,
+    pub(crate) ring: Arc<EventRing>,
+}
+
 pub struct SchedulingTree {
     nodes: Vec<Node>,
     index: HashMap<ClassId, usize>,
     params: TreeParams,
     root: usize,
     root_rate_raw: u64,
+    telemetry: OnceLock<TreeTelemetry>,
 }
 
 impl core::fmt::Debug for SchedulingTree {
@@ -398,9 +411,22 @@ impl SchedulingTree {
             params,
             root,
             root_rate_raw,
+            telemetry: OnceLock::new(),
         };
         tree.initialize_rates();
         Ok(tree)
+    }
+
+    /// Wires update-epoch telemetry into `registry` (namespace `fv.tree.*`
+    /// plus `TokenRefill`/`ShadowRefill` trace events). Attach-once: later
+    /// calls on the same tree are ignored. Safe to call on a shared tree —
+    /// recording is wait-free under both clocks.
+    pub fn attach_telemetry(&self, registry: &Registry) {
+        let _ = self.telemetry.set(TreeTelemetry {
+            updates: registry.counter("fv.tree.updates"),
+            shadow_updates: registry.counter("fv.tree.shadow_updates"),
+            ring: registry.ring(),
+        });
     }
 
     /// Seeds every node's θ with its static share (everyone assumed idle)
@@ -549,15 +575,11 @@ impl SchedulingTree {
             .iter()
             .map(|&s| {
                 let sib = &self.nodes[s];
-                let floor = sib
-                    .guarantee_raw
-                    .min(frac(theta_parent, sib.fallback));
+                let floor = sib.guarantee_raw.min(frac(theta_parent, sib.fallback));
                 self.gamma_raw(s, now).min(floor)
             })
             .fold(0, u64::saturating_add);
-        let base = theta_parent
-            .saturating_sub(higher)
-            .saturating_sub(reserved);
+        let base = theta_parent.saturating_sub(higher).saturating_sub(reserved);
         // Weighted share among same-priority siblings (Equation 5). Expired
         // siblings drop out of the denominator (Subprocedure 3), making the
         // split work-conserving without waiting for borrowing.
@@ -579,9 +601,19 @@ impl SchedulingTree {
 
         // Refill the class bucket at the new rate, and the ceiling bucket
         // at the configured ceiling.
-        n.bucket.refill(TokenRate::from_raw(theta).accrued(dt_capped));
+        n.bucket
+            .refill(TokenRate::from_raw(theta).accrued(dt_capped));
         if let Some(cb) = &n.ceil_bucket {
             cb.refill(TokenRate::from_raw(n.ceil_raw).accrued(dt_capped));
+        }
+        if let Some(t) = self.telemetry.get() {
+            t.updates.incr(0);
+            t.ring.record(
+                now,
+                TraceKind::TokenRefill,
+                n.spec.id.0 as u64,
+                TokenRate::from_raw(theta).to_bit_rate().as_bps(),
+            );
         }
         true
     }
@@ -596,7 +628,8 @@ impl SchedulingTree {
         if dt < self.params.min_update_interval {
             return false;
         }
-        n.shadow_last_update.store(now.as_nanos(), Ordering::Release);
+        n.shadow_last_update
+            .store(now.as_nanos(), Ordering::Release);
         // An expired class lends nothing: its share has already been
         // redistributed to the active siblings by the weight recomputation
         // (Subprocedure 3), so lending its stale θ would double-count the
@@ -620,6 +653,15 @@ impl SchedulingTree {
         let lendable = theta.saturating_sub(gamma.saturating_add(gamma / 4));
         n.shadow
             .refill(TokenRate::from_raw(lendable).accrued(dt.min(self.params.expiry)));
+        if let Some(t) = self.telemetry.get() {
+            t.shadow_updates.incr(0);
+            t.ring.record(
+                now,
+                TraceKind::ShadowRefill,
+                n.spec.id.0 as u64,
+                TokenRate::from_raw(lendable).to_bit_rate().as_bps(),
+            );
+        }
         true
     }
 

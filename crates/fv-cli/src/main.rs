@@ -1,10 +1,14 @@
 //! `fv` — the FlowValve command-line front end.
 //!
 //! ```text
-//! fv check <script.fv>      parse and validate a policy script
-//! fv show  <script.fv>      print the compiled scheduling tree
-//! fv demo  <script.fv>      run a 10 ms saturation demo on the NIC model
-//!                           and print per-class rates and verdicts
+//! fv check <script.fv>           parse and validate a policy script
+//! fv show  <script.fv>           print the compiled scheduling tree
+//! fv demo  <script.fv> [--json]  run a 10 ms saturation demo on the NIC
+//!                                model and print per-class rates and
+//!                                verdicts (--json: machine-readable
+//!                                telemetry snapshot)
+//! fv stats <script.fv> [--json]  run the same demo and print
+//!                                `tc -s qdisc show`-style statistics
 //! ```
 //!
 //! Scripts use the `tc`-style dialect documented in
@@ -15,7 +19,8 @@ use std::process::ExitCode;
 
 use flowvalve::frontend::Policy;
 use flowvalve::pipeline::FlowValvePipeline;
-use flowvalve::tree::TreeParams;
+use flowvalve::tree::{SchedulingTree, TreeParams};
+use fv_telemetry::{MetricValue, Snapshot, ToJson};
 use netstack::flow::FlowKey;
 use netstack::gen::{ArrivalProcess, LineRateProcess};
 use netstack::packet::{AppId, Packet, PacketIdGen, VfPort};
@@ -23,6 +28,7 @@ use np_sim::config::NicConfig;
 use np_sim::nic::SmartNic;
 use sim_core::rng::SimRng;
 use sim_core::time::Nanos;
+use sim_core::units::BitRate;
 
 fn read_script(path: &str) -> std::io::Result<String> {
     if path == "-" {
@@ -35,14 +41,20 @@ fn read_script(path: &str) -> std::io::Result<String> {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: fv <check|show|demo> <script.fv|->");
+    eprintln!("usage: fv <check|show|demo|stats> <script.fv|-> [--json]");
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (cmd, path) = match args.as_slice() {
-        [cmd, path] => (cmd.as_str(), path.as_str()),
+    let json = args.iter().any(|a| a == "--json");
+    let positional: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| !a.starts_with("--"))
+        .collect();
+    let (cmd, path) = match positional.as_slice() {
+        [cmd, path] => (*cmd, *path),
         _ => return usage(),
     };
 
@@ -90,26 +102,35 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
-        "demo" => demo(&policy),
+        "demo" => demo(&policy, json),
+        "stats" => stats(&policy, json),
         _ => usage(),
     }
 }
 
-/// Saturates every filtered class with an equal share of line-rate traffic
-/// for 10 ms of simulated time and prints the observed per-class behaviour.
-fn demo(policy: &Policy) -> ExitCode {
+/// Everything a reporting command needs after the saturation run.
+struct DemoRun {
+    snapshot: Snapshot,
+    tree: std::sync::Arc<SchedulingTree>,
+    flows: usize,
+    offered: BitRate,
+}
+
+/// Saturates every filtered class with an equal share of 1.5x line rate
+/// for 10 ms of simulated time, with full telemetry attached, and returns
+/// the end-of-run registry snapshot.
+fn run_workload(policy: &Policy) -> Result<DemoRun, String> {
     let cfg = NicConfig::agilio_cx_40g();
-    let pipeline = match FlowValvePipeline::compile(policy, TreeParams::default(), &cfg) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("fv: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let pipeline = FlowValvePipeline::compile(policy, TreeParams::default(), &cfg)
+        .map_err(|e| e.to_string())?;
     let tree = pipeline.tree().clone();
     let line = cfg.line_rate;
     let framing = cfg.framing;
     let mut nic = SmartNic::new(cfg, Box::new(pipeline));
+    let registry = nic.registry().clone();
+    if let Some(p) = nic.decider_as::<FlowValvePipeline>() {
+        p.attach_telemetry(&registry);
+    }
 
     // One flow per filter, matched as precisely as the filter allows.
     let mut flows: Vec<(FlowKey, VfPort)> = Vec::new();
@@ -124,8 +145,7 @@ fn demo(policy: &Policy) -> ExitCode {
         flows.push((flow, m.vf.unwrap_or(VfPort(i as u8))));
     }
     if flows.is_empty() {
-        eprintln!("fv: no filters to demo");
-        return ExitCode::FAILURE;
+        return Err("no filters to demo".into());
     }
 
     let horizon = Nanos::from_millis(10);
@@ -158,23 +178,151 @@ fn demo(policy: &Policy) -> ExitCode {
         next[idx] = t + gens[idx].next_arrival(&mut rng).0;
     }
 
+    // Publish cold-path gauges (per-engine utilization, θ/Γ) and capture.
+    nic.sync_gauges(horizon);
+    if let Some(p) = nic.decider_as::<FlowValvePipeline>() {
+        p.sync_gauges(horizon);
+    }
+    Ok(DemoRun {
+        snapshot: registry.snapshot(horizon),
+        tree,
+        flows: flows.len(),
+        offered,
+    })
+}
+
+fn gauge_of(snapshot: &Snapshot, name: &str) -> u64 {
+    match snapshot.get(name) {
+        Some(MetricValue::Gauge { value, .. }) => *value,
+        _ => 0,
+    }
+}
+
+fn fmt_bps(bps: u64) -> String {
+    format!("{}", BitRate::from_bps(bps))
+}
+
+/// Runs the saturation demo and prints per-class verdicts, all routed
+/// through the telemetry snapshot (`--json` dumps the whole snapshot).
+fn demo(policy: &Policy, json: bool) -> ExitCode {
+    let run = match run_workload(policy) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fv: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        println!("{}", run.snapshot.to_json().to_pretty());
+        return ExitCode::SUCCESS;
+    }
+    let snap = &run.snapshot;
+
     println!(
-        "demo: 10 ms, {} flows, each offered {offered}\n",
-        flows.len()
+        "demo: 10 ms, {} flows, each offered {}\n",
+        run.flows, run.offered
     );
-    print!(
-        "{}",
-        flowvalve::snapshot::TreeSnapshot::capture(&tree, horizon).render()
+    println!(
+        "{:<12} {:<12} {:<12} {:>10} {:>9} {:>9} {:>9}",
+        "class", "theta", "gamma", "forwarded", "borrowed", "dropped", "lent"
     );
-    let s = nic.stats();
+    for id in run.tree.class_ids() {
+        let name = run
+            .tree
+            .spec(id)
+            .map(|s| format!("{id} ({})", s.name))
+            .unwrap_or_else(|| id.to_string());
+        let base = format!("fv.class.{id}");
+        println!(
+            "{:<12} {:<12} {:<12} {:>10} {:>9} {:>9} {:>9}",
+            name,
+            fmt_bps(gauge_of(snap, &format!("{base}.theta_bps"))),
+            fmt_bps(gauge_of(snap, &format!("{base}.gamma_bps"))),
+            snap.counter(&format!("{base}.forwarded")),
+            snap.counter(&format!("{base}.borrowed")),
+            snap.counter(&format!("{base}.dropped")),
+            snap.counter(&format!("{base}.lent")),
+        );
+    }
+
+    let offered = snap.counter("nic.offered");
+    let tx = snap.counter("nic.tx_packets");
     println!(
         "\nnic: offered {} tx {} sched-drops {} tail-drops {} rx-drops {} ({:.1}% delivered)",
-        s.offered,
-        s.tx_packets,
-        s.sched_drops,
-        s.tail_drops,
-        s.rx_drops,
-        100.0 * s.delivery_ratio()
+        offered,
+        tx,
+        snap.counter("nic.sched_drops"),
+        snap.counter("nic.tail_drops"),
+        snap.counter("nic.rx_drops"),
+        if offered > 0 {
+            100.0 * tx as f64 / offered as f64
+        } else {
+            100.0
+        }
     );
+    if let Some(h) = snap.histogram("nic.latency_ns") {
+        println!(
+            "latency: p50 {} ns  p99 {} ns  max {} ns ({} samples)",
+            h.p50, h.p99, h.max, h.count
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Runs the saturation demo and prints `tc -s qdisc show`-style per-class
+/// statistics from the telemetry snapshot.
+fn stats(policy: &Policy, json: bool) -> ExitCode {
+    let run = match run_workload(policy) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fv: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        println!("{}", run.snapshot.to_json().to_pretty());
+        return ExitCode::SUCCESS;
+    }
+    let snap = &run.snapshot;
+
+    let tx_bytes = snap.counter("nic.tx_bits") / 8;
+    let dropped = snap.counter("nic.sched_drops")
+        + snap.counter("nic.tail_drops")
+        + snap.counter("nic.rx_drops");
+    println!("qdisc fv 1: dev nic0 root");
+    println!(
+        " Sent {} bytes {} pkt (dropped {}, overlimits {} requeues 0)",
+        tx_bytes,
+        snap.counter("nic.tx_packets"),
+        dropped,
+        snap.counter("nic.sched_drops"),
+    );
+    for id in run.tree.class_ids() {
+        let Some(spec) = run.tree.spec(id) else {
+            continue;
+        };
+        let base = format!("fv.class.{id}");
+        let parent = spec
+            .parent
+            .map(|p| p.to_string())
+            .unwrap_or_else(|| "root".into());
+        println!(
+            "class fv {id} ({}) parent {parent} prio {} theta {} gamma {}",
+            spec.name,
+            spec.prio,
+            fmt_bps(gauge_of(snap, &format!("{base}.theta_bps"))),
+            fmt_bps(gauge_of(snap, &format!("{base}.gamma_bps"))),
+        );
+        let fwd = snap.counter(&format!("{base}.forwarded"));
+        let borrowed = snap.counter(&format!("{base}.borrowed"));
+        println!(
+            " Sent {} bytes {} pkt (dropped {}, borrowed {}, lent {})",
+            snap.counter(&format!("{base}.tx_bits")) / 8,
+            fwd + borrowed,
+            snap.counter(&format!("{base}.dropped")),
+            borrowed,
+            snap.counter(&format!("{base}.lent")),
+        );
+    }
     ExitCode::SUCCESS
 }

@@ -50,7 +50,11 @@ mod tempfile {
 fn check_accepts_a_valid_script() {
     let f = write_script(GOOD);
     let out = fv().args(["check"]).arg(&f.path).output().expect("fv runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("3 classes"), "stdout: {stdout}");
     assert!(stdout.contains("1 filters"), "stdout: {stdout}");
@@ -70,9 +74,7 @@ fn show_renders_the_tree() {
 
 #[test]
 fn check_rejects_a_broken_hierarchy() {
-    let f = write_script(
-        "fv class add dev nic0 parent 1:9 classid 1:10 rate 1gbit\n",
-    );
+    let f = write_script("fv class add dev nic0 parent 1:9 classid 1:10 rate 1gbit\n");
     let out = fv().args(["check"]).arg(&f.path).output().expect("fv runs");
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
@@ -118,8 +120,77 @@ fn usage_on_bad_invocation() {
 fn demo_prints_class_table() {
     let f = write_script(GOOD);
     let out = fv().args(["demo"]).arg(&f.path).output().expect("fv runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("theta"), "stdout: {stdout}");
     assert!(stdout.contains("nic:"), "stdout: {stdout}");
+    // The per-class table is routed through the telemetry snapshot.
+    assert!(stdout.contains("forwarded"), "stdout: {stdout}");
+    assert!(stdout.contains("latency: p50"), "stdout: {stdout}");
+}
+
+#[test]
+fn demo_json_emits_the_telemetry_snapshot() {
+    let f = write_script(GOOD);
+    let out = fv()
+        .args(["demo"])
+        .arg(&f.path)
+        .arg("--json")
+        .output()
+        .expect("fv runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let trimmed = stdout.trim();
+    assert!(
+        trimmed.starts_with('{') && trimmed.ends_with('}'),
+        "not a JSON object"
+    );
+    // Per-class verdict counters and the latency histogram are present.
+    assert!(
+        stdout.contains("\"fv.class.1:10.forwarded\""),
+        "stdout: {stdout}"
+    );
+    assert!(
+        stdout.contains("\"fv.class.1:20.dropped\""),
+        "stdout: {stdout}"
+    );
+    assert!(
+        stdout.contains("\"fv.class.1:10.borrowed\""),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("\"nic.latency_ns\""), "stdout: {stdout}");
+    assert!(stdout.contains("\"p99_ns\""), "stdout: {stdout}");
+    // Trace events ride along.
+    assert!(stdout.contains("\"events\""), "stdout: {stdout}");
+}
+
+#[test]
+fn stats_mimics_tc_qdisc_show() {
+    let f = write_script(GOOD);
+    let out = fv().args(["stats"]).arg(&f.path).output().expect("fv runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("qdisc fv 1: dev nic0 root"),
+        "stdout: {stdout}"
+    );
+    assert!(
+        stdout.contains("class fv 1:10 (hi) parent 1:1"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains(" Sent "), "stdout: {stdout}");
+    assert!(stdout.contains("dropped"), "stdout: {stdout}");
+    assert!(stdout.contains("theta"), "stdout: {stdout}");
 }

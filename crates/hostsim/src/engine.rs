@@ -61,6 +61,9 @@ pub struct RunReport {
     pub path_name: &'static str,
     /// The simulated horizon.
     pub horizon: Nanos,
+    /// Telemetry snapshot of the path's registry, captured at the horizon
+    /// (after cold-path gauges were published).
+    pub snapshot: fv_telemetry::Snapshot,
 }
 
 impl RunReport {
@@ -75,9 +78,7 @@ impl RunReport {
     pub fn mean_gbps(&self, scenario: &Scenario, app: &str, from_s: f64, to_s: f64) -> f64 {
         let bin = scenario.time_scale; // one figure-second per bin
         match self.recorder.binned(app, bin) {
-            Some(series) => series
-                .mean_rate(from_s as usize, to_s as usize)
-                .as_gbps(),
+            Some(series) => series.mean_rate(from_s as usize, to_s as usize).as_gbps(),
             None => 0.0,
         }
     }
@@ -249,6 +250,7 @@ pub fn run(scenario: &Scenario, mut path: EgressPath) -> (RunReport, EgressPath)
         }
     }
 
+    let snapshot = path.telemetry_snapshot(scenario.horizon);
     (
         RunReport {
             recorder,
@@ -258,6 +260,7 @@ pub fn run(scenario: &Scenario, mut path: EgressPath) -> (RunReport, EgressPath)
             dropped,
             path_name: path.name(),
             horizon: scenario.horizon,
+            snapshot,
         },
         path,
     )
@@ -343,11 +346,36 @@ mod tests {
     }
 
     #[test]
+    fn report_snapshot_covers_nic_and_scheduler() {
+        let s = one_app_scenario(4);
+        let policy = Policy::parse(
+            "fv qdisc add dev nic0 root handle 1: fv default 1:10\n\
+             fv class add dev nic0 parent root classid 1:1 rate 10gbit\n\
+             fv class add dev nic0 parent 1:1 classid 1:10 ceil 2gbit\n",
+        )
+        .unwrap();
+        let cfg = NicConfig::agilio_cx_10g();
+        let pipe = FlowValvePipeline::compile(&policy, TreeParams::default(), &cfg).unwrap();
+        let nic = SmartNic::new(cfg, Box::new(pipe));
+        let (report, _path) = run(&s, EgressPath::flowvalve(nic));
+        let snap = &report.snapshot;
+        // NIC-level counters agree with the report's own accounting.
+        assert_eq!(snap.counter("nic.tx_packets"), report.delivered);
+        assert!(snap.counter("nic.sched_drops") > 0);
+        // Per-class scheduler verdicts reached the same registry.
+        assert!(snap.counter("fv.class.1:10.forwarded") > 0);
+        assert!(snap.counter("fv.class.1:10.dropped") > 0);
+        // The latency histogram saw every transmitted packet.
+        let h = snap.histogram("nic.latency_ns").unwrap();
+        assert_eq!(h.count, report.delivered);
+        assert!(h.p99 >= h.p50 && h.p50 > 0);
+    }
+
+    #[test]
     fn run_is_deterministic() {
         let s = one_app_scenario(2);
         let go = || {
-            let nic =
-                SmartNic::new(NicConfig::agilio_cx_10g(), Box::new(PassthroughDecider));
+            let nic = SmartNic::new(NicConfig::agilio_cx_10g(), Box::new(PassthroughDecider));
             let (r, _) = run(&s, EgressPath::flowvalve(nic));
             (r.delivered, r.dropped)
         };

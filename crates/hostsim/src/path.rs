@@ -13,6 +13,8 @@
 
 use std::collections::HashMap;
 
+use flowvalve::pipeline::FlowValvePipeline;
+use fv_telemetry::{Registry, Snapshot};
 use netstack::packet::{AppId, Packet};
 use np_sim::nic::{RxOutcome, SmartNic};
 use qdisc::costmodel::{DpdkCpuModel, KernelCpuModel};
@@ -79,6 +81,11 @@ impl HostWire {
 }
 
 /// An egress path under test.
+//
+// One value exists per simulation run, so the size spread between the
+// SmartNic-carrying variant and the others is irrelevant; boxing would
+// only add indirection on the per-packet path.
+#[allow(clippy::large_enum_variant)]
 pub enum EgressPath {
     /// Offloaded scheduling on the SmartNIC model.
     FlowValve {
@@ -102,6 +109,8 @@ pub enum EgressPath {
         wire: HostWire,
         /// Fixed NIC forwarding latency after the wire.
         nic_latency: Nanos,
+        /// Metrics registry the HTB mirrors into.
+        registry: Registry,
     },
     /// DPDK QoS scheduler path.
     Dpdk {
@@ -119,6 +128,8 @@ pub enum EgressPath {
         wire: HostWire,
         /// Fixed NIC forwarding latency after the wire.
         nic_latency: Nanos,
+        /// Metrics registry the scheduler mirrors into.
+        registry: Registry,
     },
 }
 
@@ -129,8 +140,14 @@ impl core::fmt::Debug for EgressPath {
 }
 
 impl EgressPath {
-    /// A FlowValve offload path.
-    pub fn flowvalve(nic: SmartNic) -> Self {
+    /// A FlowValve offload path. If the NIC's decider is a
+    /// [`FlowValvePipeline`], its per-class telemetry is attached to the
+    /// NIC's own registry so one snapshot covers NIC and scheduler.
+    pub fn flowvalve(mut nic: SmartNic) -> Self {
+        let registry = nic.registry().clone();
+        if let Some(p) = nic.decider_as::<FlowValvePipeline>() {
+            p.attach_telemetry(&registry);
+        }
         EgressPath::FlowValve { nic }
     }
 
@@ -138,11 +155,13 @@ impl EgressPath {
     /// many distinct apps sent within the last millisecond; `_senders` is
     /// kept for API stability and ignored.
     pub fn kernel(
-        htb: Htb,
+        mut htb: Htb,
         class_of: HashMap<AppId, Handle>,
         link: BitRate,
         _senders: usize,
     ) -> Self {
+        let registry = Registry::new();
+        htb.attach_telemetry(&registry);
         EgressPath::Kernel {
             htb,
             class_of,
@@ -151,16 +170,19 @@ impl EgressPath {
             lock_free: Nanos::ZERO,
             wire: HostWire::new(link),
             nic_latency: Nanos::from_micros(25),
+            registry,
         }
     }
 
     /// A DPDK QoS path on `link` with `cores` scheduler cores.
     pub fn dpdk(
-        sched: DpdkQos,
+        mut sched: DpdkQos,
         pipe_of: HashMap<AppId, (usize, usize)>,
         link: BitRate,
         cores: usize,
     ) -> Self {
+        let registry = Registry::new();
+        sched.attach_telemetry(&registry);
         EgressPath::Dpdk {
             sched,
             pipe_of,
@@ -169,6 +191,7 @@ impl EgressPath {
             core_free: Nanos::ZERO,
             wire: HostWire::new(link),
             nic_latency: Nanos::from_micros(25),
+            registry,
         }
     }
 
@@ -181,6 +204,30 @@ impl EgressPath {
         }
     }
 
+    /// The metrics registry this path's components mirror into.
+    pub fn registry(&self) -> Registry {
+        match self {
+            EgressPath::FlowValve { nic } => nic.registry().clone(),
+            EgressPath::Kernel { registry, .. } | EgressPath::Dpdk { registry, .. } => {
+                registry.clone()
+            }
+        }
+    }
+
+    /// Publishes cold-path gauges (per-engine utilization, θ/Γ rates) and
+    /// captures a point-in-time snapshot of the path's registry.
+    pub fn telemetry_snapshot(&mut self, at: Nanos) -> Snapshot {
+        if let EgressPath::FlowValve { nic } = self {
+            nic.sync_gauges(at);
+            let registry = nic.registry().clone();
+            if let Some(p) = nic.decider_as::<FlowValvePipeline>() {
+                p.sync_gauges(at);
+            }
+            return registry.snapshot(at);
+        }
+        self.registry().snapshot(at)
+    }
+
     /// Offers one packet at `now`. Returns the synchronous outcome (the
     /// offload path resolves immediately; software paths queue and return
     /// `None` unless the packet is dropped at enqueue) and whether the
@@ -189,10 +236,9 @@ impl EgressPath {
         match self {
             EgressPath::FlowValve { nic } => {
                 let out = match nic.rx(&pkt, now) {
-                    RxOutcome::Transmit { delivered, .. } => Outcome::Delivered {
-                        pkt,
-                        at: delivered,
-                    },
+                    RxOutcome::Transmit { delivered, .. } => {
+                        Outcome::Delivered { pkt, at: delivered }
+                    }
                     RxOutcome::RxDrop => Outcome::Dropped { pkt, at: now },
                     RxOutcome::SchedDrop { at } | RxOutcome::TailDrop { at } => {
                         Outcome::Dropped { pkt, at }
@@ -224,9 +270,7 @@ impl EgressPath {
                     Err(_) => (Some(Outcome::Dropped { pkt, at: start }), false),
                 }
             }
-            EgressPath::Dpdk {
-                sched, pipe_of, ..
-            } => {
+            EgressPath::Dpdk { sched, pipe_of, .. } => {
                 let (pipe, tc) = pipe_of[&pkt.app];
                 match sched.enqueue(pipe, tc, pkt) {
                     Ok(()) => (None, true),
@@ -282,7 +326,10 @@ impl EgressPath {
                         *core_free = start + service;
                         let done = wire.transmit(pkt.frame_len, start);
                         let at = done + *nic_latency;
-                        (Some(Outcome::Delivered { pkt, at }), Some(done.max(*core_free)))
+                        (
+                            Some(Outcome::Delivered { pkt, at }),
+                            Some(done.max(*core_free)),
+                        )
                     }
                     None => (None, sched.next_ready(now)),
                 }

@@ -158,17 +158,12 @@ pub fn fair_queueing_dpdk(
 }
 
 /// Fair queueing for the kernel path: equal-rate leaves with full ceilings.
-pub fn fair_queueing_htb(
-    link: BitRate,
-    n: usize,
-) -> (Vec<HtbClassSpec>, HashMap<AppId, Handle>) {
+pub fn fair_queueing_htb(link: BitRate, n: usize) -> (Vec<HtbClassSpec>, HashMap<AppId, Handle>) {
     let mut specs = vec![HtbClassSpec::new(Handle(1), None, link)];
     let mut map = HashMap::new();
     for i in 0..n {
         let h = Handle(10 + i as u16);
-        specs.push(
-            HtbClassSpec::new(h, Some(Handle(1)), link.scaled(1, n as u64)).ceil(link),
-        );
+        specs.push(HtbClassSpec::new(h, Some(Handle(1)), link.scaled(1, n as u64)).ceil(link));
         map.insert(AppId(i as u16), h);
     }
     (specs, map)

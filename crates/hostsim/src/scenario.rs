@@ -172,7 +172,15 @@ mod tests {
 
     #[test]
     fn activity_window() {
-        let a = AppSpec::new("x", 0, 0, 80, 1, Nanos::from_millis(10), Nanos::from_millis(20));
+        let a = AppSpec::new(
+            "x",
+            0,
+            0,
+            80,
+            1,
+            Nanos::from_millis(10),
+            Nanos::from_millis(20),
+        );
         assert!(!a.active_at(Nanos::from_millis(9)));
         assert!(a.active_at(Nanos::from_millis(10)));
         assert!(a.active_at(Nanos::from_millis(19)));

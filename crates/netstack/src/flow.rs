@@ -5,7 +5,6 @@ use std::net::Ipv4Addr;
 
 /// An IP transport protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub enum IpProto {
     /// TCP (protocol number 6).
     Tcp,
@@ -58,7 +57,6 @@ impl fmt::Display for IpProto {
 /// assert_eq!(f.to_string(), "tcp 10.0.0.1:40000 -> 10.0.0.2:5001");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct FlowKey {
     /// Source IPv4 address.
     pub src_ip: Ipv4Addr,

@@ -45,7 +45,8 @@ impl BoundedPareto {
             let ratio = h / l;
             return l * ratio.ln() / (1.0 - l / h);
         }
-        (l.powf(a) / (1.0 - (l / h).powf(a))) * (a / (a - 1.0))
+        (l.powf(a) / (1.0 - (l / h).powf(a)))
+            * (a / (a - 1.0))
             * (1.0 / l.powf(a - 1.0) - 1.0 / h.powf(a - 1.0))
     }
 
@@ -140,7 +141,7 @@ impl FlowWorkload {
     /// Generates the next flow (arrival times are strictly increasing).
     pub fn next_flow(&mut self, rng: &mut SimRng) -> FlowSpec {
         let gap = rng.exponential(self.mean_interarrival_ns);
-        self.next_start = self.next_start + Nanos::from_nanos(gap.round() as u64 + 1);
+        self.next_start += Nanos::from_nanos(gap.round() as u64 + 1);
         self.seq = self.seq.wrapping_add(1);
         let src = Ipv4Addr::new(
             self.subnet[0],
@@ -151,7 +152,12 @@ impl FlowWorkload {
         FlowSpec {
             start: self.next_start,
             bytes: self.sizes.sample(rng),
-            key: FlowKey::tcp(src, 32_768 + (self.seq % 28_000) as u16, [10, 0, 255, 1], self.dst_port),
+            key: FlowKey::tcp(
+                src,
+                32_768 + (self.seq % 28_000) as u16,
+                [10, 0, 255, 1],
+                self.dst_port,
+            ),
         }
     }
 

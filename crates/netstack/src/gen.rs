@@ -116,7 +116,10 @@ impl OnOffProcess {
     /// Panics if `peak` is zero or either duration is zero.
     pub fn new(peak: BitRate, frame_len: u32, mean_on: Nanos, mean_off: Nanos) -> Self {
         assert!(peak > BitRate::ZERO, "peak rate must be positive");
-        assert!(mean_on > Nanos::ZERO && mean_off > Nanos::ZERO, "durations must be positive");
+        assert!(
+            mean_on > Nanos::ZERO && mean_off > Nanos::ZERO,
+            "durations must be positive"
+        );
         OnOffProcess {
             on_gap: peak.serialization_time(frame_len as u64 * 8),
             frame_len,
@@ -213,9 +216,7 @@ mod tests {
         let mut p = PoissonProcess::new(BitRate::from_gbps(1.0), 1250);
         let mut rng = SimRng::seed(2);
         let n = 20_000;
-        let total: u64 = (0..n)
-            .map(|_| p.next_arrival(&mut rng).0.as_nanos())
-            .sum();
+        let total: u64 = (0..n).map(|_| p.next_arrival(&mut rng).0.as_nanos()).sum();
         let mean = total as f64 / n as f64;
         // Expected gap: 10_000 bits at 1 Gbps = 10_000 ns.
         assert!((mean - 10_000.0).abs() < 300.0, "mean gap {mean}");

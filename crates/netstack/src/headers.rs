@@ -5,7 +5,6 @@
 //! these codecs encode a flow into a wire frame and parse it back, with an
 //! RFC 1071 checksum. Parsing failure modes are explicit ([`ParseFrameError`]).
 
-use bytes::{BufMut, BytesMut};
 use core::fmt;
 use std::net::Ipv4Addr;
 
@@ -102,7 +101,7 @@ pub struct ParsedFrame {
 /// assert_eq!(parsed.flow, flow);
 /// assert_eq!(parsed.frame_len, 128);
 /// ```
-pub fn encode_frame(flow: &FlowKey, frame_len: usize, dscp: u8) -> BytesMut {
+pub fn encode_frame(flow: &FlowKey, frame_len: usize, dscp: u8) -> Vec<u8> {
     let l4_len = match flow.proto {
         IpProto::Tcp => 20,
         IpProto::Udp => 8,
@@ -113,16 +112,16 @@ pub fn encode_frame(flow: &FlowKey, frame_len: usize, dscp: u8) -> BytesMut {
         frame_len >= min,
         "frame_len {frame_len} below header minimum {min}"
     );
-    let mut buf = BytesMut::with_capacity(frame_len);
+    let mut buf = Vec::with_capacity(frame_len);
 
     // Ethernet: derive MACs from the IPs so encode/parse is self-consistent.
     let mut dst_mac = [0x02u8, 0, 0, 0, 0, 0];
     dst_mac[2..6].copy_from_slice(&flow.dst_ip.octets());
     let mut src_mac = [0x02u8, 1, 0, 0, 0, 0];
     src_mac[2..6].copy_from_slice(&flow.src_ip.octets());
-    buf.put_slice(&dst_mac);
-    buf.put_slice(&src_mac);
-    buf.put_u16(ETHERTYPE_IPV4);
+    buf.extend_from_slice(&dst_mac);
+    buf.extend_from_slice(&src_mac);
+    buf.extend_from_slice(&ETHERTYPE_IPV4.to_be_bytes());
 
     // IPv4 header (20 bytes, no options).
     let ip_total = (frame_len - 14 - 4) as u16; // minus Ethernet hdr and FCS
@@ -136,7 +135,7 @@ pub fn encode_frame(flow: &FlowKey, frame_len: usize, dscp: u8) -> BytesMut {
     ip[16..20].copy_from_slice(&flow.dst_ip.octets());
     let csum = internet_checksum(&ip);
     ip[10..12].copy_from_slice(&csum.to_be_bytes());
-    buf.put_slice(&ip);
+    buf.extend_from_slice(&ip);
 
     // L4 header.
     match flow.proto {
@@ -146,14 +145,14 @@ pub fn encode_frame(flow: &FlowKey, frame_len: usize, dscp: u8) -> BytesMut {
             tcp[2..4].copy_from_slice(&flow.dst_port.to_be_bytes());
             tcp[12] = 0x50; // data offset 5
             tcp[13] = 0x18; // PSH|ACK
-            buf.put_slice(&tcp);
+            buf.extend_from_slice(&tcp);
         }
         IpProto::Udp => {
             let udp_len = ip_total - 20;
-            buf.put_slice(&flow.src_port.to_be_bytes());
-            buf.put_slice(&flow.dst_port.to_be_bytes());
-            buf.put_slice(&udp_len.to_be_bytes());
-            buf.put_slice(&[0, 0]); // checksum optional for IPv4 UDP
+            buf.extend_from_slice(&flow.src_port.to_be_bytes());
+            buf.extend_from_slice(&flow.dst_port.to_be_bytes());
+            buf.extend_from_slice(&udp_len.to_be_bytes());
+            buf.extend_from_slice(&[0, 0]); // checksum optional for IPv4 UDP
         }
         IpProto::Other(_) => unreachable!(),
     }
@@ -305,7 +304,10 @@ mod tests {
 
     #[test]
     fn error_display_messages() {
-        let e = ParseFrameError::Truncated { needed: 20, have: 3 };
+        let e = ParseFrameError::Truncated {
+            needed: 20,
+            have: 3,
+        };
         assert_eq!(e.to_string(), "truncated frame: need 20 bytes, have 3");
         assert_eq!(
             ParseFrameError::BadChecksum.to_string(),

@@ -16,8 +16,6 @@ use crate::flow::FlowKey;
 /// Only used for accounting in experiment output; the data plane never
 /// consults it (classification works on the flow key, as on real hardware).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
-#[serde(transparent)]
 pub struct AppId(pub u16);
 
 impl fmt::Display for AppId {
@@ -28,8 +26,6 @@ impl fmt::Display for AppId {
 
 /// The SR-IOV virtual function a packet entered the NIC through.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
-#[serde(transparent)]
 pub struct VfPort(pub u8);
 
 impl fmt::Display for VfPort {
@@ -62,7 +58,6 @@ impl fmt::Display for VfPort {
 /// assert_eq!(p.frame_bits(), 1518 * 8);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct Packet {
     /// Globally unique packet id (monotonic per experiment).
     pub id: u64,

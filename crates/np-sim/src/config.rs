@@ -11,7 +11,6 @@ use sim_core::units::{BitRate, ByteSize, WireFraming};
 /// 20 Mpps for 64-byte frames (Figure 13). See EXPERIMENTS.md for the
 /// calibration notes.
 #[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct NicConfig {
     /// Number of worker micro-engines (processing cores).
     pub num_mes: usize,
@@ -46,7 +45,6 @@ pub struct NicConfig {
 /// are built around. Stall time therefore shows up as latency
 /// ([`NicConfig::base_pipeline_latency`]) rather than throughput loss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct CycleCosts {
     /// Header parse + packet metadata setup.
     pub parse: u64,

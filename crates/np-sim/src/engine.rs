@@ -45,15 +45,16 @@ pub enum Dispatch {
 /// ```
 #[derive(Debug)]
 pub struct WorkerPool {
-    /// Min-heap of worker free times.
-    free_at: BinaryHeap<Reverse<Nanos>>,
+    /// Min-heap of `(free time, engine index)` pairs.
+    free_at: BinaryHeap<Reverse<(Nanos, usize)>>,
     freq: Freq,
     rx_max_wait: Nanos,
     rx_drops: u64,
     dispatched: u64,
-    busy_cycles: Cycles,
+    /// Instruction cycles retired by each micro-engine individually.
+    busy: Vec<Cycles>,
     /// Worker popped by `dispatch`, awaiting `complete`.
-    pending: Option<Nanos>,
+    pending: Option<(Nanos, usize)>,
 }
 
 impl WorkerPool {
@@ -66,12 +67,12 @@ impl WorkerPool {
     pub fn new(n: usize, freq: Freq, rx_max_wait: Nanos) -> Self {
         assert!(n > 0, "worker pool cannot be empty");
         WorkerPool {
-            free_at: (0..n).map(|_| Reverse(Nanos::ZERO)).collect(),
+            free_at: (0..n).map(|i| Reverse((Nanos::ZERO, i))).collect(),
             freq,
             rx_max_wait,
             rx_drops: 0,
             dispatched: 0,
-            busy_cycles: Cycles::ZERO,
+            busy: vec![Cycles::ZERO; n],
             pending: None,
         }
     }
@@ -95,14 +96,14 @@ impl WorkerPool {
     /// Panics if a previous dispatch was not completed.
     pub fn dispatch(&mut self, now: Nanos) -> Dispatch {
         assert!(self.pending.is_none(), "previous dispatch not completed");
-        let Reverse(free) = *self.free_at.peek().expect("pool is non-empty");
+        let Reverse((free, engine)) = *self.free_at.peek().expect("pool is non-empty");
         let start = free.max(now);
         if start - now > self.rx_max_wait {
             self.rx_drops += 1;
             return Dispatch::RxOverflow;
         }
         self.free_at.pop();
-        self.pending = Some(start);
+        self.pending = Some((start, engine));
         self.dispatched += 1;
         Dispatch::Started { start }
     }
@@ -114,11 +115,11 @@ impl WorkerPool {
     ///
     /// Panics if there is no pending dispatch or `start` does not match it.
     pub fn complete(&mut self, start: Nanos, cost: Cycles) -> Nanos {
-        let pending = self.pending.take().expect("no pending dispatch");
+        let (pending, engine) = self.pending.take().expect("no pending dispatch");
         assert_eq!(pending, start, "completion does not match dispatch");
         let done = start + self.freq.duration_of(cost);
-        self.busy_cycles += cost;
-        self.free_at.push(Reverse(done));
+        self.busy[engine] += cost;
+        self.free_at.push(Reverse((done, engine)));
         done
     }
 
@@ -129,9 +130,9 @@ impl WorkerPool {
     ///
     /// Panics if there is no pending dispatch.
     pub fn abandon(&mut self, start: Nanos) {
-        let pending = self.pending.take().expect("no pending dispatch");
+        let (pending, engine) = self.pending.take().expect("no pending dispatch");
         assert_eq!(pending, start, "abandon does not match dispatch");
-        self.free_at.push(Reverse(start));
+        self.free_at.push(Reverse((start, engine)));
         self.dispatched -= 1;
     }
 
@@ -147,7 +148,12 @@ impl WorkerPool {
 
     /// Total instruction cycles executed by all workers.
     pub fn busy_cycles(&self) -> Cycles {
-        self.busy_cycles
+        self.busy.iter().fold(Cycles::ZERO, |acc, &c| acc + c)
+    }
+
+    /// Instruction cycles retired by each micro-engine, indexed by engine.
+    pub fn engine_busy_cycles(&self) -> &[Cycles] {
+        &self.busy
     }
 
     /// Aggregate worker utilization over `[0, horizon]`.
@@ -156,7 +162,19 @@ impl WorkerPool {
             return 0.0;
         }
         let capacity = self.len() as f64 * self.freq.cycles_in(horizon).get() as f64;
-        (self.busy_cycles.get() as f64 / capacity).min(1.0)
+        (self.busy_cycles().get() as f64 / capacity).min(1.0)
+    }
+
+    /// Per-micro-engine utilization over `[0, horizon]`, indexed by engine.
+    pub fn engine_utilization(&self, horizon: Nanos) -> Vec<f64> {
+        if horizon == Nanos::ZERO {
+            return vec![0.0; self.busy.len()];
+        }
+        let capacity = self.freq.cycles_in(horizon).get() as f64;
+        self.busy
+            .iter()
+            .map(|b| (b.get() as f64 / capacity).min(1.0))
+            .collect()
     }
 }
 
@@ -234,7 +252,10 @@ mod tests {
             t += Nanos::from_nanos(250); // 4 Mpps offered
         }
         let achieved_mpps = accepted as f64 / horizon.as_secs_f64() / 1e6;
-        assert!((achieved_mpps - 2.0).abs() < 0.1, "got {achieved_mpps} Mpps");
+        assert!(
+            (achieved_mpps - 2.0).abs() < 0.1,
+            "got {achieved_mpps} Mpps"
+        );
         assert!(p.utilization(horizon) > 0.95);
     }
 
@@ -266,5 +287,28 @@ mod tests {
     fn utilization_zero_horizon() {
         let p = pool(1);
         assert_eq!(p.utilization(Nanos::ZERO), 0.0);
+        assert_eq!(p.engine_utilization(Nanos::ZERO), vec![0.0]);
+    }
+
+    #[test]
+    fn per_engine_busy_is_tracked() {
+        let mut p = pool(2);
+        for i in 0..4u64 {
+            let Dispatch::Started { start } = p.dispatch(Nanos::from_nanos(i)) else {
+                panic!()
+            };
+            p.complete(start, Cycles::new(100));
+        }
+        let per = p.engine_busy_cycles().to_vec();
+        assert_eq!(per.len(), 2);
+        assert_eq!(
+            per.iter().fold(Cycles::ZERO, |a, &c| a + c),
+            p.busy_cycles()
+        );
+        // The load balancer alternates between the two idle engines.
+        assert!(per.iter().all(|c| c.get() > 0), "{per:?}");
+        let u = p.engine_utilization(Nanos::from_micros(1));
+        assert_eq!(u.len(), 2);
+        assert!(u.iter().all(|&x| x > 0.0 && x <= 1.0), "{u:?}");
     }
 }

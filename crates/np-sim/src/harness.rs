@@ -252,8 +252,7 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let run = |seed| {
-            let mut nic =
-                SmartNic::new(NicConfig::agilio_cx_40g(), Box::new(PassthroughDecider));
+            let mut nic = SmartNic::new(NicConfig::agilio_cx_40g(), Box::new(PassthroughDecider));
             run_open_loop(
                 &mut nic,
                 vec![cbr_source(0, 20.0, 800), cbr_source(1, 30.0, 800)],

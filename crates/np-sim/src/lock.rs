@@ -12,17 +12,19 @@
 //! per-class locks only collide on genuinely concurrent updates of the same
 //! class.
 
+use std::sync::Arc;
+
+use fv_telemetry::metrics::{Counter, Histogram};
+use fv_telemetry::trace::{EventRing, TraceKind};
+use fv_telemetry::Registry;
 use sim_core::time::Nanos;
 
 /// Identifies one simulated lock (e.g. one scheduling-tree class).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
-#[serde(transparent)]
 pub struct LockId(pub u32);
 
 /// Statistics about lock behaviour, for the ablation benches.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct LockStats {
     /// Successful `try_acquire` calls.
     pub try_acquired: u64,
@@ -51,10 +53,23 @@ pub struct LockStats {
 /// // Free again at t=100.
 /// assert!(locks.try_acquire(LockId(0), Nanos::from_nanos(100), hold));
 /// ```
+/// Registry-backed handles mirroring [`LockStats`], plus a wait-time
+/// histogram and `LockWait` trace events. Recording is relaxed-atomic only.
+#[derive(Debug, Clone)]
+struct LockTelemetry {
+    try_acquired: Arc<Counter>,
+    try_failed: Arc<Counter>,
+    contended: Arc<Counter>,
+    wait_ns: Arc<Counter>,
+    wait_hist: Arc<Histogram>,
+    ring: Arc<EventRing>,
+}
+
 #[derive(Debug, Clone)]
 pub struct LockTable {
     free_at: Vec<Nanos>,
     stats: LockStats,
+    telemetry: Option<LockTelemetry>,
 }
 
 impl LockTable {
@@ -63,7 +78,22 @@ impl LockTable {
         LockTable {
             free_at: vec![Nanos::ZERO; n],
             stats: LockStats::default(),
+            telemetry: None,
         }
+    }
+
+    /// Mirrors every acquisition into `registry` under the `lock.*`
+    /// namespace (counters for the [`LockStats`] fields, a wait-time
+    /// histogram, and `LockWait` trace events for contended acquires).
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = Some(LockTelemetry {
+            try_acquired: registry.counter("lock.try_acquired"),
+            try_failed: registry.counter("lock.try_failed"),
+            contended: registry.counter("lock.contended"),
+            wait_ns: registry.counter("lock.wait_ns"),
+            wait_hist: registry.histogram("lock.wait_hist_ns"),
+            ring: registry.ring(),
+        });
     }
 
     /// Number of locks in the table.
@@ -94,9 +124,15 @@ impl LockTable {
         if *f <= now {
             *f = now + hold;
             self.stats.try_acquired += 1;
+            if let Some(t) = &self.telemetry {
+                t.try_acquired.incr(0);
+            }
             true
         } else {
             self.stats.try_failed += 1;
+            if let Some(t) = &self.telemetry {
+                t.try_failed.incr(0);
+            }
             false
         }
     }
@@ -110,12 +146,23 @@ impl LockTable {
     pub fn acquire(&mut self, lock: LockId, now: Nanos, hold: Nanos) -> Nanos {
         let f = &mut self.free_at[lock.0 as usize];
         let start = (*f).max(now);
+        let wait = start - now;
         if start > now {
             self.stats.contended += 1;
-            self.stats.wait_total += start - now;
+            self.stats.wait_total += wait;
         }
         *f = start + hold;
         self.stats.try_acquired += 1;
+        if let Some(t) = &self.telemetry {
+            t.try_acquired.incr(0);
+            t.wait_hist.record(wait.as_nanos());
+            if start > now {
+                t.contended.incr(0);
+                t.wait_ns.add(0, wait.as_nanos());
+                t.ring
+                    .record(now, TraceKind::LockWait, lock.0 as u64, wait.as_nanos());
+            }
+        }
         start
     }
 
@@ -190,6 +237,31 @@ mod tests {
         assert!(t.try_acquire(LockId(9), Nanos::ZERO, HOLD));
         t.ensure(5); // never shrinks
         assert_eq!(t.len(), 10);
+    }
+
+    #[test]
+    fn telemetry_mirrors_stats() {
+        let reg = Registry::new();
+        let mut t = LockTable::new(2);
+        t.attach_telemetry(&reg);
+        assert!(t.try_acquire(LockId(0), Nanos::ZERO, HOLD));
+        assert!(!t.try_acquire(LockId(0), Nanos::from_nanos(10), HOLD));
+        // Held until t=100: a blocking acquire at t=20 waits 80 ns.
+        let start = t.acquire(LockId(0), Nanos::from_nanos(20), HOLD);
+        assert_eq!(start, Nanos::from_nanos(100));
+        let snap = reg.snapshot(Nanos::from_nanos(500));
+        assert_eq!(snap.counter("lock.try_acquired"), 2);
+        assert_eq!(snap.counter("lock.try_failed"), 1);
+        assert_eq!(snap.counter("lock.contended"), 1);
+        assert_eq!(snap.counter("lock.wait_ns"), 80);
+        let hist = snap.histogram("lock.wait_hist_ns").expect("wait histogram");
+        assert_eq!(hist.count, 1);
+        assert!(snap
+            .events
+            .iter()
+            .any(|e| e.kind == TraceKind::LockWait && e.a == 0 && e.b == 80));
+        // The plain-struct view agrees with the registry view.
+        assert_eq!(t.stats().wait_total, Nanos::from_nanos(80));
     }
 
     #[test]

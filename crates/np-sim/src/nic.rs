@@ -6,6 +6,11 @@
 //! `flowvalve` crate, and [`PassthroughDecider`] provides the
 //! scheduler-disabled baseline the paper uses to isolate pipeline latency.
 
+use std::sync::Arc;
+
+use fv_telemetry::metrics::{Counter, Histogram, RateWindow};
+use fv_telemetry::trace::{EventRing, TraceKind};
+use fv_telemetry::Registry;
 use netstack::packet::Packet;
 use sim_core::time::Nanos;
 use sim_core::units::BitRate;
@@ -101,8 +106,12 @@ pub enum RxOutcome {
 }
 
 /// Aggregate NIC counters.
+///
+/// Since the registry unification this is a *snapshot view*: the live
+/// accounting lives in `fv-telemetry` counters under the `nic.*` namespace
+/// (one source of truth), and [`SmartNic::stats`] materializes this struct
+/// from their totals on demand.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct NicStats {
     /// Packets offered to the NIC.
     pub offered: u64,
@@ -147,6 +156,21 @@ impl NicStats {
 ///     other => panic!("unexpected {other:?}"),
 /// }
 /// ```
+/// Registry handles for the NIC's own counters. These *are* the NIC's
+/// accounting — [`NicStats`] is reconstituted from their totals.
+struct NicTelemetry {
+    registry: Registry,
+    offered: Arc<Counter>,
+    rx_drops: Arc<Counter>,
+    sched_drops: Arc<Counter>,
+    tail_drops: Arc<Counter>,
+    tx_packets: Arc<Counter>,
+    tx_bits: Arc<Counter>,
+    tx_rate: Arc<RateWindow>,
+    latency: Arc<Histogram>,
+    ring: Arc<EventRing>,
+}
+
 pub struct SmartNic {
     config: NicConfig,
     workers: WorkerPool,
@@ -157,7 +181,7 @@ pub struct SmartNic {
     /// Per-VF last release time into the transmit ring: the reorder system
     /// guarantees packets of one VF enter the FIFO in arrival order.
     vf_release: Vec<Nanos>,
-    stats: NicStats,
+    telemetry: NicTelemetry,
 }
 
 impl core::fmt::Debug for SmartNic {
@@ -165,7 +189,7 @@ impl core::fmt::Debug for SmartNic {
         f.debug_struct("SmartNic")
             .field("config", &self.config)
             .field("decider", &self.decider.name())
-            .field("stats", &self.stats)
+            .field("stats", &self.stats())
             .finish_non_exhaustive()
     }
 }
@@ -177,16 +201,49 @@ impl SmartNic {
     ///
     /// Panics if the configuration fails [`NicConfig::validate`].
     pub fn new(config: NicConfig, decider: Box<dyn EgressDecider>) -> Self {
+        Self::with_registry(config, decider, &Registry::new())
+    }
+
+    /// Builds a NIC whose counters, gauges, and trace events live in
+    /// `registry` (namespaces `nic.*`, `lock.*`, `tm.fifo.*`). Every
+    /// component of the pipeline records into the same event ring, so a
+    /// single [`Registry::snapshot`] shows drops by cause alongside lock
+    /// contention and FIFO occupancy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`NicConfig::validate`].
+    pub fn with_registry(
+        config: NicConfig,
+        decider: Box<dyn EgressDecider>,
+        registry: &Registry,
+    ) -> Self {
         config.validate().expect("invalid NIC configuration");
+        let mut locks = LockTable::new(64);
+        locks.attach_telemetry(registry);
+        let mut fifo = TxFifo::new(config.line_rate, config.framing, config.tm_queue_capacity);
+        fifo.attach_telemetry(registry);
+        let telemetry = NicTelemetry {
+            registry: registry.clone(),
+            offered: registry.counter("nic.offered"),
+            rx_drops: registry.counter("nic.rx_drops"),
+            sched_drops: registry.counter("nic.sched_drops"),
+            tail_drops: registry.counter("nic.tail_drops"),
+            tx_packets: registry.counter("nic.tx_packets"),
+            tx_bits: registry.counter("nic.tx_bits"),
+            tx_rate: registry.rate("nic.tx_bits_rate", Nanos::from_micros(100)),
+            latency: registry.histogram("nic.latency_ns"),
+            ring: registry.ring(),
+        };
         SmartNic {
             workers: WorkerPool::new(config.num_mes, config.freq, config.rx_max_wait),
-            locks: LockTable::new(64),
-            fifo: TxFifo::new(config.line_rate, config.framing, config.tm_queue_capacity),
+            locks,
+            fifo,
             meter: CostMeter::new(config.costs),
             vf_release: vec![Nanos::ZERO; 256],
             decider,
             config,
-            stats: NicStats::default(),
+            telemetry,
         }
     }
 
@@ -201,10 +258,13 @@ impl SmartNic {
     /// parse, the egress decision (with its cycle and lock costs), per-VF
     /// reorder, and the wire-side FIFO.
     pub fn rx(&mut self, pkt: &Packet, now: Nanos) -> RxOutcome {
-        self.stats.offered += 1;
+        self.telemetry.offered.incr(0);
         let start = match self.workers.dispatch(now) {
             Dispatch::RxOverflow => {
-                self.stats.rx_drops += 1;
+                self.telemetry.rx_drops.incr(0);
+                self.telemetry
+                    .ring
+                    .record(now, TraceKind::RxDrop, pkt.id, pkt.vf.0 as u64);
                 return RxOutcome::RxDrop;
             }
             Dispatch::Started { start } => start,
@@ -223,7 +283,7 @@ impl SmartNic {
 
         match decision {
             Decision::Drop => {
-                self.stats.sched_drops += 1;
+                self.telemetry.sched_drops.incr(0);
                 RxOutcome::SchedDrop { at: done }
             }
             Decision::Forward => {
@@ -232,15 +292,18 @@ impl SmartNic {
                 *slot = release;
                 match self.fifo.enqueue(pkt.frame_len, release) {
                     Ok(wire_done) => {
-                        self.stats.tx_packets += 1;
-                        self.stats.tx_bits += pkt.frame_bits();
+                        let delivered = wire_done + self.config.base_pipeline_latency;
+                        self.telemetry.tx_packets.incr(0);
+                        self.telemetry.tx_bits.add(0, pkt.frame_bits());
+                        self.telemetry.tx_rate.record(wire_done, pkt.frame_bits());
+                        self.telemetry.latency.record_nanos(delivered - now);
                         RxOutcome::Transmit {
                             wire_done,
-                            delivered: wire_done + self.config.base_pipeline_latency,
+                            delivered,
                         }
                     }
                     Err(_) => {
-                        self.stats.tail_drops += 1;
+                        self.telemetry.tail_drops.incr(0);
                         RxOutcome::TailDrop { at: release }
                     }
                 }
@@ -248,9 +311,33 @@ impl SmartNic {
         }
     }
 
-    /// Aggregate counters.
+    /// Aggregate counters, materialized from the registry totals.
     pub fn stats(&self) -> NicStats {
-        self.stats
+        NicStats {
+            offered: self.telemetry.offered.total(),
+            rx_drops: self.telemetry.rx_drops.total(),
+            sched_drops: self.telemetry.sched_drops.total(),
+            tail_drops: self.telemetry.tail_drops.total(),
+            tx_packets: self.telemetry.tx_packets.total(),
+            tx_bits: self.telemetry.tx_bits.total(),
+        }
+    }
+
+    /// The registry this NIC records into.
+    pub fn registry(&self) -> &Registry {
+        &self.telemetry.registry
+    }
+
+    /// Publishes point-in-time gauges — per-micro-engine utilization over
+    /// `[0, horizon]`, in permille — into the registry. Call right before
+    /// taking a snapshot; it is a cold-path operation.
+    pub fn sync_gauges(&self, horizon: Nanos) {
+        for (i, u) in self.workers.engine_utilization(horizon).iter().enumerate() {
+            self.telemetry
+                .registry
+                .gauge(&format!("nic.me{i}.busy_permille"))
+                .set((u * 1000.0).round() as u64);
+        }
     }
 
     /// Achieved frame-bit throughput over `[0, horizon]`.
@@ -322,10 +409,7 @@ mod tests {
                 delivered,
             } => {
                 assert!(wire_done > Nanos::ZERO);
-                assert_eq!(
-                    delivered,
-                    wire_done + nic.config().base_pipeline_latency
-                );
+                assert_eq!(delivered, wire_done + nic.config().base_pipeline_latency);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -389,19 +473,14 @@ mod tests {
     fn line_rate_sustained_for_mtu_frames() {
         // 1518B at exactly line rate: the pipeline must not be the bottleneck.
         let cfg = NicConfig::agilio_cx_40g();
-        let gap = cfg
-            .framing
-            .serialization_time(cfg.line_rate, 1518);
+        let gap = cfg.framing.serialization_time(cfg.line_rate, 1518);
         let mut nic = SmartNic::new(cfg, Box::new(PassthroughDecider));
         let horizon = Nanos::from_millis(2);
         let mut t = Nanos::ZERO;
         let mut i = 0u64;
         let mut sent = 0u64;
         while t < horizon {
-            if matches!(
-                nic.rx(&pkt(i, 0, 1518), t),
-                RxOutcome::Transmit { .. }
-            ) {
+            if matches!(nic.rx(&pkt(i, 0, 1518), t), RxOutcome::Transmit { .. }) {
                 sent += 1;
             }
             i += 1;
@@ -410,6 +489,50 @@ mod tests {
         assert_eq!(sent, i, "dropped {} of {} at line rate", i - sent, i);
         let tput = nic.throughput(horizon);
         assert!(tput.as_gbps() > 38.0, "throughput {tput}");
+    }
+
+    #[test]
+    fn registry_is_the_source_of_truth() {
+        let reg = Registry::new();
+        let mut nic = SmartNic::with_registry(NicConfig::agilio_cx_40g(), Box::new(DropVf1), &reg);
+        nic.rx(&pkt(0, 1, 64), Nanos::ZERO); // sched drop
+        nic.rx(&pkt(1, 0, 1518), Nanos::ZERO); // transmit
+        let snap = reg.snapshot(Nanos::from_micros(10));
+        assert_eq!(snap.counter("nic.offered"), 2);
+        assert_eq!(snap.counter("nic.sched_drops"), 1);
+        assert_eq!(snap.counter("nic.tx_packets"), 1);
+        // The wire-side FIFO recorded the same packet under its namespace.
+        assert_eq!(snap.counter("tm.fifo.tx_packets"), 1);
+        // NicStats is a view over the same counters.
+        let s = nic.stats();
+        assert_eq!(s.offered, snap.counter("nic.offered"));
+        assert_eq!(s.tx_bits, snap.counter("nic.tx_bits"));
+        let lat = snap.histogram("nic.latency_ns").expect("latency histogram");
+        assert_eq!(lat.count, 1);
+        assert!(lat.min > 0);
+    }
+
+    #[test]
+    fn sync_gauges_publishes_per_engine_utilization() {
+        let reg = Registry::new();
+        let mut nic = SmartNic::with_registry(
+            NicConfig::agilio_cx_40g(),
+            Box::new(PassthroughDecider),
+            &reg,
+        );
+        for i in 0..50 {
+            let _ = nic.rx(&pkt(i, 0, 1518), Nanos::from_nanos(i * 300));
+        }
+        let horizon = Nanos::from_micros(20);
+        nic.sync_gauges(horizon);
+        let snap = reg.snapshot(horizon);
+        let engines: Vec<_> = snap.with_prefix("nic.me").collect();
+        assert_eq!(engines.len(), nic.config().num_mes);
+        assert!(
+            snap.with_prefix("nic.me")
+                .any(|e| !matches!(e.value, fv_telemetry::MetricValue::Gauge { value: 0, .. })),
+            "no engine showed utilization"
+        );
     }
 
     #[test]

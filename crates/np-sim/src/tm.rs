@@ -12,6 +12,11 @@
 //! capacity; this is the *un*-specialized tail drop that FlowValve's
 //! early-drop decisions are designed to pre-empt.
 
+use std::sync::Arc;
+
+use fv_telemetry::metrics::{Counter, Gauge};
+use fv_telemetry::trace::{EventRing, TraceKind};
+use fv_telemetry::Registry;
 use sim_core::time::Nanos;
 use sim_core::units::{BitRate, ByteSize, WireFraming};
 
@@ -34,7 +39,6 @@ impl std::error::Error for TmDrop {}
 
 /// Counters maintained by the FIFO wire model.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct TmStats {
     /// Packets accepted and serialized.
     pub tx_packets: u64,
@@ -62,6 +66,17 @@ pub struct TmStats {
 /// // (1518 + 20) bytes at 10 Gbps ≈ 1.23 us.
 /// assert_eq!(done.as_nanos(), 1_231);
 /// ```
+/// Registry-backed mirrors of [`TmStats`] plus FIFO occupancy and
+/// `TailDrop` trace events.
+#[derive(Debug, Clone)]
+struct FifoTelemetry {
+    tx_packets: Arc<Counter>,
+    tx_bits: Arc<Counter>,
+    tail_drops: Arc<Counter>,
+    backlog_bytes: Arc<Gauge>,
+    ring: Arc<EventRing>,
+}
+
 #[derive(Debug, Clone)]
 pub struct TxFifo {
     rate: BitRate,
@@ -73,6 +88,7 @@ pub struct TxFifo {
     /// Latest enqueue timestamp seen, to keep internal time monotonic.
     last_t: Nanos,
     stats: TmStats,
+    telemetry: Option<FifoTelemetry>,
 }
 
 impl TxFifo {
@@ -91,7 +107,21 @@ impl TxFifo {
             free_at: Nanos::ZERO,
             last_t: Nanos::ZERO,
             stats: TmStats::default(),
+            telemetry: None,
         }
+    }
+
+    /// Mirrors every enqueue into `registry` under the `tm.fifo.*`
+    /// namespace: the [`TmStats`] counters, an occupancy gauge (whose
+    /// high-water mark survives drains), and `TailDrop` trace events.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = Some(FifoTelemetry {
+            tx_packets: registry.counter("tm.fifo.tx_packets"),
+            tx_bits: registry.counter("tm.fifo.tx_bits"),
+            tail_drops: registry.counter("tm.fifo.tail_drops"),
+            backlog_bytes: registry.gauge("tm.fifo.backlog_bytes"),
+            ring: registry.ring(),
+        });
     }
 
     /// Offers a frame of `frame_len` bytes to the FIFO at time `t`.
@@ -110,12 +140,27 @@ impl TxFifo {
         let backlog = self.free_at.saturating_sub(t);
         if backlog > self.max_backlog {
             self.stats.tail_drops += 1;
+            if let Some(tel) = &self.telemetry {
+                tel.tail_drops.incr(0);
+                tel.ring.record(
+                    t,
+                    TraceKind::TailDrop,
+                    frame_len as u64,
+                    self.rate.bits_in(backlog) / 8,
+                );
+            }
             return Err(TmDrop::TailDrop);
         }
         let ser = self.framing.serialization_time(self.rate, frame_len as u64);
         self.free_at = self.free_at.max(t) + ser;
         self.stats.tx_packets += 1;
         self.stats.tx_bits += frame_len as u64 * 8;
+        if let Some(tel) = &self.telemetry {
+            tel.tx_packets.incr(0);
+            tel.tx_bits.add(0, frame_len as u64 * 8);
+            let occupancy = self.rate.bits_in(self.free_at - t) / 8;
+            tel.backlog_bytes.set(occupancy);
+        }
         Ok(self.free_at)
     }
 
@@ -238,6 +283,30 @@ mod tests {
         // 80_000 bits over 100 us = 800 Mbps.
         assert_eq!(tput, BitRate::from_mbps(800));
         assert_eq!(f.throughput(Nanos::ZERO), BitRate::ZERO);
+    }
+
+    #[test]
+    fn telemetry_mirrors_fifo_stats() {
+        use fv_telemetry::MetricValue;
+        let reg = Registry::new();
+        let mut f = fifo_1g();
+        f.attach_telemetry(&reg);
+        // 10 KB buffer, 1 KB frames: 11 accepted, the 12th tail-drops.
+        for _ in 0..12 {
+            let _ = f.enqueue(1_000, Nanos::ZERO);
+        }
+        let snap = reg.snapshot(Nanos::ZERO);
+        assert_eq!(snap.counter("tm.fifo.tx_packets"), 11);
+        assert_eq!(snap.counter("tm.fifo.tx_bits"), 11 * 8_000);
+        assert_eq!(snap.counter("tm.fifo.tail_drops"), 1);
+        match snap.get("tm.fifo.backlog_bytes") {
+            Some(MetricValue::Gauge { max, .. }) => assert_eq!(*max, 11_000),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(snap
+            .events
+            .iter()
+            .any(|e| e.kind == TraceKind::TailDrop && e.a == 1_000));
     }
 
     #[test]

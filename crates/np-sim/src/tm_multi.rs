@@ -10,14 +10,17 @@
 //! exactly that failure.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
+use fv_telemetry::metrics::{Counter, Gauge};
+use fv_telemetry::trace::{EventRing, TraceKind};
+use fv_telemetry::Registry;
 use netstack::packet::Packet;
 use sim_core::time::Nanos;
 use sim_core::units::{BitRate, WireFraming};
 
 /// Static configuration of one hardware queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct HwQueueConfig {
     /// Strict priority level (lower served first).
     pub prio: u8,
@@ -70,6 +73,16 @@ struct HwQueue {
 /// // Strict priority: queue 0 dequeues first.
 /// assert_eq!(tm.dequeue(Nanos::ZERO).map(|(p, _)| p.id), Some(1));
 /// ```
+/// Registry-backed mirrors of the traffic-manager counters: per-queue tail
+/// drops, aggregate transmit counters, occupancy, and `TailDrop` events.
+struct MqTelemetry {
+    tx_packets: Arc<Counter>,
+    tx_bits: Arc<Counter>,
+    queue_drops: Vec<Arc<Counter>>,
+    backlog_pkts: Arc<Gauge>,
+    ring: Arc<EventRing>,
+}
+
 pub struct MultiQueueTm {
     queues: Vec<HwQueue>,
     rate: BitRate,
@@ -78,6 +91,7 @@ pub struct MultiQueueTm {
     rr_cursor: usize,
     tx_packets: u64,
     tx_bits: u64,
+    telemetry: Option<MqTelemetry>,
 }
 
 impl core::fmt::Debug for MultiQueueTm {
@@ -114,7 +128,23 @@ impl MultiQueueTm {
             rr_cursor: 0,
             tx_packets: 0,
             tx_bits: 0,
+            telemetry: None,
         }
+    }
+
+    /// Mirrors enqueue/dequeue activity into `registry` under the `tm.mq.*`
+    /// namespace: aggregate transmit counters, per-queue tail-drop counters
+    /// (`tm.mq.q<i>.drops`), a backlog gauge, and `TailDrop` trace events.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = Some(MqTelemetry {
+            tx_packets: registry.counter("tm.mq.tx_packets"),
+            tx_bits: registry.counter("tm.mq.tx_bits"),
+            queue_drops: (0..self.queues.len())
+                .map(|i| registry.counter(&format!("tm.mq.q{i}.drops")))
+                .collect(),
+            backlog_pkts: registry.gauge("tm.mq.backlog_pkts"),
+            ring: registry.ring(),
+        });
     }
 
     /// Number of queues.
@@ -132,9 +162,18 @@ impl MultiQueueTm {
         let hq = &mut self.queues[q];
         if hq.queue.len() >= hq.cfg.capacity {
             hq.drops += 1;
+            if let Some(t) = &self.telemetry {
+                t.queue_drops[q].incr(0);
+                t.ring
+                    .record(pkt.created_at, TraceKind::TailDrop, q as u64, pkt.id);
+            }
             false
         } else {
             hq.queue.push_back(pkt);
+            if let Some(t) = &self.telemetry {
+                t.backlog_pkts
+                    .set(self.queues.iter().map(|hw| hw.queue.len() as u64).sum());
+            }
             true
         }
     }
@@ -154,9 +193,7 @@ impl MultiQueueTm {
             .map(|q| q.cfg.prio)
             .min()?;
         let candidates: Vec<usize> = (0..self.queues.len())
-            .filter(|&i| {
-                self.queues[i].cfg.prio == best_prio && !self.queues[i].queue.is_empty()
-            })
+            .filter(|&i| self.queues[i].cfg.prio == best_prio && !self.queues[i].queue.is_empty())
             .collect();
         // WRR within the level: quantum = weight × MTU.
         let n = candidates.len();
@@ -173,15 +210,22 @@ impl MultiQueueTm {
                     self.rr_cursor = (self.rr_cursor + k) % n;
                     let pkt = self.queues[i].queue.pop_front().expect("non-empty");
                     let start = self.wire_free.max(now);
-                    self.wire_free =
-                        start + self.framing.serialization_time(self.rate, pkt.frame_len as u64);
+                    self.wire_free = start
+                        + self
+                            .framing
+                            .serialization_time(self.rate, pkt.frame_len as u64);
                     self.tx_packets += 1;
                     self.tx_bits += pkt.frame_bits();
+                    if let Some(t) = &self.telemetry {
+                        t.tx_packets.incr(0);
+                        t.tx_bits.add(0, pkt.frame_bits());
+                        t.backlog_pkts
+                            .set(self.queues.iter().map(|hw| hw.queue.len() as u64).sum());
+                    }
                     return Some((pkt, self.wire_free));
                 }
                 if pass == 0 {
-                    self.queues[i].deficit +=
-                        (self.queues[i].cfg.weight as i64) * 1_518;
+                    self.queues[i].deficit += (self.queues[i].cfg.weight as i64) * 1_518;
                 }
             }
         }
@@ -241,8 +285,14 @@ mod tests {
             BitRate::from_gbps(10.0),
             WireFraming::ETHERNET,
             vec![
-                HwQueueConfig { prio: 0, ..Default::default() },
-                HwQueueConfig { prio: 1, ..Default::default() },
+                HwQueueConfig {
+                    prio: 0,
+                    ..Default::default()
+                },
+                HwQueueConfig {
+                    prio: 1,
+                    ..Default::default()
+                },
             ],
         );
         tm.enqueue(1, pkt(0, 1, 1518));
@@ -258,8 +308,16 @@ mod tests {
             BitRate::from_gbps(10.0),
             WireFraming::ETHERNET,
             vec![
-                HwQueueConfig { prio: 0, weight: 3, capacity: 4_096 },
-                HwQueueConfig { prio: 0, weight: 1, capacity: 4_096 },
+                HwQueueConfig {
+                    prio: 0,
+                    weight: 3,
+                    capacity: 4_096,
+                },
+                HwQueueConfig {
+                    prio: 0,
+                    weight: 1,
+                    capacity: 4_096,
+                },
             ],
         );
         for i in 0..2_000u64 {
@@ -296,12 +354,56 @@ mod tests {
         let mut tm = MultiQueueTm::new(
             BitRate::from_gbps(10.0),
             WireFraming::ETHERNET,
-            vec![HwQueueConfig { capacity: 1, ..Default::default() }],
+            vec![HwQueueConfig {
+                capacity: 1,
+                ..Default::default()
+            }],
         );
         assert!(tm.enqueue(0, pkt(0, 0, 64)));
         assert!(!tm.enqueue(0, pkt(1, 0, 64)));
         assert_eq!(tm.drops(0), 1);
         assert_eq!(tm.backlog_pkts(), 1);
+    }
+
+    #[test]
+    fn telemetry_tracks_per_queue_drops_and_occupancy() {
+        use fv_telemetry::MetricValue;
+        let reg = Registry::new();
+        let mut tm = MultiQueueTm::new(
+            BitRate::from_gbps(10.0),
+            WireFraming::ETHERNET,
+            vec![
+                HwQueueConfig {
+                    capacity: 1,
+                    ..Default::default()
+                },
+                HwQueueConfig {
+                    capacity: 8,
+                    ..Default::default()
+                },
+            ],
+        );
+        tm.attach_telemetry(&reg);
+        assert!(tm.enqueue(0, pkt(0, 0, 64)));
+        assert!(!tm.enqueue(0, pkt(1, 0, 64))); // queue 0 full
+        assert!(tm.enqueue(1, pkt(2, 1, 1_518)));
+        let (_, done) = tm.dequeue(Nanos::ZERO).expect("prio queue first");
+        let snap = reg.snapshot(done);
+        assert_eq!(snap.counter("tm.mq.q0.drops"), 1);
+        assert_eq!(snap.counter("tm.mq.q1.drops"), 0);
+        assert_eq!(snap.counter("tm.mq.tx_packets"), 1);
+        assert_eq!(snap.counter("tm.mq.tx_bits"), 64 * 8);
+        match snap.get("tm.mq.backlog_pkts") {
+            Some(MetricValue::Gauge { value, max }) => {
+                assert_eq!(*value, 1);
+                assert_eq!(*max, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(snap
+            .events
+            .iter()
+            .any(|e| e.kind == TraceKind::TailDrop && e.a == 0 && e.b == 1));
     }
 
     #[test]

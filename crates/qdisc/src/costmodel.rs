@@ -22,7 +22,6 @@ use sim_core::time::{Freq, Nanos};
 /// assert_eq!(m.cores_needed(19.69e6), 9);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct DpdkCpuModel {
     /// Scheduler cycles per packet (enqueue + dequeue + grinder work).
     pub cycles_per_packet: u64,
@@ -54,8 +53,7 @@ impl DpdkCpuModel {
 
     /// Maximum packet rate achievable with `cores` scheduler cores.
     pub fn max_pps(&self, cores: usize) -> f64 {
-        self.effective_cores(cores) * self.core_freq.as_hz() as f64
-            / self.cycles_per_packet as f64
+        self.effective_cores(cores) * self.core_freq.as_hz() as f64 / self.cycles_per_packet as f64
     }
 
     /// Minimum cores needed to sustain `pps`.
@@ -79,7 +77,6 @@ impl DpdkCpuModel {
 /// burn cycles spinning; `contention_overhead` models the cache-line
 /// bouncing that makes the *locked* work itself slower as senders add up.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct KernelCpuModel {
     /// Locked work per packet with a single uncontended sender.
     pub base_cost: Nanos,

@@ -6,6 +6,11 @@
 //! accounting — DPDK *does* enforce policy accurately (paper §II-A); what
 //! it costs is CPU, which [`crate::costmodel`] accounts separately.
 
+use std::sync::Arc;
+
+use fv_telemetry::metrics::{Counter, Gauge};
+use fv_telemetry::trace::{EventRing, TraceKind};
+use fv_telemetry::Registry;
 use netstack::packet::Packet;
 use sim_core::time::Nanos;
 use sim_core::units::BitRate;
@@ -53,7 +58,6 @@ impl TokenState {
 
 /// Configuration of one pipe (tenant).
 #[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct PipeConfig {
     /// Pipe aggregate rate.
     pub rate: BitRate,
@@ -73,7 +77,6 @@ impl PipeConfig {
 
 /// Configuration of the scheduler block.
 #[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct DpdkQosConfig {
     /// Subport (aggregate) rate.
     pub subport_rate: BitRate,
@@ -111,7 +114,6 @@ struct PipeState {
 
 /// Aggregate counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct DpdkStats {
     /// Packets accepted.
     pub enqueued: u64,
@@ -141,11 +143,24 @@ pub struct DpdkStats {
 /// assert!(sched.dequeue(Nanos::ZERO).is_some());
 /// # Ok::<(), qdisc::fifo::QueueDrop>(())
 /// ```
+/// Registry handles mirroring [`DpdkStats`]. Attached via
+/// [`DpdkQos::attach_telemetry`].
+#[derive(Debug, Clone)]
+struct DpdkTelemetry {
+    enqueued: Arc<Counter>,
+    drops: Arc<Counter>,
+    dequeued: Arc<Counter>,
+    dequeued_bits: Arc<Counter>,
+    backlog_pkts: Arc<Gauge>,
+    ring: Arc<EventRing>,
+}
+
 pub struct DpdkQos {
     subport: TokenState,
     pipes: Vec<PipeState>,
     grinder: usize,
     stats: DpdkStats,
+    telemetry: Option<DpdkTelemetry>,
 }
 
 impl core::fmt::Debug for DpdkQos {
@@ -172,9 +187,7 @@ impl DpdkQos {
                 .iter()
                 .map(|p| PipeState {
                     tb: TokenState::new(p.rate, cfg.burst_window),
-                    tcs: core::array::from_fn(|i| {
-                        TokenState::new(p.tc_rates[i], cfg.burst_window)
-                    }),
+                    tcs: core::array::from_fn(|i| TokenState::new(p.tc_rates[i], cfg.burst_window)),
                     queues: core::array::from_fn(|_| {
                         PacketFifo::new(cfg.queue_bytes, cfg.queue_pkts)
                     }),
@@ -182,7 +195,22 @@ impl DpdkQos {
                 .collect(),
             grinder: 0,
             stats: DpdkStats::default(),
+            telemetry: None,
         }
+    }
+
+    /// Mirrors this scheduler's counters into `registry` under `dpdk.*` —
+    /// enqueue drops additionally trace [`TraceKind::TailDrop`] events
+    /// whose `a` operand encodes `pipe * NUM_TCS + tc`.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = Some(DpdkTelemetry {
+            enqueued: registry.counter("dpdk.enqueued"),
+            drops: registry.counter("dpdk.drops"),
+            dequeued: registry.counter("dpdk.dequeued"),
+            dequeued_bits: registry.counter("dpdk.dequeued_bits"),
+            backlog_pkts: registry.gauge("dpdk.backlog_pkts"),
+            ring: registry.ring(),
+        });
     }
 
     /// Number of pipes.
@@ -214,10 +242,24 @@ impl DpdkQos {
     ///
     /// Panics if `pipe` or `tc` is out of range.
     pub fn enqueue(&mut self, pipe: usize, tc: usize, pkt: Packet) -> Result<(), QueueDrop> {
+        let (at, id) = (pkt.created_at, pkt.id);
         let r = self.pipes[pipe].queues[tc].push(pkt);
         match r {
-            Ok(()) => self.stats.enqueued += 1,
-            Err(_) => self.stats.drops += 1,
+            Ok(()) => {
+                self.stats.enqueued += 1;
+                if let Some(t) = &self.telemetry {
+                    t.enqueued.incr(0);
+                    t.backlog_pkts.set(self.backlog_pkts() as u64);
+                }
+            }
+            Err(_) => {
+                self.stats.drops += 1;
+                if let Some(t) = &self.telemetry {
+                    t.drops.incr(0);
+                    t.ring
+                        .record(at, TraceKind::TailDrop, (pipe * NUM_TCS + tc) as u64, id);
+                }
+            }
         }
         r
     }
@@ -237,14 +279,18 @@ impl DpdkQos {
                     continue;
                 };
                 let bits = head.frame_bits() as i64;
-                if self.subport.covers(bits) && pipe.tb.covers(bits) && pipe.tcs[tc].covers(bits)
-                {
+                if self.subport.covers(bits) && pipe.tb.covers(bits) && pipe.tcs[tc].covers(bits) {
                     self.subport.charge(bits);
                     pipe.tb.charge(bits);
                     pipe.tcs[tc].charge(bits);
                     let pkt = pipe.queues[tc].pop().expect("peeked head exists");
                     self.stats.dequeued += 1;
                     self.stats.dequeued_bits += pkt.frame_bits();
+                    if let Some(t) = &self.telemetry {
+                        t.dequeued.incr(0);
+                        t.dequeued_bits.add(0, pkt.frame_bits());
+                        t.backlog_pkts.set(self.backlog_pkts() as u64);
+                    }
                     // Move the grinder past this pipe for round-robin fairness.
                     self.grinder = (pi + 1) % n;
                     return Some(pkt);
@@ -364,5 +410,30 @@ mod tests {
     fn idle_scheduler_has_no_timer() {
         let q = DpdkQos::new(DpdkQosConfig::equal_pipes(BitRate::from_mbps(10), 1));
         assert_eq!(q.next_ready(Nanos::ZERO), None);
+    }
+
+    #[test]
+    fn telemetry_mirrors_stats() {
+        let mut cfg = DpdkQosConfig::equal_pipes(BitRate::from_gbps(1.0), 2);
+        cfg.queue_pkts = 1;
+        let mut q = DpdkQos::new(cfg);
+        let registry = Registry::new();
+        q.attach_telemetry(&registry);
+        q.enqueue(0, 0, pkt(0, 0)).unwrap();
+        assert!(q.enqueue(0, 0, pkt(1, 0)).is_err());
+        q.enqueue(1, 2, pkt(2, 1)).unwrap();
+        assert!(q.enqueue(1, 2, pkt(3, 1)).is_err());
+        let out = q.dequeue(Nanos::ZERO).unwrap();
+        let snap = registry.snapshot(Nanos::ZERO);
+        let s = q.stats();
+        assert_eq!(snap.counter("dpdk.enqueued"), s.enqueued);
+        assert_eq!(snap.counter("dpdk.drops"), s.drops);
+        assert_eq!(snap.counter("dpdk.dequeued"), 1);
+        assert_eq!(snap.counter("dpdk.dequeued_bits"), out.frame_bits());
+        // The drop on (pipe 1, tc 2) encodes its queue index in `a`.
+        assert!(snap
+            .events
+            .iter()
+            .any(|e| e.kind == TraceKind::TailDrop && e.a == (NUM_TCS + 2) as u64));
     }
 }

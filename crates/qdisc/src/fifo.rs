@@ -66,8 +66,7 @@ impl PacketFifo {
     ///
     /// [`QueueDrop::Overlimit`] when either limit would be exceeded.
     pub fn push(&mut self, pkt: Packet) -> Result<(), QueueDrop> {
-        if self.queue.len() >= self.pkt_limit
-            || self.bytes + pkt.frame_len as u64 > self.byte_limit
+        if self.queue.len() >= self.pkt_limit || self.bytes + pkt.frame_len as u64 > self.byte_limit
         {
             self.drops += 1;
             return Err(QueueDrop::Overlimit);

@@ -22,7 +22,11 @@
 //! again.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use fv_telemetry::metrics::{Counter, Gauge};
+use fv_telemetry::trace::{EventRing, TraceKind};
+use fv_telemetry::Registry;
 use netstack::packet::Packet;
 use sim_core::time::Nanos;
 use sim_core::units::BitRate;
@@ -31,8 +35,6 @@ use crate::fifo::{PacketFifo, QueueDrop};
 
 /// An HTB class handle (the minor of a `tc` `major:minor`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
-#[serde(transparent)]
 pub struct Handle(pub u16);
 
 impl core::fmt::Display for Handle {
@@ -43,7 +45,6 @@ impl core::fmt::Display for Handle {
 
 /// Configuration of one HTB class.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct HtbClassSpec {
     /// Class handle.
     pub id: Handle,
@@ -94,7 +95,6 @@ impl HtbClassSpec {
 
 /// Knobs reproducing the measured kernel behaviours.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct KernelModel {
     /// Fraction of transmitted bits actually charged to token buckets
     /// (< 1.0 models 3.10-era GSO undercharging; 1.0 = ideal shaper).
@@ -194,7 +194,6 @@ struct ClassState {
 
 /// Aggregate qdisc counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct HtbStats {
     /// Packets accepted into leaf queues.
     pub enqueued: u64,
@@ -225,6 +224,18 @@ pub struct HtbStats {
 /// assert_eq!(htb.leaf_handles(), vec![Handle(10)]);
 /// # Ok::<(), qdisc::htb::HtbError>(())
 /// ```
+/// Registry handles mirroring [`HtbStats`] (plus a backlog gauge and
+/// tail-drop trace events). Attached via [`Htb::attach_telemetry`].
+#[derive(Debug, Clone)]
+struct HtbTelemetry {
+    enqueued: Arc<Counter>,
+    drops: Arc<Counter>,
+    dequeued: Arc<Counter>,
+    dequeued_bits: Arc<Counter>,
+    backlog_pkts: Arc<Gauge>,
+    ring: Arc<EventRing>,
+}
+
 pub struct Htb {
     classes: Vec<ClassState>,
     index: HashMap<Handle, usize>,
@@ -232,6 +243,7 @@ pub struct Htb {
     model: KernelModel,
     rr_cursor: usize,
     stats: HtbStats,
+    telemetry: Option<HtbTelemetry>,
 }
 
 impl core::fmt::Debug for Htb {
@@ -277,10 +289,8 @@ impl Htb {
             .iter()
             .enumerate()
             .map(|(i, s)| {
-                let burst =
-                    (s.rate.bits_in(model.burst_window) as i64).max(10 * 1518 * 8);
-                let cburst =
-                    (s.ceil.bits_in(model.burst_window) as i64).max(10 * 1518 * 8);
+                let burst = (s.rate.bits_in(model.burst_window) as i64).max(10 * 1518 * 8);
+                let cburst = (s.ceil.bits_in(model.burst_window) as i64).max(10 * 1518 * 8);
                 ClassState {
                     spec: HtbClassSpec {
                         quantum: if s.quantum == 0 { 1518 } else { s.quantum },
@@ -308,12 +318,29 @@ impl Htb {
             model,
             rr_cursor: 0,
             stats: HtbStats::default(),
+            telemetry: None,
         })
+    }
+
+    /// Mirrors this qdisc's counters into `registry` under `htb.*` —
+    /// enqueue drops additionally trace [`TraceKind::TailDrop`] events.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = Some(HtbTelemetry {
+            enqueued: registry.counter("htb.enqueued"),
+            drops: registry.counter("htb.drops"),
+            dequeued: registry.counter("htb.dequeued"),
+            dequeued_bits: registry.counter("htb.dequeued_bits"),
+            backlog_pkts: registry.gauge("htb.backlog_pkts"),
+            ring: registry.ring(),
+        });
     }
 
     /// Handles of all leaf classes, in declaration order.
     pub fn leaf_handles(&self) -> Vec<Handle> {
-        self.leaves.iter().map(|&i| self.classes[i].spec.id).collect()
+        self.leaves
+            .iter()
+            .map(|&i| self.classes[i].spec.id)
+            .collect()
     }
 
     /// Aggregate counters.
@@ -323,7 +350,10 @@ impl Htb {
 
     /// Total packets queued across all leaves.
     pub fn backlog_pkts(&self) -> usize {
-        self.leaves.iter().map(|&i| self.classes[i].queue.len()).sum()
+        self.leaves
+            .iter()
+            .map(|&i| self.classes[i].queue.len())
+            .sum()
     }
 
     /// Enqueues a packet to a leaf class.
@@ -333,15 +363,35 @@ impl Htb {
     /// [`HtbError::UnknownClass`] / [`HtbError::NotALeaf`] for a bad
     /// destination; queue-limit drops are reported as `Ok(false)`-style
     /// via the embedded [`QueueDrop`].
-    pub fn enqueue(&mut self, class: Handle, pkt: Packet) -> Result<Result<(), QueueDrop>, HtbError> {
-        let &i = self.index.get(&class).ok_or(HtbError::UnknownClass(class))?;
+    pub fn enqueue(
+        &mut self,
+        class: Handle,
+        pkt: Packet,
+    ) -> Result<Result<(), QueueDrop>, HtbError> {
+        let &i = self
+            .index
+            .get(&class)
+            .ok_or(HtbError::UnknownClass(class))?;
         if !self.classes[i].children.is_empty() {
             return Err(HtbError::NotALeaf(class));
         }
+        let (at, id) = (pkt.created_at, pkt.id);
         let r = self.classes[i].queue.push(pkt);
         match r {
-            Ok(()) => self.stats.enqueued += 1,
-            Err(_) => self.stats.drops += 1,
+            Ok(()) => {
+                self.stats.enqueued += 1;
+                if let Some(t) = &self.telemetry {
+                    t.enqueued.incr(0);
+                    t.backlog_pkts.set(self.backlog_pkts() as u64);
+                }
+            }
+            Err(_) => {
+                self.stats.drops += 1;
+                if let Some(t) = &self.telemetry {
+                    t.drops.incr(0);
+                    t.ring.record(at, TraceKind::TailDrop, class.0 as u64, id);
+                }
+            }
         }
         Ok(r)
     }
@@ -470,6 +520,11 @@ impl Htb {
         }
         self.stats.dequeued += 1;
         self.stats.dequeued_bits += pkt.frame_bits();
+        if let Some(t) = &self.telemetry {
+            t.dequeued.incr(0);
+            t.dequeued_bits.add(0, pkt.frame_bits());
+            t.backlog_pkts.set(self.backlog_pkts() as u64);
+        }
         pkt
     }
 
@@ -602,10 +657,8 @@ mod tests {
             let mut htb = Htb::new(
                 vec![
                     HtbClassSpec::new(Handle(1), None, gbps(10.0)),
-                    HtbClassSpec::new(Handle(10), Some(Handle(1)), gbps(5.0))
-                        .ceil(gbps(10.0)),
-                    HtbClassSpec::new(Handle(20), Some(Handle(1)), gbps(5.0))
-                        .ceil(gbps(10.0)),
+                    HtbClassSpec::new(Handle(10), Some(Handle(1)), gbps(5.0)).ceil(gbps(10.0)),
+                    HtbClassSpec::new(Handle(20), Some(Handle(1)), gbps(5.0)).ceil(gbps(10.0)),
                 ],
                 model,
             )
@@ -622,7 +675,10 @@ mod tests {
         let ideal = mk(KernelModel::ideal());
         let kernel = mk(KernelModel::centos7());
         assert!((ideal - 10.0).abs() < 0.8, "ideal total {ideal} Gbps");
-        assert!(kernel > 11.0 && kernel < 13.0, "centos7 total {kernel} Gbps");
+        assert!(
+            kernel > 11.0 && kernel < 13.0,
+            "centos7 total {kernel} Gbps"
+        );
     }
 
     #[test]
@@ -712,6 +768,35 @@ mod tests {
         assert_eq!(htb.stats().enqueued, 2);
         assert_eq!(htb.stats().drops, 3);
         assert_eq!(htb.backlog_pkts(), 2);
+    }
+
+    #[test]
+    fn telemetry_mirrors_stats() {
+        let mut model = KernelModel::ideal();
+        model.queue_limit_pkts = 2;
+        let mut htb = Htb::new(
+            vec![
+                HtbClassSpec::new(Handle(1), None, gbps(1.0)),
+                HtbClassSpec::new(Handle(10), Some(Handle(1)), gbps(1.0)),
+            ],
+            model,
+        )
+        .unwrap();
+        let registry = Registry::new();
+        htb.attach_telemetry(&registry);
+        for i in 0..5 {
+            let _ = htb.enqueue(Handle(10), pkt(i, 100, 0)).unwrap();
+        }
+        let out = htb.dequeue(Nanos::ZERO).unwrap();
+        let snap = registry.snapshot(Nanos::ZERO);
+        assert_eq!(snap.counter("htb.enqueued"), htb.stats().enqueued);
+        assert_eq!(snap.counter("htb.drops"), htb.stats().drops);
+        assert_eq!(snap.counter("htb.dequeued"), 1);
+        assert_eq!(snap.counter("htb.dequeued_bits"), out.frame_bits());
+        assert!(snap
+            .events
+            .iter()
+            .any(|e| e.kind == TraceKind::TailDrop && e.a == 10));
     }
 
     #[test]

@@ -4,6 +4,11 @@
 //! N FIFO bands, dequeue always serves the highest-priority (lowest-index)
 //! non-empty band.
 
+use std::sync::Arc;
+
+use fv_telemetry::metrics::{Counter, Gauge};
+use fv_telemetry::trace::{EventRing, TraceKind};
+use fv_telemetry::Registry;
 use netstack::packet::Packet;
 
 use crate::fifo::{PacketFifo, QueueDrop};
@@ -26,11 +31,23 @@ use crate::fifo::{PacketFifo, QueueDrop};
 /// assert_eq!(prio.dequeue().map(|p| p.id), Some(1)); // high pops first
 /// # Ok::<(), qdisc::fifo::QueueDrop>(())
 /// ```
+/// Registry handles mirroring the PRIO counters. Attached via
+/// [`Prio::attach_telemetry`].
+#[derive(Debug, Clone)]
+struct PrioTelemetry {
+    enqueued: Arc<Counter>,
+    dequeued: Arc<Counter>,
+    drops: Arc<Counter>,
+    backlog_pkts: Arc<Gauge>,
+    ring: Arc<EventRing>,
+}
+
 #[derive(Debug)]
 pub struct Prio {
     bands: Vec<PacketFifo>,
     enqueued: u64,
     dequeued: u64,
+    telemetry: Option<PrioTelemetry>,
 }
 
 impl Prio {
@@ -48,7 +65,20 @@ impl Prio {
                 .collect(),
             enqueued: 0,
             dequeued: 0,
+            telemetry: None,
         }
+    }
+
+    /// Mirrors this qdisc's counters into `registry` under `prio.*` —
+    /// band overflows additionally trace [`TraceKind::TailDrop`] events.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = Some(PrioTelemetry {
+            enqueued: registry.counter("prio.enqueued"),
+            dequeued: registry.counter("prio.dequeued"),
+            drops: registry.counter("prio.drops"),
+            backlog_pkts: registry.gauge("prio.backlog_pkts"),
+            ring: registry.ring(),
+        });
     }
 
     /// Number of bands.
@@ -66,18 +96,35 @@ impl Prio {
     ///
     /// Panics if `band` is out of range.
     pub fn enqueue(&mut self, band: usize, pkt: Packet) -> Result<(), QueueDrop> {
+        let (at, id) = (pkt.created_at, pkt.id);
         let r = self.bands[band].push(pkt);
-        if r.is_ok() {
-            self.enqueued += 1;
+        match &r {
+            Ok(()) => {
+                self.enqueued += 1;
+                if let Some(t) = &self.telemetry {
+                    t.enqueued.incr(0);
+                    t.backlog_pkts.set(self.backlog_pkts() as u64);
+                }
+            }
+            Err(_) => {
+                if let Some(t) = &self.telemetry {
+                    t.drops.incr(0);
+                    t.ring.record(at, TraceKind::TailDrop, band as u64, id);
+                }
+            }
         }
         r
     }
 
     /// Dequeues from the highest-priority non-empty band.
     pub fn dequeue(&mut self) -> Option<Packet> {
-        for band in &mut self.bands {
-            if let Some(p) = band.pop() {
+        for band in 0..self.bands.len() {
+            if let Some(p) = self.bands[band].pop() {
                 self.dequeued += 1;
+                if let Some(t) = &self.telemetry {
+                    t.dequeued.incr(0);
+                    t.backlog_pkts.set(self.backlog_pkts() as u64);
+                }
                 return Some(p);
             }
         }
@@ -166,5 +213,24 @@ mod tests {
     #[should_panic]
     fn zero_bands_rejected() {
         let _ = Prio::new(0, 1, 1);
+    }
+
+    #[test]
+    fn telemetry_mirrors_counters() {
+        let mut q = Prio::new(2, 1 << 20, 1);
+        let registry = Registry::new();
+        q.attach_telemetry(&registry);
+        q.enqueue(0, pkt(0)).unwrap();
+        assert!(q.enqueue(0, pkt(1)).is_err());
+        q.enqueue(1, pkt(2)).unwrap();
+        assert!(q.dequeue().is_some());
+        let snap = registry.snapshot(Nanos::ZERO);
+        assert_eq!(snap.counter("prio.enqueued"), 2);
+        assert_eq!(snap.counter("prio.drops"), 1);
+        assert_eq!(snap.counter("prio.dequeued"), 1);
+        assert!(snap
+            .events
+            .iter()
+            .any(|e| e.kind == TraceKind::TailDrop && e.a == 0 && e.b == 1));
     }
 }

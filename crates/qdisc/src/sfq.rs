@@ -15,7 +15,6 @@ use crate::fifo::{PacketFifo, QueueDrop};
 
 /// SFQ configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct SfqConfig {
     /// Number of hash buckets (127 in the kernel's classic SFQ).
     pub buckets: usize,
@@ -133,8 +132,7 @@ impl Sfq {
         for pass in 0..2 {
             for k in 0..n {
                 let i = (self.rr_cursor + k) % n;
-                let Some(head_len) = self.buckets[i].peek().map(|p| p.frame_len as i64)
-                else {
+                let Some(head_len) = self.buckets[i].peek().map(|p| p.frame_len as i64) else {
                     continue;
                 };
                 if self.deficits[i] >= head_len {
@@ -189,8 +187,9 @@ mod tests {
         for i in 0..10 {
             q.enqueue(pkt(i, 1000), Nanos::ZERO).unwrap();
         }
-        let ids: Vec<u64> =
-            std::iter::from_fn(|| q.dequeue(Nanos::ZERO)).map(|p| p.id).collect();
+        let ids: Vec<u64> = std::iter::from_fn(|| q.dequeue(Nanos::ZERO))
+            .map(|p| p.id)
+            .collect();
         assert_eq!(ids, (0..10).collect::<Vec<_>>());
     }
 

@@ -5,6 +5,11 @@
 //! which requires exactly the queue control NP hardware lacks. It serves
 //! as the reference shaper for rate-conformance comparisons.
 
+use std::sync::Arc;
+
+use fv_telemetry::metrics::{Counter, Gauge};
+use fv_telemetry::trace::{EventRing, TraceKind};
+use fv_telemetry::Registry;
 use netstack::packet::Packet;
 use sim_core::time::Nanos;
 use sim_core::units::BitRate;
@@ -31,6 +36,18 @@ use crate::fifo::{PacketFifo, QueueDrop};
 /// assert!(tbf.dequeue(Nanos::ZERO).is_some());
 /// # Ok::<(), qdisc::fifo::QueueDrop>(())
 /// ```
+/// Registry handles mirroring the TBF counters. Attached via
+/// [`Tbf::attach_telemetry`].
+#[derive(Debug, Clone)]
+struct TbfTelemetry {
+    enqueued: Arc<Counter>,
+    dequeued: Arc<Counter>,
+    dequeued_bits: Arc<Counter>,
+    drops: Arc<Counter>,
+    backlog_pkts: Arc<Gauge>,
+    ring: Arc<EventRing>,
+}
+
 #[derive(Debug)]
 pub struct Tbf {
     rate: BitRate,
@@ -38,6 +55,7 @@ pub struct Tbf {
     tokens: i64,
     last: Nanos,
     queue: PacketFifo,
+    telemetry: Option<TbfTelemetry>,
 }
 
 impl Tbf {
@@ -57,7 +75,21 @@ impl Tbf {
             tokens: burst_bits,
             last: Nanos::ZERO,
             queue: PacketFifo::new(queue_bytes, queue_pkts),
+            telemetry: None,
         }
+    }
+
+    /// Mirrors this shaper's counters into `registry` under `tbf.*` —
+    /// backlog overflows additionally trace [`TraceKind::TailDrop`] events.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = Some(TbfTelemetry {
+            enqueued: registry.counter("tbf.enqueued"),
+            dequeued: registry.counter("tbf.dequeued"),
+            dequeued_bits: registry.counter("tbf.dequeued_bits"),
+            drops: registry.counter("tbf.drops"),
+            backlog_pkts: registry.gauge("tbf.backlog_pkts"),
+            ring: registry.ring(),
+        });
     }
 
     /// Queues a packet for shaping.
@@ -66,7 +98,23 @@ impl Tbf {
     ///
     /// [`QueueDrop::Overlimit`] when the backlog is full.
     pub fn enqueue(&mut self, pkt: Packet) -> Result<(), QueueDrop> {
-        self.queue.push(pkt)
+        let (at, id) = (pkt.created_at, pkt.id);
+        let r = self.queue.push(pkt);
+        match &r {
+            Ok(()) => {
+                if let Some(t) = &self.telemetry {
+                    t.enqueued.incr(0);
+                    t.backlog_pkts.set(self.queue.len() as u64);
+                }
+            }
+            Err(_) => {
+                if let Some(t) = &self.telemetry {
+                    t.drops.incr(0);
+                    t.ring.record(at, TraceKind::TailDrop, 0, id);
+                }
+            }
+        }
+        r
     }
 
     fn refill(&mut self, now: Nanos) {
@@ -83,7 +131,13 @@ impl Tbf {
         let bits = self.queue.peek()?.frame_bits() as i64;
         if self.tokens >= bits {
             self.tokens -= bits;
-            self.queue.pop()
+            let pkt = self.queue.pop();
+            if let (Some(p), Some(t)) = (&pkt, &self.telemetry) {
+                t.dequeued.incr(0);
+                t.dequeued_bits.add(0, p.frame_bits());
+                t.backlog_pkts.set(self.queue.len() as u64);
+            }
+            pkt
         } else {
             None
         }
@@ -171,5 +225,26 @@ mod tests {
         assert!(tbf.enqueue(pkt(1, 1250)).is_err());
         assert_eq!(tbf.drops(), 1);
         assert_eq!(tbf.backlog_pkts(), 1);
+    }
+
+    #[test]
+    fn telemetry_mirrors_counters() {
+        use fv_telemetry::Registry;
+
+        let mut tbf = Tbf::new(BitRate::from_gbps(1.0), 10_000, 1 << 20, 1);
+        let registry = Registry::new();
+        tbf.attach_telemetry(&registry);
+        tbf.enqueue(pkt(0, 1250)).unwrap();
+        assert!(tbf.enqueue(pkt(1, 1250)).is_err());
+        let out = tbf.dequeue(Nanos::ZERO).unwrap();
+        let snap = registry.snapshot(Nanos::ZERO);
+        assert_eq!(snap.counter("tbf.enqueued"), 1);
+        assert_eq!(snap.counter("tbf.drops"), 1);
+        assert_eq!(snap.counter("tbf.dequeued"), 1);
+        assert_eq!(snap.counter("tbf.dequeued_bits"), out.frame_bits());
+        assert!(snap
+            .events
+            .iter()
+            .any(|e| e.kind == fv_telemetry::trace::TraceKind::TailDrop && e.b == 1));
     }
 }

@@ -1,12 +1,15 @@
-//! Property-based invariants of the baseline schedulers.
+//! Randomized invariants of the baseline schedulers.
+//!
+//! Formerly `proptest` strategies; now deterministic [`SimRng`]-driven case
+//! sweeps, since the workspace builds without crates.io access.
 
 use netstack::flow::FlowKey;
 use netstack::packet::{AppId, Packet, VfPort};
-use proptest::prelude::*;
 use qdisc::dpdk::{DpdkQos, DpdkQosConfig};
 use qdisc::htb::{Handle, Htb, HtbClassSpec, KernelModel};
 use qdisc::prio::Prio;
 use qdisc::tbf::Tbf;
+use sim_core::rng::SimRng;
 use sim_core::time::Nanos;
 use sim_core::units::BitRate;
 
@@ -15,24 +18,30 @@ fn pkt(id: u64, len: u32, app: u16) -> Packet {
     Packet::new(id, flow, len, AppId(app), VfPort(0), Nanos::ZERO)
 }
 
-proptest! {
-    /// HTB conservation: everything enqueued is eventually dequeued or
-    /// still queued — never duplicated, never lost.
-    #[test]
-    fn htb_conserves_packets(
-        lens in proptest::collection::vec(64u32..1_519, 1..300),
-        rate_mbps in 10u64..10_000,
-    ) {
+/// HTB conservation: everything enqueued is eventually dequeued or still
+/// queued — never duplicated, never lost.
+#[test]
+fn htb_conserves_packets() {
+    let mut rng = SimRng::seed(0xD15C);
+    for _ in 0..30 {
+        let n = rng.range(1, 300) as usize;
+        let lens: Vec<u32> = (0..n).map(|_| rng.range(64, 1_519) as u32).collect();
+        let rate_mbps = rng.range(10, 10_000);
         let mut htb = Htb::new(
             vec![
                 HtbClassSpec::new(Handle(1), None, BitRate::from_mbps(rate_mbps)),
                 HtbClassSpec::new(Handle(10), Some(Handle(1)), BitRate::from_mbps(rate_mbps)),
             ],
             KernelModel::ideal(),
-        ).unwrap();
+        )
+        .unwrap();
         let mut accepted = 0u64;
         for (i, &len) in lens.iter().enumerate() {
-            if htb.enqueue(Handle(10), pkt(i as u64, len, 0)).unwrap().is_ok() {
+            if htb
+                .enqueue(Handle(10), pkt(i as u64, len, 0))
+                .unwrap()
+                .is_ok()
+            {
                 accepted += 1;
             }
         }
@@ -42,7 +51,7 @@ proptest! {
         for _ in 0..10 * lens.len() {
             match htb.dequeue(t) {
                 Some(p) => {
-                    prop_assert!(ids.insert(p.id), "duplicate packet {}", p.id);
+                    assert!(ids.insert(p.id), "duplicate packet {}", p.id);
                     dequeued += 1;
                 }
                 None => match htb.next_ready(t) {
@@ -51,18 +60,21 @@ proptest! {
                 },
             }
         }
-        prop_assert_eq!(dequeued + htb.backlog_pkts() as u64, accepted);
-        prop_assert_eq!(htb.stats().enqueued, accepted);
-        prop_assert_eq!(htb.stats().dequeued, dequeued);
+        assert_eq!(dequeued + htb.backlog_pkts() as u64, accepted);
+        assert_eq!(htb.stats().enqueued, accepted);
+        assert_eq!(htb.stats().dequeued, dequeued);
     }
+}
 
-    /// A single HTB leaf never sustains more than its ceiling (with ideal
-    /// charging) over a long window, whatever the packet mix.
-    #[test]
-    fn htb_ideal_never_exceeds_ceiling(
-        lens in proptest::collection::vec(64u32..1_519, 50..200),
-        ceil_mbps in 50u64..2_000,
-    ) {
+/// A single HTB leaf never sustains more than its ceiling (with ideal
+/// charging) over a long window, whatever the packet mix.
+#[test]
+fn htb_ideal_never_exceeds_ceiling() {
+    let mut rng = SimRng::seed(0xD15D);
+    for _ in 0..10 {
+        let n = rng.range(50, 200) as usize;
+        let lens: Vec<u32> = (0..n).map(|_| rng.range(64, 1_519) as u32).collect();
+        let ceil_mbps = rng.range(50, 2_000);
         let ceil = BitRate::from_mbps(ceil_mbps);
         let mut htb = Htb::new(
             vec![
@@ -70,7 +82,8 @@ proptest! {
                 HtbClassSpec::new(Handle(10), Some(Handle(1)), ceil),
             ],
             KernelModel::ideal(),
-        ).unwrap();
+        )
+        .unwrap();
         // Keep the leaf always backlogged.
         let mut next_id = 0u64;
         let mut li = 0usize;
@@ -86,19 +99,29 @@ proptest! {
             }
             match htb.dequeue(t) {
                 Some(p) => bits += p.frame_bits(),
-                None => t = htb.next_ready(t).unwrap_or(horizon).max(t + Nanos::from_nanos(1)),
+                None => {
+                    t = htb
+                        .next_ready(t)
+                        .unwrap_or(horizon)
+                        .max(t + Nanos::from_nanos(1))
+                }
             }
         }
         let achieved = bits as f64 / horizon.as_secs_f64();
         // Allowed: ceiling + the burst amortized over the window.
         let budget = ceil.as_bps() as f64 * 1.1 + 10.0 * 1518.0 * 8.0 / horizon.as_secs_f64();
-        prop_assert!(achieved <= budget, "{achieved} > {budget}");
+        assert!(achieved <= budget, "{achieved} > {budget}");
     }
+}
 
-    /// PRIO never reorders within a band and never dequeues across bands
-    /// out of priority order.
-    #[test]
-    fn prio_order_invariants(bands in proptest::collection::vec(0usize..3, 1..200)) {
+/// PRIO never reorders within a band and never dequeues across bands out
+/// of priority order.
+#[test]
+fn prio_order_invariants() {
+    let mut rng = SimRng::seed(0xD15E);
+    for _ in 0..50 {
+        let n = rng.range(1, 200) as usize;
+        let bands: Vec<usize> = (0..n).map(|_| rng.index(3)).collect();
         let mut q = Prio::new(3, 1 << 20, 1 << 12);
         for (i, &b) in bands.iter().enumerate() {
             q.enqueue(b, pkt(i as u64, 64, b as u16)).unwrap();
@@ -108,22 +131,24 @@ proptest! {
             let b = p.app.0 as usize;
             // FIFO within band.
             if let Some(last) = last_per_band[b] {
-                prop_assert!(p.id > last);
+                assert!(p.id > last);
             }
             last_per_band[b] = Some(p.id);
             // No lower-priority band may still hold older deliverable
             // packets when a higher band was nonempty — implied by strict
             // priority + this FIFO check across the full drain.
         }
-        prop_assert_eq!(q.backlog_pkts(), 0);
+        assert_eq!(q.backlog_pkts(), 0);
     }
+}
 
-    /// TBF long-run rate never exceeds its configuration.
-    #[test]
-    fn tbf_rate_bounded(
-        rate_mbps in 10u64..5_000,
-        burst_kb in 2u64..64,
-    ) {
+/// TBF long-run rate never exceeds its configuration.
+#[test]
+fn tbf_rate_bounded() {
+    let mut rng = SimRng::seed(0xD15F);
+    for _ in 0..15 {
+        let rate_mbps = rng.range(10, 5_000);
+        let burst_kb = rng.range(2, 64);
         let rate = BitRate::from_mbps(rate_mbps);
         let mut tbf = Tbf::new(rate, burst_kb * 1_024, 1 << 20, 4_096);
         let horizon = Nanos::from_millis(20);
@@ -147,18 +172,23 @@ proptest! {
         }
         let achieved = bits as f64 / horizon.as_secs_f64();
         let budget = rate.as_bps() as f64 + (burst_kb * 1_024 * 8) as f64 / horizon.as_secs_f64();
-        prop_assert!(achieved <= budget * 1.02, "{achieved} > {budget}");
+        assert!(achieved <= budget * 1.02, "{achieved} > {budget}");
     }
+}
 
-    /// DPDK QoS conserves packets across arbitrary enqueue patterns.
-    #[test]
-    fn dpdk_conserves_packets(
-        targets in proptest::collection::vec((0usize..4, 0usize..4), 1..300),
-    ) {
+/// DPDK QoS conserves packets across arbitrary enqueue patterns.
+#[test]
+fn dpdk_conserves_packets() {
+    let mut rng = SimRng::seed(0xD160);
+    for _ in 0..30 {
+        let n = rng.range(1, 300) as usize;
+        let targets: Vec<(usize, usize)> = (0..n).map(|_| (rng.index(4), rng.index(4))).collect();
         let mut q = DpdkQos::new(DpdkQosConfig::equal_pipes(BitRate::from_gbps(10.0), 4));
         let mut accepted = 0u64;
         for (i, &(pipe, tc)) in targets.iter().enumerate() {
-            if q.enqueue(pipe, tc, pkt(i as u64, 1_000, pipe as u16)).is_ok() {
+            if q.enqueue(pipe, tc, pkt(i as u64, 1_000, pipe as u16))
+                .is_ok()
+            {
                 accepted += 1;
             }
         }
@@ -173,6 +203,6 @@ proptest! {
                 },
             }
         }
-        prop_assert_eq!(dequeued + q.backlog_pkts() as u64, accepted);
+        assert_eq!(dequeued + q.backlog_pkts() as u64, accepted);
     }
 }

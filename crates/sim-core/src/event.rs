@@ -205,10 +205,9 @@ mod tests {
 
     #[test]
     fn from_iterator_and_extend() {
-        let mut q: EventQueue<u8> =
-            vec![(Nanos::from_nanos(2), 2u8), (Nanos::from_nanos(1), 1u8)]
-                .into_iter()
-                .collect();
+        let mut q: EventQueue<u8> = vec![(Nanos::from_nanos(2), 2u8), (Nanos::from_nanos(1), 1u8)]
+            .into_iter()
+            .collect();
         q.extend([(Nanos::from_nanos(3), 3u8)]);
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
         assert_eq!(order, vec![1, 2, 3]);

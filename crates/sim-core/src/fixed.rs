@@ -41,8 +41,6 @@ pub const RATE_SCALE: u64 = 1 << RATE_FRAC_BITS;
 /// assert_eq!(t.whole_bits(), 12_000);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
-#[serde(transparent)]
 pub struct Tokens(u64);
 
 impl Tokens {
@@ -160,8 +158,6 @@ impl core::ops::Sub for Tokens {
 /// assert_eq!(r.accrued(Nanos::from_micros(1)).whole_bits(), 10_000);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
-#[serde(transparent)]
 pub struct TokenRate(u64);
 
 impl TokenRate {
@@ -192,8 +188,8 @@ impl TokenRate {
     /// Converts back to a bandwidth (rounding to whole bits/s).
     pub fn to_bit_rate(self) -> crate::units::BitRate {
         crate::units::BitRate::from_bps(
-            ((self.0 as u128 * 1_000_000_000u128 + RATE_SCALE as u128 / 2)
-                / RATE_SCALE as u128) as u64,
+            ((self.0 as u128 * 1_000_000_000u128 + RATE_SCALE as u128 / 2) / RATE_SCALE as u128)
+                as u64,
         )
     }
 
@@ -282,7 +278,10 @@ mod tests {
         let t = tr.accrued(Nanos::from_millis(1));
         // 40 Gbps × 1 ms = 40 Mbit.
         let bits = t.whole_bits();
-        assert!((bits as i64 - 40_000_000).unsigned_abs() < 1_000, "got {bits}");
+        assert!(
+            (bits as i64 - 40_000_000).unsigned_abs() < 1_000,
+            "got {bits}"
+        );
     }
 
     #[test]

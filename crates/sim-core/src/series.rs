@@ -13,7 +13,6 @@ use crate::units::BitRate;
 
 /// One binned series: average bit rate per fixed time bin.
 #[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct BinnedSeries {
     /// Series name (e.g. application name).
     pub name: String,
@@ -32,7 +31,10 @@ impl BinnedSeries {
         if from >= to {
             return BitRate::ZERO;
         }
-        let sum: u128 = self.rates[from..to].iter().map(|r| r.as_bps() as u128).sum();
+        let sum: u128 = self.rates[from..to]
+            .iter()
+            .map(|r| r.as_bps() as u128)
+            .sum();
         BitRate::from_bps((sum / (to - from) as u128) as u64)
     }
 
@@ -121,7 +123,9 @@ impl SeriesRecorder {
         }
         let rates = bits
             .into_iter()
-            .map(|b| BitRate::from_bps((b as u128 * 1_000_000_000u128 / bin.as_nanos() as u128) as u64))
+            .map(|b| {
+                BitRate::from_bps((b as u128 * 1_000_000_000u128 / bin.as_nanos() as u128) as u64)
+            })
             .collect();
         Some(BinnedSeries {
             name: name.to_owned(),
@@ -235,7 +239,10 @@ mod tests {
             rates: vec![BitRate::from_gbps(1.0), BitRate::from_gbps(2.0)],
         };
         assert_eq!(s.rate_at(Nanos::from_millis(500)), BitRate::from_gbps(1.0));
-        assert_eq!(s.rate_at(Nanos::from_millis(1_500)), BitRate::from_gbps(2.0));
+        assert_eq!(
+            s.rate_at(Nanos::from_millis(1_500)),
+            BitRate::from_gbps(2.0)
+        );
         assert_eq!(s.rate_at(Nanos::from_secs(10)), BitRate::ZERO);
     }
 

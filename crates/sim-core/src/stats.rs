@@ -17,7 +17,6 @@ use core::fmt;
 /// assert_eq!(s.std_dev(), 2.0); // population standard deviation
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct RunningStats {
     count: u64,
     mean: f64,
@@ -143,7 +142,6 @@ impl fmt::Display for RunningStats {
 /// assert!(p50 >= 400_000 && p50 <= 600_000);
 /// ```
 #[derive(Debug, Clone)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct Histogram {
     base: f64,
     growth: f64,
@@ -252,7 +250,11 @@ impl Histogram {
     ///
     /// Panics if the bucket layouts differ.
     pub fn merge(&mut self, other: &Histogram) {
-        assert_eq!(self.counts.len(), other.counts.len(), "bucket count mismatch");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "bucket count mismatch"
+        );
         assert!(
             (self.base - other.base).abs() < f64::EPSILON
                 && (self.growth - other.growth).abs() < f64::EPSILON,

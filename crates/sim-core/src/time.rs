@@ -27,8 +27,6 @@ use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// assert!(t < Nanos::from_millis(1));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
-#[serde(transparent)]
 pub struct Nanos(u64);
 
 impl Nanos {
@@ -67,7 +65,10 @@ impl Nanos {
     ///
     /// Panics if `s` is negative or not finite.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "seconds must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "seconds must be finite and non-negative"
+        );
         Nanos((s * 1e9).round() as u64)
     }
 
@@ -212,8 +213,6 @@ impl fmt::Display for Nanos {
 /// assert_eq!(f.cycles_in(Nanos::from_micros(1)), Cycles::new(1_200));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
-#[serde(transparent)]
 pub struct Freq(u64);
 
 impl Freq {
@@ -286,8 +285,6 @@ impl fmt::Display for Freq {
 /// assert_eq!(c.get(), 120);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
-#[serde(transparent)]
 pub struct Cycles(u64);
 
 impl Cycles {

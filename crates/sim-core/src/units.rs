@@ -21,8 +21,6 @@ use crate::time::Nanos;
 /// assert_eq!(r.to_string(), "40.00Gbps");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
-#[serde(transparent)]
 pub struct BitRate(u64);
 
 impl BitRate {
@@ -53,7 +51,10 @@ impl BitRate {
     ///
     /// Panics if `gbps` is negative or not finite.
     pub fn from_gbps(gbps: f64) -> Self {
-        assert!(gbps.is_finite() && gbps >= 0.0, "rate must be finite and non-negative");
+        assert!(
+            gbps.is_finite() && gbps >= 0.0,
+            "rate must be finite and non-negative"
+        );
         BitRate((gbps * 1e9).round() as u64)
     }
 
@@ -152,8 +153,6 @@ impl fmt::Display for BitRate {
 /// assert_eq!(mtu.as_bits(), 12_000);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
-#[serde(transparent)]
 pub struct ByteSize(u64);
 
 impl ByteSize {
@@ -222,7 +221,6 @@ impl fmt::Display for ByteSize {
 /// assert!((mpps64 - 59.5).abs() < 0.1); // ~59.5 Mpps at 40 GbE
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct WireFraming {
     /// Per-packet overhead bytes on the wire beyond the frame itself
     /// (preamble + SFD + inter-frame gap).

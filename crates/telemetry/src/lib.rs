@@ -1,0 +1,64 @@
+//! `fv-telemetry`: dual-clock observability for the FlowValve workspace.
+//!
+//! The paper's entire evaluation (Figures 3, 7, 10–14) is built on
+//! per-class rate / latency / drop telemetry. This crate gives every layer
+//! of the reproduction one way to answer "what did the scheduler do and
+//! why":
+//!
+//! * [`Registry`] — a named-metric registry handing out `Arc` handles to
+//!   wait-free primitives. Registration is cold-path (mutex); recording is
+//!   relaxed atomics only.
+//! * [`Counter`] / [`Gauge`] / [`Histogram`] / [`RateWindow`] — sharded
+//!   counters, occupancy gauges with high-water marks, log-linear latency
+//!   histograms, and virtual-time-windowed rate series.
+//! * [`EventRing`] — a seqlock trace ring for individual scheduler
+//!   decisions, token-bucket refills, lock waits and tail drops.
+//! * [`json`] — a small JSON emitter ([`ToJson`]/[`JsonValue`]) behind the
+//!   `fv demo --json` exporter and the bench result files (this workspace
+//!   builds with no crates.io access, so there is no `serde_json`).
+//!
+//! # The dual-clock contract
+//!
+//! Nothing in this crate reads a clock. Every recording API takes either a
+//! plain `u64` or an explicit [`Nanos`](sim_core::time::Nanos) timestamp
+//! supplied by the caller, so the *identical* instrumentation runs:
+//!
+//! * under **virtual time** inside the discrete-event simulator, where
+//!   `sim_core::clock::VirtualClock` advances only when events fire, and
+//! * under **wall-clock time** on real OS threads in the Criterion
+//!   benchmarks, where `sim_core::clock::WallClock` reads the hardware
+//!   clock.
+//!
+//! Because the hot path is wait-free (no locks, no CAS loops on counters),
+//! attaching telemetry does not perturb the contention behaviour the
+//! benches exist to measure.
+//!
+//! # Example
+//!
+//! ```
+//! use fv_telemetry::{Registry, ToJson};
+//! use sim_core::time::Nanos;
+//!
+//! let reg = Registry::new();
+//! let tx = reg.counter("nic.tx_packets");        // cold path: once
+//! let lat = reg.histogram("nic.latency_ns");
+//!
+//! // hot path: relaxed atomics only
+//! tx.incr(0);
+//! lat.record(1_230);
+//!
+//! let snap = reg.snapshot(Nanos::from_micros(10));
+//! assert_eq!(snap.counter("nic.tx_packets"), 1);
+//! println!("{}", snap.render());                 // `fv stats` table
+//! println!("{}", snap.to_json().to_pretty());    // `fv demo --json`
+//! ```
+
+pub mod json;
+pub mod metrics;
+pub mod registry;
+pub mod trace;
+
+pub use json::{JsonValue, ToJson};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, RateWindow};
+pub use registry::{MetricEntry, MetricValue, Registry, Snapshot};
+pub use trace::{EventRing, TraceEvent, TraceKind};

@@ -1,0 +1,542 @@
+//! Wait-free metric primitives.
+//!
+//! Every hot-path operation here is a handful of `Relaxed` atomic
+//! read-modify-writes — no locks, no CAS retry loops on counters — so the
+//! same instrumentation can sit inside the simulated micro-engine pipeline
+//! (virtual time, single thread per engine) and inside the multi-threaded
+//! Criterion benchmarks (wall-clock time, real contention) without
+//! perturbing what is being measured.
+//!
+//! Counters are sharded: each recording site passes a small shard hint
+//! (micro-engine id, thread index) and shards are only summed when a
+//! snapshot is taken. Histograms use a single bucket array — two concurrent
+//! `record`s only collide when they land in the same log-linear bucket, and
+//! even then the collision is one relaxed `fetch_add`.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use sim_core::time::Nanos;
+
+/// Number of independent shards per counter.
+///
+/// Must be a power of two; shard hints are masked, so any `usize` works as a
+/// hint. Eight covers the simulated NFP's worker islands and the bench's
+/// thread counts without excessive footprint.
+pub const SHARDS: usize = 8;
+
+const SHARD_MASK: usize = SHARDS - 1;
+
+/// One cache line per shard so two engines never write the same line.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+/// A monotonically increasing, sharded counter.
+#[derive(Default)]
+pub struct Counter {
+    shards: [PaddedU64; SHARDS],
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` on the shard hinted by `shard` (masked; any value is safe).
+    #[inline]
+    pub fn add(&self, shard: usize, n: u64) {
+        self.shards[shard & SHARD_MASK].0.fetch_add(n, Relaxed);
+    }
+
+    /// Adds one on the hinted shard.
+    #[inline]
+    pub fn incr(&self, shard: usize) {
+        self.add(shard, 1);
+    }
+
+    /// Sums all shards. Snapshot-path only; not linearizable with writers.
+    pub fn total(&self) -> u64 {
+        self.shards.iter().map(|s| s.0.load(Relaxed)).sum()
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Counter")
+            .field("total", &self.total())
+            .finish()
+    }
+}
+
+/// A point-in-time value with a high-water mark.
+///
+/// Gauges model occupancy (FIFO backlog, queue depth): `set` stores the
+/// latest observation and folds it into the maximum seen.
+#[derive(Default)]
+pub struct Gauge {
+    value: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the current value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Relaxed);
+        self.max.fetch_max(v, Relaxed);
+    }
+
+    /// The most recently recorded value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Relaxed)
+    }
+
+    /// The largest value ever recorded.
+    pub fn max(&self) -> u64 {
+        self.max.load(Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gauge")
+            .field("value", &self.get())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+/// Log-linear histogram geometry: values below `2^LINEAR_BITS` get exact
+/// buckets; above that, each power of two is split into `2^SUB_BITS`
+/// sub-buckets (≈ 6% relative error), like HDR histograms and the kernel's
+/// blk-iolatency buckets.
+const LINEAR_BITS: u32 = 5;
+const SUB_BITS: u32 = 4;
+const SUB_BUCKETS: usize = 1 << SUB_BITS;
+const LINEAR_BUCKETS: usize = 1 << LINEAR_BITS;
+/// Decades above the linear region for a full u64 range (decades
+/// `LINEAR_BITS..=63`).
+const DECADES: usize = 64 - LINEAR_BITS as usize;
+const BUCKETS: usize = LINEAR_BUCKETS + DECADES * SUB_BUCKETS;
+
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_BUCKETS as u64 {
+        return v as usize;
+    }
+    let decade = 63 - v.leading_zeros(); // >= LINEAR_BITS
+    let sub = ((v >> (decade - SUB_BITS)) & (SUB_BUCKETS as u64 - 1)) as usize;
+    LINEAR_BUCKETS + (decade - LINEAR_BITS) as usize * SUB_BUCKETS + sub
+}
+
+/// Lower bound of the value range covered by bucket `idx`.
+fn bucket_floor(idx: usize) -> u64 {
+    if idx < LINEAR_BUCKETS {
+        return idx as u64;
+    }
+    let rel = idx - LINEAR_BUCKETS;
+    let decade = LINEAR_BITS + (rel / SUB_BUCKETS) as u32;
+    let sub = (rel % SUB_BUCKETS) as u64;
+    (1u64 << decade) + (sub << (decade - SUB_BITS))
+}
+
+/// A wait-free log-linear histogram of `u64` samples (typically nanoseconds).
+pub struct Histogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; BUCKETS]> =
+            buckets.into_boxed_slice().try_into().expect("bucket count");
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Wait-free: five relaxed atomics.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+        self.min.fetch_min(v, Relaxed);
+        self.max.fetch_max(v, Relaxed);
+    }
+
+    /// Records a duration sample in nanoseconds.
+    #[inline]
+    pub fn record_nanos(&self, d: Nanos) {
+        self.record(d.as_nanos());
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Immutable summary of the current contents.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Relaxed);
+        if count == 0 {
+            return HistogramSnapshot::default();
+        }
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Relaxed)).collect();
+        // Concurrent writers can make the per-bucket view lag `count`;
+        // quantiles are computed against the per-bucket total for coherence.
+        let in_buckets: u64 = counts.iter().sum();
+        let quantile = |q: f64| -> u64 {
+            if in_buckets == 0 {
+                return 0;
+            }
+            let target = ((q * in_buckets as f64).ceil() as u64).clamp(1, in_buckets);
+            let mut seen = 0u64;
+            for (idx, c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= target {
+                    return bucket_floor(idx);
+                }
+            }
+            bucket_floor(BUCKETS - 1)
+        };
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Relaxed),
+            min: self.min.load(Relaxed),
+            max: self.max.load(Relaxed),
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
+            p999: quantile(0.999),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .finish()
+    }
+}
+
+/// Summary statistics extracted from a [`Histogram`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Median (bucket lower bound, ≈6% resolution).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Number of slots in a [`RateWindow`].
+const RATE_SLOTS: usize = 64;
+
+/// A windowed rate accumulator over explicit timestamps.
+///
+/// Values (typically bits) are bucketed into fixed-width time slots keyed by
+/// the epoch `now / window`. Because the clock is passed in, the same series
+/// works under virtual and wall-clock time. Slots are reclaimed lazily with
+/// a CAS on the epoch — the only non-`fetch_add` atomic, and it is taken at
+/// most once per slot per window, never per packet.
+pub struct RateWindow {
+    window: Nanos,
+    epochs: [AtomicU64; RATE_SLOTS],
+    values: [PaddedU64; RATE_SLOTS],
+}
+
+impl RateWindow {
+    /// Creates a series with `window`-wide slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: Nanos) -> Self {
+        assert!(window > Nanos::ZERO, "rate window must be positive");
+        RateWindow {
+            window,
+            epochs: std::array::from_fn(|_| AtomicU64::new(u64::MAX)),
+            values: std::array::from_fn(|_| PaddedU64::default()),
+        }
+    }
+
+    /// The configured slot width.
+    pub fn window(&self) -> Nanos {
+        self.window
+    }
+
+    /// Accumulates `amount` into the slot covering `now`.
+    #[inline]
+    pub fn record(&self, now: Nanos, amount: u64) {
+        let epoch = now.as_nanos() / self.window.as_nanos();
+        let idx = (epoch as usize) % RATE_SLOTS;
+        let seen = self.epochs[idx].load(Relaxed);
+        if seen != epoch {
+            // First write into a recycled slot this window: reset it. The
+            // CAS loser simply accumulates into the freshly reset slot.
+            if self.epochs[idx]
+                .compare_exchange(seen, epoch, Relaxed, Relaxed)
+                .is_ok()
+            {
+                self.values[idx].0.store(0, Relaxed);
+            }
+        }
+        self.values[idx].0.fetch_add(amount, Relaxed);
+    }
+
+    /// Average rate (amount per second) over up to `windows` completed slots
+    /// ending at the slot before the one covering `now`.
+    pub fn rate_per_sec(&self, now: Nanos, windows: usize) -> f64 {
+        let windows = windows.clamp(1, RATE_SLOTS - 1);
+        let current = now.as_nanos() / self.window.as_nanos();
+        let mut total = 0u64;
+        let mut counted = 0u64;
+        for back in 1..=windows as u64 {
+            let Some(epoch) = current.checked_sub(back) else {
+                break;
+            };
+            let idx = (epoch as usize) % RATE_SLOTS;
+            if self.epochs[idx].load(Relaxed) == epoch {
+                total += self.values[idx].0.load(Relaxed);
+            }
+            counted += 1;
+        }
+        if counted == 0 {
+            return 0.0;
+        }
+        let span_ns = counted as f64 * self.window.as_nanos() as f64;
+        total as f64 * 1e9 / span_ns
+    }
+
+    /// The raw `(epoch_start, amount)` series of still-live slots up to
+    /// `now`, oldest first. Useful for plotting per-window throughput.
+    pub fn series(&self, now: Nanos) -> Vec<(Nanos, u64)> {
+        let current = now.as_nanos() / self.window.as_nanos();
+        let mut out = Vec::new();
+        for back in (0..RATE_SLOTS as u64).rev() {
+            let Some(epoch) = current.checked_sub(back) else {
+                continue;
+            };
+            let idx = (epoch as usize) % RATE_SLOTS;
+            if self.epochs[idx].load(Relaxed) == epoch {
+                out.push((
+                    Nanos::from_nanos(epoch * self.window.as_nanos()),
+                    self.values[idx].0.load(Relaxed),
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for RateWindow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RateWindow")
+            .field("window", &self.window)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_sums_across_shards() {
+        let c = Counter::new();
+        for shard in 0..SHARDS * 2 {
+            c.add(shard, 2);
+        }
+        c.incr(3);
+        assert_eq!(c.total(), (SHARDS as u64 * 2) * 2 + 1);
+    }
+
+    #[test]
+    fn counter_is_thread_safe() {
+        let c = Arc::new(Counter::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.incr(t);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.total(), 40_000);
+    }
+
+    #[test]
+    fn gauge_tracks_value_and_high_water() {
+        let g = Gauge::new();
+        g.set(10);
+        g.set(50);
+        g.set(5);
+        assert_eq!(g.get(), 5);
+        assert_eq!(g.max(), 50);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let mut last = 0usize;
+        for shift in 0u32..64 {
+            for off in [0u64, 1, 3] {
+                let v = (1u64 << shift).saturating_add(off << shift.saturating_sub(3));
+                let idx = bucket_index(v);
+                assert!(idx < BUCKETS, "v={v} idx={idx}");
+                assert!(idx >= last || v < LINEAR_BUCKETS as u64);
+                last = idx.max(last);
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_floor_inverts_index() {
+        for v in [0u64, 1, 31, 32, 33, 100, 1_000, 123_456, u32::MAX as u64] {
+            let idx = bucket_index(v);
+            let floor = bucket_floor(idx);
+            assert!(floor <= v, "floor({idx})={floor} > v={v}");
+            // Relative error bound of the log-linear geometry.
+            assert!(v - floor <= (v >> SUB_BITS) + 1, "v={v} floor={floor}");
+        }
+    }
+
+    #[test]
+    fn histogram_small_values_are_exact() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 5] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 5);
+        assert_eq!(s.p50, 3);
+        assert_eq!(s.sum, 15);
+        assert!((s.mean() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_within_geometry_error() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let within = |got: u64, want: u64| {
+            let err = (got as f64 - want as f64).abs() / want as f64;
+            assert!(err < 0.08, "got {got} want {want} err {err}");
+        };
+        within(s.p50, 5_000);
+        within(s.p90, 9_000);
+        within(s.p99, 9_900);
+    }
+
+    #[test]
+    fn histogram_empty_snapshot_is_zeroed() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s, HistogramSnapshot::default());
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_concurrent_recording() {
+        let h = Arc::new(Histogram::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for v in 0..5_000u64 {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 20_000);
+    }
+
+    #[test]
+    fn rate_window_measures_throughput() {
+        let w = RateWindow::new(Nanos::from_micros(100));
+        // 1000 bits every 10 us for 1 ms => 100 Mbit/s.
+        for i in 0..100u64 {
+            w.record(Nanos::from_micros(i * 10), 1_000);
+        }
+        let rate = w.rate_per_sec(Nanos::from_millis(1), 8);
+        assert!((rate - 1e8).abs() / 1e8 < 0.01, "rate={rate}");
+    }
+
+    #[test]
+    fn rate_window_slots_recycle() {
+        let w = RateWindow::new(Nanos::from_nanos(100));
+        w.record(Nanos::from_nanos(50), 7);
+        // Same slot index, far later epoch: old value must not leak.
+        let later = Nanos::from_nanos(50 + 100 * RATE_SLOTS as u64);
+        w.record(later, 3);
+        let series = w.series(later);
+        assert_eq!(series.last().map(|&(_, v)| v), Some(3));
+        assert!(series.iter().all(|&(_, v)| v != 7));
+    }
+
+    #[test]
+    fn rate_window_series_in_order() {
+        let w = RateWindow::new(Nanos::from_micros(1));
+        for i in 0..5u64 {
+            w.record(Nanos::from_micros(i), i + 1);
+        }
+        let series = w.series(Nanos::from_micros(4));
+        assert_eq!(
+            series,
+            (0..5u64)
+                .map(|i| (Nanos::from_micros(i), i + 1))
+                .collect::<Vec<_>>()
+        );
+    }
+}

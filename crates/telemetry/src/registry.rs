@@ -1,0 +1,427 @@
+//! The metric registry and its snapshot/export model.
+//!
+//! Registration is the *cold* path: components ask the registry for named
+//! handles once, at wiring time, behind a plain mutex. The handles are
+//! `Arc`s to the wait-free primitives in [`crate::metrics`]; recording
+//! through them never touches the registry again — the per-packet path is
+//! relaxed atomics only, under both the virtual clock and the wall clock.
+//!
+//! A [`Snapshot`] is a point-in-time merge of every registered metric plus
+//! the tail of the event ring. It renders as an aligned text table (the
+//! `fv stats` view) or as a JSON document (`fv demo --json`).
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use sim_core::time::Nanos;
+
+use crate::json::{JsonValue, ToJson};
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot, RateWindow};
+use crate::trace::{EventRing, TraceEvent};
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+    Rate(Arc<RateWindow>),
+}
+
+struct Inner {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+    ring: Arc<EventRing>,
+}
+
+/// A shared, clonable handle to a metric namespace.
+///
+/// Cloning is cheap; all clones observe the same metrics. Components take a
+/// `&Registry` at construction/attach time and hold on to the `Arc` handles
+/// they need.
+#[derive(Clone)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// Creates a registry with a 1024-entry event ring.
+    pub fn new() -> Registry {
+        Registry::with_ring_capacity(1024)
+    }
+
+    /// Creates a registry with a custom event-ring capacity.
+    pub fn with_ring_capacity(capacity: usize) -> Registry {
+        Registry {
+            inner: Arc::new(Inner {
+                metrics: Mutex::new(BTreeMap::new()),
+                ring: Arc::new(EventRing::new(capacity)),
+            }),
+        }
+    }
+
+    /// Gets or creates the counter named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric type.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut metrics = self.inner.metrics.lock().unwrap();
+        match metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} already registered with another type"),
+        }
+    }
+
+    /// Gets or creates the gauge named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric type.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut metrics = self.inner.metrics.lock().unwrap();
+        match metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} already registered with another type"),
+        }
+    }
+
+    /// Gets or creates the histogram named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric type.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut metrics = self.inner.metrics.lock().unwrap();
+        match metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} already registered with another type"),
+        }
+    }
+
+    /// Gets or creates the rate series named `name` with slot width
+    /// `window` (the width of an existing series is kept).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric type.
+    pub fn rate(&self, name: &str, window: Nanos) -> Arc<RateWindow> {
+        let mut metrics = self.inner.metrics.lock().unwrap();
+        match metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Rate(Arc::new(RateWindow::new(window))))
+        {
+            Metric::Rate(r) => Arc::clone(r),
+            _ => panic!("metric {name:?} already registered with another type"),
+        }
+    }
+
+    /// The shared event-trace ring.
+    pub fn ring(&self) -> Arc<EventRing> {
+        Arc::clone(&self.inner.ring)
+    }
+
+    /// Merges every metric (and the event-ring tail) into a [`Snapshot`]
+    /// taken "at" the supplied instant.
+    pub fn snapshot(&self, at: Nanos) -> Snapshot {
+        let metrics = self.inner.metrics.lock().unwrap();
+        let entries = metrics
+            .iter()
+            .map(|(name, metric)| MetricEntry {
+                name: name.clone(),
+                value: match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.total()),
+                    Metric::Gauge(g) => MetricValue::Gauge {
+                        value: g.get(),
+                        max: g.max(),
+                    },
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                    Metric::Rate(r) => MetricValue::Rate {
+                        per_sec: r.rate_per_sec(at, 8),
+                    },
+                },
+            })
+            .collect();
+        Snapshot {
+            at,
+            entries,
+            events: self.inner.ring.recent(64),
+        }
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.inner.metrics.lock().map(|m| m.len()).unwrap_or(0);
+        f.debug_struct("Registry").field("metrics", &n).finish()
+    }
+}
+
+/// The merged value of one metric at snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// Sum of all counter shards.
+    Counter(u64),
+    /// Last set value and high-water mark.
+    Gauge {
+        /// Most recent observation.
+        value: u64,
+        /// Largest observation.
+        max: u64,
+    },
+    /// Histogram summary statistics.
+    Histogram(HistogramSnapshot),
+    /// Windowed average rate.
+    Rate {
+        /// Amount per second over the trailing windows.
+        per_sec: f64,
+    },
+}
+
+/// One named metric in a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricEntry {
+    /// Dotted metric name, e.g. `nic.tx_packets`.
+    pub name: String,
+    /// Merged value.
+    pub value: MetricValue,
+}
+
+/// A point-in-time view of a whole registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// The instant the snapshot was taken.
+    pub at: Nanos,
+    /// All metrics, sorted by name.
+    pub entries: Vec<MetricEntry>,
+    /// Tail of the event-trace ring, oldest first.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Snapshot {
+    /// Finds a metric by exact name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| &e.value)
+    }
+
+    /// The value of a counter, or 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// The histogram summary under `name`, when present.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        match self.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(*h),
+            _ => None,
+        }
+    }
+
+    /// Metrics whose name starts with `prefix`.
+    pub fn with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a MetricEntry> {
+        self.entries
+            .iter()
+            .filter(move |e| e.name.starts_with(prefix))
+    }
+
+    /// Renders an aligned `name value` table, one metric per line.
+    pub fn render(&self) -> String {
+        let width = self.entries.iter().map(|e| e.name.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for e in &self.entries {
+            let value = match &e.value {
+                MetricValue::Counter(v) => format!("{v}"),
+                MetricValue::Gauge { value, max } => format!("{value} (max {max})"),
+                MetricValue::Histogram(h) => format!(
+                    "n={} mean={:.0} p50={} p99={} max={}",
+                    h.count,
+                    h.mean(),
+                    h.p50,
+                    h.p99,
+                    h.max
+                ),
+                MetricValue::Rate { per_sec } => format!("{per_sec:.0}/s"),
+            };
+            out.push_str(&format!("{:width$}  {}\n", e.name, value));
+        }
+        out
+    }
+}
+
+impl ToJson for HistogramSnapshot {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("count", self.count.to_json()),
+            ("mean_ns", self.mean().to_json()),
+            ("min_ns", self.min.to_json()),
+            ("p50_ns", self.p50.to_json()),
+            ("p90_ns", self.p90.to_json()),
+            ("p99_ns", self.p99.to_json()),
+            ("p999_ns", self.p999.to_json()),
+            ("max_ns", self.max.to_json()),
+        ])
+    }
+}
+
+impl ToJson for MetricValue {
+    fn to_json(&self) -> JsonValue {
+        match self {
+            MetricValue::Counter(v) => v.to_json(),
+            MetricValue::Gauge { value, max } => {
+                JsonValue::obj([("value", value.to_json()), ("max", max.to_json())])
+            }
+            MetricValue::Histogram(h) => h.to_json(),
+            MetricValue::Rate { per_sec } => per_sec.to_json(),
+        }
+    }
+}
+
+impl ToJson for TraceEvent {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("at_ns", self.at.as_nanos().to_json()),
+            ("kind", self.kind.name().to_json()),
+            ("a", self.a.to_json()),
+            ("b", self.b.to_json()),
+        ])
+    }
+}
+
+impl ToJson for Snapshot {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("at_ns", self.at.as_nanos().to_json()),
+            (
+                "metrics",
+                JsonValue::Obj(
+                    self.entries
+                        .iter()
+                        .map(|e| (e.name.clone(), e.value.to_json()))
+                        .collect(),
+                ),
+            ),
+            ("events", self.events.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceKind;
+
+    #[test]
+    fn counter_roundtrip_through_snapshot() {
+        let reg = Registry::new();
+        let c = reg.counter("nic.tx_packets");
+        c.add(0, 41);
+        c.incr(1);
+        let snap = reg.snapshot(Nanos::from_micros(5));
+        assert_eq!(snap.counter("nic.tx_packets"), 42);
+        assert_eq!(snap.at, Nanos::from_micros(5));
+    }
+
+    #[test]
+    fn same_name_returns_same_counter() {
+        let reg = Registry::new();
+        reg.counter("x").add(0, 1);
+        reg.counter("x").add(0, 1);
+        assert_eq!(reg.snapshot(Nanos::ZERO).counter("x"), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_conflict_panics() {
+        let reg = Registry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_prefix_filterable() {
+        let reg = Registry::new();
+        reg.counter("b.two");
+        reg.counter("a.one");
+        reg.gauge("b.depth");
+        let snap = reg.snapshot(Nanos::ZERO);
+        let names: Vec<&str> = snap.entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["a.one", "b.depth", "b.two"]);
+        assert_eq!(snap.with_prefix("b.").count(), 2);
+    }
+
+    #[test]
+    fn snapshot_carries_ring_tail() {
+        let reg = Registry::new();
+        reg.ring()
+            .record(Nanos::from_nanos(7), TraceKind::SchedDrop, 3, 0);
+        let snap = reg.snapshot(Nanos::ZERO);
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.events[0].kind, TraceKind::SchedDrop);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let reg = Registry::new();
+        let other = reg.clone();
+        other.counter("shared").add(0, 5);
+        assert_eq!(reg.snapshot(Nanos::ZERO).counter("shared"), 5);
+    }
+
+    #[test]
+    fn render_aligns_names() {
+        let reg = Registry::new();
+        reg.counter("short").add(0, 1);
+        reg.counter("a.much.longer.name").add(0, 2);
+        let text = reg.snapshot(Nanos::ZERO).render();
+        assert!(text.contains("a.much.longer.name  2"));
+        assert!(text.lines().count() == 2);
+    }
+
+    #[test]
+    fn json_export_shape() {
+        let reg = Registry::new();
+        reg.counter("tx").add(0, 9);
+        reg.histogram("lat").record(100);
+        let doc = reg.snapshot(Nanos::from_nanos(3)).to_json();
+        assert_eq!(doc.get("at_ns").and_then(JsonValue::as_u64), Some(3));
+        let metrics = doc.get("metrics").expect("metrics object");
+        assert_eq!(metrics.get("tx").and_then(JsonValue::as_u64), Some(9));
+        let lat = metrics.get("lat").expect("histogram");
+        assert_eq!(lat.get("count").and_then(JsonValue::as_u64), Some(1));
+    }
+
+    #[test]
+    fn rate_metric_snapshots_per_second() {
+        let reg = Registry::new();
+        let r = reg.rate("bits", Nanos::from_micros(10));
+        for i in 0..100u64 {
+            r.record(Nanos::from_micros(i), 1_000);
+        }
+        let snap = reg.snapshot(Nanos::from_micros(100));
+        match snap.get("bits") {
+            Some(MetricValue::Rate { per_sec }) => {
+                assert!((per_sec - 1e9).abs() / 1e9 < 0.05, "rate={per_sec}")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -60,9 +60,12 @@ fn run_case(with_flowvalve: bool) -> (f64, f64, f64) {
         },
     ];
     let report = run_open_loop(&mut nic, sources, Nanos::from_millis(20), 5);
-    let rpc_gbps =
-        report.app_bits(AppId(0)) as f64 / Nanos::from_millis(20).as_secs_f64() / 1e9;
-    (report.delay.mean() / 1e3, report.delay.std_dev() / 1e3, rpc_gbps)
+    let rpc_gbps = report.app_bits(AppId(0)) as f64 / Nanos::from_millis(20).as_secs_f64() / 1e9;
+    (
+        report.delay.mean() / 1e3,
+        report.delay.std_dev() / 1e3,
+        rpc_gbps,
+    )
 }
 
 fn main() {
@@ -72,9 +75,15 @@ fn main() {
         "configuration", "mean us", "sd us", "rpc Gbps"
     );
     let (mean, sd, rpc) = run_case(false);
-    println!("{:<22} {mean:>12.2} {sd:>10.2} {rpc:>12.3}", "no scheduling");
+    println!(
+        "{:<22} {mean:>12.2} {sd:>10.2} {rpc:>12.3}",
+        "no scheduling"
+    );
     let (mean, sd, rpc) = run_case(true);
-    println!("{:<22} {mean:>12.2} {sd:>10.2} {rpc:>12.3}", "flowvalve priority");
+    println!(
+        "{:<22} {mean:>12.2} {sd:>10.2} {rpc:>12.3}",
+        "flowvalve priority"
+    );
     println!(
         "\nwith FlowValve shaping at 9.5 of 10 Gbps, the transmit FIFO stays\n\
          drained: the RPC class keeps its full 200 Mbps and every packet's\n\

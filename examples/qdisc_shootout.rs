@@ -38,12 +38,7 @@ fn main() {
         let mut nic = SmartNic::new(cfg.clone(), Box::new(pipeline));
         let sources: Vec<Source> = (0..4u16)
             .map(|i| Source {
-                flow: FlowKey::tcp(
-                    [10, 0, 1 + i as u8, 1],
-                    40_000,
-                    [10, 0, 255, 1],
-                    9000 + i,
-                ),
+                flow: FlowKey::tcp([10, 0, 1 + i as u8, 1], 40_000, [10, 0, 255, 1], 9000 + i),
                 app: AppId(i),
                 vf: VfPort(i as u8),
                 process: Box::new(LineRateProcess::new(
@@ -64,9 +59,6 @@ fn main() {
 
     println!("\nCPU cores to schedule 64 B packets at FlowValve's rate:");
     println!("  flowvalve : 0 host cores (it runs on the NIC)");
-    println!(
-        "  dpdk-qos  : {} cores",
-        dpdk.cores_needed(19.67e6)
-    );
+    println!("  dpdk-qos  : {} cores", dpdk.cores_needed(19.67e6));
     println!("  kernel-htb: cannot reach it at any core count (qdisc lock)");
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo-wide gate: formatting, lints, release build, tier-1 tests.
+# Run from anywhere; operates on the workspace root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (tier-1)"
+cargo test -q
+
+echo "All checks passed."

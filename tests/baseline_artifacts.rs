@@ -53,8 +53,7 @@ fn run_htb(model: KernelModel) -> (Scenario, hostsim::engine::RunReport) {
 #[test]
 fn centos7_htb_overruns_its_ceiling_under_tcp() {
     let (s, report) = run_htb(KernelModel::centos7());
-    let total =
-        report.mean_gbps(&s, "HI", 4.0, 20.0) + report.mean_gbps(&s, "LO", 4.0, 20.0);
+    let total = report.mean_gbps(&s, "HI", 4.0, 20.0) + report.mean_gbps(&s, "LO", 4.0, 20.0);
     // charge_factor 0.85 sustains ~2.35 Gbps against a 2 Gbps ceiling.
     assert!(total > 2.15, "no overrun: {total} Gbps");
     assert!(total < 2.6, "overrun too large: {total} Gbps");
@@ -63,8 +62,7 @@ fn centos7_htb_overruns_its_ceiling_under_tcp() {
 #[test]
 fn ideal_htb_holds_its_ceiling() {
     let (s, report) = run_htb(KernelModel::ideal());
-    let total =
-        report.mean_gbps(&s, "HI", 4.0, 20.0) + report.mean_gbps(&s, "LO", 4.0, 20.0);
+    let total = report.mean_gbps(&s, "HI", 4.0, 20.0) + report.mean_gbps(&s, "LO", 4.0, 20.0);
     assert!(total < 2.15, "ideal shaper overran: {total} Gbps");
 }
 
@@ -110,8 +108,7 @@ fn kernel_lock_bounds_packet_rate_not_policy() {
     let htb = Htb::new(specs, KernelModel::ideal()).expect("hierarchy builds");
     let path = EgressPath::kernel(htb, map, s.link, 2);
     let (report, _path) = run(&s, path);
-    let total =
-        report.mean_gbps(&s, "HI", 4.0, 20.0) + report.mean_gbps(&s, "LO", 4.0, 20.0);
+    let total = report.mean_gbps(&s, "HI", 4.0, 20.0) + report.mean_gbps(&s, "LO", 4.0, 20.0);
     // ~1.5 Mpps of lock throughput x 2048 bits ≈ 3 Gbps << the 8 Gbps policy.
     assert!(total < 4.5, "lock did not bind: {total} Gbps");
     assert!(total > 1.0, "path collapsed: {total} Gbps");

@@ -85,7 +85,10 @@ fn interior_class_sharing_is_preferential() {
     let ml_g = rate_gbps(passed[1], steps, step);
     // ML ends up ahead: its own 1 Gbps share plus KVS's idle 1 Gbps
     // preferentially, while WS's borrowing is limited to S2's leftovers.
-    assert!(ml_g > ws_g, "interior preference lost: ws {ws_g} vs ml {ml_g}");
+    assert!(
+        ml_g > ws_g,
+        "interior preference lost: ws {ws_g} vs ml {ml_g}"
+    );
     let total = ws_g + ml_g;
     assert!(total < 3.4, "borrowing overran the root: {total} Gbps");
     assert!(total > 2.2, "work conservation failed: {total} Gbps");
@@ -115,7 +118,10 @@ fn direct_lender_labels_equalize_access() {
     let gap = (ml_g - ws_g).abs();
     // Both draw from the same shadow: the asymmetry shrinks markedly
     // versus the preferential wiring (where ML led by ~1 Gbps).
-    assert!(gap < 0.6, "equal-access labels still skewed: ws {ws_g} ml {ml_g}");
+    assert!(
+        gap < 0.6,
+        "equal-access labels still skewed: ws {ws_g} ml {ml_g}"
+    );
     let total = ws_g + ml_g;
     assert!(total > 2.0, "work conservation failed: {total} Gbps");
 }
@@ -156,5 +162,8 @@ fn borrowed_traffic_counts_against_the_path() {
     let _ = drive(&tree, &[(&ml, 3_000, 1)], steps, step);
     let now = step * steps;
     let s2_gamma = tree.gamma(ClassId(22), now).unwrap().as_gbps();
-    assert!(s2_gamma > 1.0, "interior Γ missed borrowed traffic: {s2_gamma}");
+    assert!(
+        s2_gamma > 1.0,
+        "interior Γ missed borrowed traffic: {s2_gamma}"
+    );
 }

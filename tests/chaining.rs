@@ -65,7 +65,10 @@ fn prio_tree_chained_with_rate_tree() {
     let secs = now.as_secs_f64();
     let hi_g = passed[0] as f64 / secs / 1e9;
     let lo_g = passed[1] as f64 / secs / 1e9;
-    assert!((1.6..2.4).contains(&hi_g), "hi got {hi_g} Gbps of the 2 Gbps cap");
+    assert!(
+        (1.6..2.4).contains(&hi_g),
+        "hi got {hi_g} Gbps of the 2 Gbps cap"
+    );
     assert!(lo_g < 0.8, "lo was not starved: {lo_g} Gbps");
     assert!(hi_g + lo_g < 2.5, "cap exceeded: {}", hi_g + lo_g);
 }
@@ -93,7 +96,10 @@ fn surviving_traffic_exports_to_pcap() {
     for i in 0..5_000u64 {
         now += Nanos::from_micros(6); // 2 Gbps offered against 1 Gbps
         let pkt = Packet::new(i, flow, 1_518, AppId(0), VfPort(0), now);
-        if tree.schedule(&label, pkt.frame_bits(), now, &mut exec).passes() {
+        if tree
+            .schedule(&label, pkt.frame_bits(), now, &mut exec)
+            .passes()
+        {
             pcap.write_packet(&pkt, now).expect("record writes");
             written += 1;
         }

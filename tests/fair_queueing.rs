@@ -38,7 +38,10 @@ fn run_fair(s: &Scenario) -> RunReport {
         ..TreeParams::default()
     };
     let pipeline = FlowValvePipeline::compile(&policy, params, &cfg).expect("compiles");
-    let (report, _path) = run(s, EgressPath::flowvalve(SmartNic::new(cfg, Box::new(pipeline))));
+    let (report, _path) = run(
+        s,
+        EgressPath::flowvalve(SmartNic::new(cfg, Box::new(pipeline))),
+    );
     report
 }
 
@@ -81,7 +84,10 @@ fn departures_are_work_conserving() {
         .iter()
         .map(|a| report.mean_gbps(&s, a, 22.0, 25.0))
         .sum();
-    assert!(total > 0.75 * LINK, "link underutilized after departure: {total}");
+    assert!(
+        total > 0.75 * LINK,
+        "link underutilized after departure: {total}"
+    );
 }
 
 #[test]

@@ -56,8 +56,7 @@ fn run_motivation() -> (Scenario, hostsim::engine::RunReport) {
         burst_window: Nanos::from_millis(2),
         ..TreeParams::default()
     };
-    let pipeline =
-        FlowValvePipeline::compile(&policy(), params, &cfg).expect("policy compiles");
+    let pipeline = FlowValvePipeline::compile(&policy(), params, &cfg).expect("policy compiles");
     let path = EgressPath::flowvalve(SmartNic::new(cfg, Box::new(pipeline)));
     let (report, _path) = run(&s, path);
     (s, report)

@@ -1,64 +1,81 @@
-//! Property-based tests over the core data structures and invariants.
+//! Randomized property tests over the core data structures and invariants.
+//!
+//! These used to be `proptest` strategies; the workspace now builds with no
+//! crates.io access, so each property is exercised over a deterministic
+//! [`SimRng`]-driven case sweep instead — same invariants, reproducible
+//! inputs.
 
 use flowvalve::label::ClassId;
 use flowvalve::sched::RealExec;
 use flowvalve::tree::{ClassSpec, SchedulingTree, TreeParams};
 use netstack::headers::{encode_frame, parse_frame};
-use proptest::prelude::*;
 use sim_core::event::EventQueue;
 use sim_core::fixed::{TokenRate, Tokens};
+use sim_core::rng::SimRng;
 use sim_core::time::Nanos;
 use sim_core::units::{BitRate, WireFraming};
 
-proptest! {
-    /// Frame encode → parse is the identity on the flow tuple for any
-    /// ports, addresses, and representable length.
-    #[test]
-    fn frame_codec_roundtrips(
-        src in any::<[u8; 4]>(),
-        dst in any::<[u8; 4]>(),
-        sport in any::<u16>(),
-        dport in any::<u16>(),
-        len in 64usize..1600,
-        dscp in 0u8..64,
-    ) {
+/// Frame encode → parse is the identity on the flow tuple for any ports,
+/// addresses, and representable length.
+#[test]
+fn frame_codec_roundtrips() {
+    let mut rng = SimRng::seed(0xF0A3);
+    for _ in 0..256 {
+        let src: [u8; 4] = rng.next_u64().to_le_bytes()[..4].try_into().unwrap();
+        let dst: [u8; 4] = rng.next_u64().to_le_bytes()[..4].try_into().unwrap();
+        let sport = rng.range(0, 1 << 16) as u16;
+        let dport = rng.range(0, 1 << 16) as u16;
+        let len = rng.range(64, 1600) as usize;
+        let dscp = rng.range(0, 64) as u8;
         let flow = netstack::flow::FlowKey::tcp(src, sport, dst, dport);
         let bytes = encode_frame(&flow, len, dscp);
         let parsed = parse_frame(&bytes).expect("own encoding parses");
-        prop_assert_eq!(parsed.flow, flow);
-        prop_assert_eq!(parsed.frame_len, len);
-        prop_assert_eq!(parsed.dscp, dscp);
+        assert_eq!(parsed.flow, flow);
+        assert_eq!(parsed.frame_len, len);
+        assert_eq!(parsed.dscp, dscp);
     }
+}
 
-    /// Fixed-point rate conversion roundtrips within 0.1% across nine
-    /// decades of bandwidth.
-    #[test]
-    fn token_rate_roundtrips(bps in 1_000u64..2_000_000_000_000) {
+/// Fixed-point rate conversion roundtrips within 0.1% across nine decades
+/// of bandwidth.
+#[test]
+fn token_rate_roundtrips() {
+    let mut rng = SimRng::seed(0xF0A4);
+    for _ in 0..500 {
+        let bps = rng.range(1_000, 2_000_000_000_000);
         let r = BitRate::from_bps(bps);
         let back = TokenRate::from_bit_rate(r).to_bit_rate();
         let err = (back.as_bps() as f64 - bps as f64).abs() / bps as f64;
-        prop_assert!(err < 1e-3, "{bps} bps -> {} bps", back.as_bps());
+        assert!(err < 1e-3, "{bps} bps -> {} bps", back.as_bps());
     }
+}
 
-    /// Accrual is monotonic in both rate and time, and exact for round
-    /// numbers.
-    #[test]
-    fn accrual_is_monotonic(
-        bps in 1_000_000u64..100_000_000_000,
-        ns_a in 1u64..10_000_000,
-        ns_b in 1u64..10_000_000,
-    ) {
+/// Accrual is monotonic in both rate and time.
+#[test]
+fn accrual_is_monotonic() {
+    let mut rng = SimRng::seed(0xF0A5);
+    for _ in 0..500 {
+        let bps = rng.range(1_000_000, 100_000_000_000);
+        let ns_a = rng.range(1, 10_000_000);
+        let ns_b = rng.range(1, 10_000_000);
         let r = TokenRate::from_bit_rate(BitRate::from_bps(bps));
-        let (lo, hi) = if ns_a <= ns_b { (ns_a, ns_b) } else { (ns_b, ns_a) };
-        prop_assert!(
-            r.accrued(Nanos::from_nanos(lo)) <= r.accrued(Nanos::from_nanos(hi))
-        );
+        let (lo, hi) = if ns_a <= ns_b {
+            (ns_a, ns_b)
+        } else {
+            (ns_b, ns_a)
+        };
+        assert!(r.accrued(Nanos::from_nanos(lo)) <= r.accrued(Nanos::from_nanos(hi)));
     }
+}
 
-    /// The event queue dequeues in nondecreasing time order with FIFO
-    /// tie-breaking, for any insertion order.
-    #[test]
-    fn event_queue_is_time_ordered(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+/// The event queue dequeues in nondecreasing time order with FIFO
+/// tie-breaking, for any insertion order.
+#[test]
+fn event_queue_is_time_ordered() {
+    let mut rng = SimRng::seed(0xF0A6);
+    for _ in 0..50 {
+        let n = rng.range(1, 200) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.range(0, 1_000)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(Nanos::from_nanos(t), i);
@@ -66,13 +83,13 @@ proptest! {
         let mut last_t = Nanos::ZERO;
         let mut seen_at_t: Vec<usize> = Vec::new();
         while let Some((t, i)) = q.pop() {
-            prop_assert!(t >= last_t);
+            assert!(t >= last_t);
             if t == last_t {
                 if let Some(&prev) = seen_at_t.last() {
                     // FIFO among equal timestamps if they were inserted in
                     // index order with the same time.
                     if times[prev] == times[i] {
-                        prop_assert!(i > prev);
+                        assert!(i > prev);
                     }
                 }
             } else {
@@ -82,48 +99,60 @@ proptest! {
             last_t = t;
         }
     }
+}
 
-    /// Wire framing never reports more packets than raw bits allow, and
-    /// padding makes tiny frames cost the 64-byte minimum.
-    #[test]
-    fn framing_bounds(rate_mbps in 1u64..100_000, len in 1u64..9_000) {
+/// Wire framing never reports more packets than raw bits allow, and
+/// padding makes tiny frames cost the 64-byte minimum.
+#[test]
+fn framing_bounds() {
+    let mut rng = SimRng::seed(0xF0A7);
+    for _ in 0..500 {
+        let rate_mbps = rng.range(1, 100_000);
+        let len = rng.range(1, 9_000);
         let w = WireFraming::ETHERNET;
         let r = BitRate::from_mbps(rate_mbps);
         let pps = w.line_rate_pps(r, len);
-        prop_assert!(pps <= r.as_bps() as f64 / (64.0 * 8.0));
-        prop_assert!(w.wire_bits(len) >= (len.max(64)) * 8);
+        assert!(pps <= r.as_bps() as f64 / (64.0 * 8.0));
+        assert!(w.wire_bits(len) >= (len.max(64)) * 8);
     }
+}
 
-    /// Any two-level tree with arbitrary positive weights builds, and the
-    /// children's initial rates sum to at most the root rate.
-    #[test]
-    fn tree_initial_rates_conserve_bandwidth(
-        weights in proptest::collection::vec(1u32..100, 1..10),
-        root_mbps in 10u64..100_000,
-    ) {
+/// Any two-level tree with arbitrary positive weights builds, and the
+/// children's initial rates sum to at most the root rate.
+#[test]
+fn tree_initial_rates_conserve_bandwidth() {
+    let mut rng = SimRng::seed(0xF0A8);
+    for _ in 0..100 {
+        let n = rng.range(1, 10) as usize;
+        let weights: Vec<u32> = (0..n).map(|_| rng.range(1, 100) as u32).collect();
+        let root_mbps = rng.range(10, 100_000);
         let root_rate = BitRate::from_mbps(root_mbps);
         let mut specs = vec![ClassSpec::new(ClassId(1), "root", None).rate(root_rate)];
         for (i, &w) in weights.iter().enumerate() {
             specs.push(
-                ClassSpec::new(ClassId(10 + i as u16), format!("c{i}"), Some(ClassId(1)))
-                    .weight(w),
+                ClassSpec::new(ClassId(10 + i as u16), format!("c{i}"), Some(ClassId(1))).weight(w),
             );
         }
         let tree = SchedulingTree::build(specs, TreeParams::default()).unwrap();
         let sum: f64 = (0..weights.len())
             .map(|i| tree.theta(ClassId(10 + i as u16)).unwrap().as_gbps())
             .sum();
-        prop_assert!(sum <= root_rate.as_gbps() * 1.001, "sum {sum}");
+        assert!(sum <= root_rate.as_gbps() * 1.001, "sum {sum}");
     }
+}
 
-    /// The scheduling function never panics and never forwards more bits
-    /// than the root rate plus burst allows, for arbitrary interleavings
-    /// of two flows.
-    #[test]
-    fn schedule_respects_the_root_budget(
-        pattern in proptest::collection::vec(0usize..2, 50..400),
-        gap_ns in 100u64..5_000,
-    ) {
+/// The scheduling function never panics and never forwards more bits than
+/// the root rate plus burst allows, for arbitrary interleavings of two
+/// flows.
+#[test]
+fn schedule_respects_the_root_budget() {
+    let mut rng = SimRng::seed(0xF0A9);
+    for _ in 0..20 {
+        let pattern: Vec<usize> = {
+            let n = rng.range(50, 400) as usize;
+            (0..n).map(|_| rng.index(2)).collect()
+        };
+        let gap_ns = rng.range(100, 5_000);
         let root = BitRate::from_gbps(1.0);
         let tree = SchedulingTree::build(
             vec![
@@ -152,13 +181,15 @@ proptest! {
         // shadow bursts (buckets start full).
         let elapsed = now;
         let budget = root.bits_in(elapsed)
-            + 3 * Tokens::from_bits(0).max(Tokens::from_raw(
-                TokenRate::from_bit_rate(root)
-                    .accrued(TreeParams::default().burst_window)
-                    .raw(),
-            )).whole_bits()
+            + 3 * Tokens::from_bits(0)
+                .max(Tokens::from_raw(
+                    TokenRate::from_bit_rate(root)
+                        .accrued(TreeParams::default().burst_window)
+                        .raw(),
+                ))
+                .whole_bits()
             + 2 * 1518 * 8 * 4; // minimum burst floors
-        prop_assert!(
+        assert!(
             passed_bits <= budget + BITS,
             "passed {passed_bits} bits > budget {budget}"
         );

@@ -43,8 +43,8 @@ fn offer(nic: &mut SmartNic, t0: Nanos, dur: Nanos, gbps: f64, id0: u64) -> f64 
 #[test]
 fn policy_hot_reload_reshapes_live_traffic() {
     let cfg = NicConfig::agilio_cx_10g();
-    let pipeline = FlowValvePipeline::compile(&policy(2_000), TreeParams::default(), &cfg)
-        .expect("compiles");
+    let pipeline =
+        FlowValvePipeline::compile(&policy(2_000), TreeParams::default(), &cfg).expect("compiles");
     let mut nic = SmartNic::new(cfg.clone(), Box::new(pipeline));
 
     // Phase 1: 2 Gbps ceiling.
@@ -66,8 +66,8 @@ fn policy_hot_reload_reshapes_live_traffic() {
 #[test]
 fn reload_failure_keeps_the_old_policy() {
     let cfg = NicConfig::agilio_cx_10g();
-    let pipeline = FlowValvePipeline::compile(&policy(2_000), TreeParams::default(), &cfg)
-        .expect("compiles");
+    let pipeline =
+        FlowValvePipeline::compile(&policy(2_000), TreeParams::default(), &cfg).expect("compiles");
     let mut nic = SmartNic::new(cfg.clone(), Box::new(pipeline));
 
     // An invalid policy (filter to a nonexistent class) must be rejected...
@@ -92,12 +92,8 @@ fn ingress_overload_sheds_load_but_keeps_line_rate() {
     // 64 B frames far beyond compute capacity: the NIC sheds at ingress
     // yet keeps transmitting at its compute bound.
     let cfg = NicConfig::agilio_cx_40g();
-    let pipeline = FlowValvePipeline::compile(
-        &policy(40_000),
-        TreeParams::default(),
-        &cfg,
-    )
-    .expect("compiles");
+    let pipeline =
+        FlowValvePipeline::compile(&policy(40_000), TreeParams::default(), &cfg).expect("compiles");
     let mut nic = SmartNic::new(cfg, Box::new(pipeline));
     let flow = FlowKey::tcp([10, 0, 0, 1], 40_000, [10, 0, 255, 1], 5001);
     let horizon = Nanos::from_millis(2);
@@ -129,8 +125,7 @@ fn expiry_restores_rates_after_a_class_vanishes() {
     )
     .expect("parses");
     let cfg = NicConfig::agilio_cx_10g();
-    let pipeline =
-        FlowValvePipeline::compile(&p, TreeParams::default(), &cfg).expect("compiles");
+    let pipeline = FlowValvePipeline::compile(&p, TreeParams::default(), &cfg).expect("compiles");
     let tree = pipeline.tree().clone();
     let mut nic = SmartNic::new(cfg, Box::new(pipeline));
 
@@ -148,7 +143,10 @@ fn expiry_restores_rates_after_a_class_vanishes() {
         t += Nanos::from_nanos(2_000);
     }
     let theta_mid = tree.theta(ClassId(10)).expect("class exists");
-    assert!(theta_mid < BitRate::from_gbps(7.0), "split not applied: {theta_mid}");
+    assert!(
+        theta_mid < BitRate::from_gbps(7.0),
+        "split not applied: {theta_mid}"
+    );
 
     // Phase 2: class 20 stops; only class 10 sends.
     while t < Nanos::from_millis(12) {
