@@ -1,0 +1,97 @@
+//! Criterion: the simulator event queue, calendar backend vs `BinaryHeap`.
+//!
+//! The discrete-event NIC model pushes and pops one event per simulated
+//! packet, so the queue is on the hottest path of every figure
+//! reproduction. `QueueBackend::BinaryHeap` is the pre-overhaul
+//! implementation kept as a differential-testing oracle — benchmarking
+//! both backends in one binary gives the before/after pair directly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sim_core::event::{EventQueue, QueueBackend};
+use sim_core::time::Nanos;
+
+fn backend_label(backend: QueueBackend) -> &'static str {
+    match backend {
+        QueueBackend::Calendar => "calendar",
+        QueueBackend::BinaryHeap => "binary_heap",
+    }
+}
+
+/// A queue holding `pending` events with timestamps spread over ~1 ms.
+fn prefill(backend: QueueBackend, pending: usize) -> EventQueue<u64> {
+    let mut q = EventQueue::with_backend(backend);
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    for i in 0..pending {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        q.schedule(Nanos::from_nanos(x % 1_000_000), i as u64);
+    }
+    q
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+
+    // Steady-state churn: pop the next event, reschedule one a little
+    // later — the hold pattern of a running simulation. Queue size stays
+    // constant at `pending`.
+    g.throughput(Throughput::Elements(1));
+    for backend in [QueueBackend::Calendar, QueueBackend::BinaryHeap] {
+        for pending in [1_024usize, 65_536] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("churn_{}", backend_label(backend)), pending),
+                &pending,
+                |b, &pending| {
+                    let mut q = prefill(backend, pending);
+                    let mut x = 0x243f_6a88_85a3_08d3u64;
+                    b.iter(|| {
+                        let (now, ev) = q.pop().expect("queue stays full");
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        q.schedule(now + Nanos::from_nanos(1 + x % 8_192), ev);
+                        std::hint::black_box(now)
+                    });
+                },
+            );
+        }
+    }
+
+    // Same-timestamp burst: a batch of arrivals lands in one tick and is
+    // drained in FIFO order — the tie-break path.
+    const BURST: usize = 1_024;
+    g.throughput(Throughput::Elements(BURST as u64));
+    for backend in [QueueBackend::Calendar, QueueBackend::BinaryHeap] {
+        g.bench_with_input(
+            BenchmarkId::new("fifo_burst", backend_label(backend)),
+            &BURST,
+            |b, &burst| {
+                b.iter(|| {
+                    let mut q = EventQueue::with_backend(backend);
+                    let t = Nanos::from_micros(1);
+                    for i in 0..burst as u64 {
+                        q.schedule(t, i);
+                    }
+                    let mut sum = 0u64;
+                    while let Some((_, ev)) = q.pop() {
+                        sum = sum.wrapping_add(ev);
+                    }
+                    std::hint::black_box(sum)
+                });
+            },
+        );
+    }
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(20);
+    targets = bench_event_queue
+}
+criterion_main!(benches);

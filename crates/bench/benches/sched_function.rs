@@ -48,6 +48,42 @@ fn bench_schedule(c: &mut Criterion) {
         );
     }
 
+    // Batched decision cost: admit 64 same-class packets in one call vs
+    // 64 per-packet calls — the amortized path the calendar NIC model
+    // uses when a burst lands in one tick.
+    const BATCH: u64 = 64;
+    g.throughput(Throughput::Elements(BATCH));
+    {
+        let t = tree(8);
+        let label = t.label(ClassId(10), &[]).expect("leaf exists");
+        let clock = WallClock::new();
+        g.bench_function("per_packet_batch_64", |b| {
+            let mut exec = RealExec;
+            b.iter(|| {
+                let mut passed = 0u64;
+                for _ in 0..BATCH {
+                    if t.schedule(&label, 12_000, clock.now(), &mut exec).passes() {
+                        passed += 1;
+                    }
+                }
+                std::hint::black_box(passed)
+            });
+        });
+        g.bench_function("schedule_batch_64", |b| {
+            let mut exec = RealExec;
+            b.iter(|| {
+                std::hint::black_box(t.schedule_batch(
+                    &label,
+                    12_000,
+                    BATCH,
+                    clock.now(),
+                    &mut exec,
+                ))
+            });
+        });
+    }
+    g.throughput(Throughput::Elements(1));
+
     // Parallel scalability: N threads, each scheduling its own class —
     // the stateless-where-possible design should scale near-linearly.
     for threads in [1usize, 2, 4, 8] {
@@ -149,7 +185,10 @@ fn bench_schedule(c: &mut Criterion) {
                                     .label(ClassId(10 + (k % 8) as u16), &[])
                                     .expect("leaf exists");
                                 let mut exec = RealExec;
-                                for _ in 0..iters / threads as u64 {
+                                // At least one decision per thread so the
+                                // closing telemetry assert holds even under
+                                // the one-iteration `--test` smoke mode.
+                                for _ in 0..(iters / threads as u64).max(1) {
                                     let v = t.schedule(&label, 12_000, clock.now(), &mut exec);
                                     decisions.incr(k);
                                     wire_hist.record(12_000);

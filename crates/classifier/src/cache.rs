@@ -2,13 +2,33 @@
 //!
 //! The paper's Observation 2 credits dedicated lookup engines with a ~10×
 //! speedup over the kernel's flow-table path. Functionally the cache is an
-//! exact-match `FlowKey → verdict` map with bounded capacity and LRU
-//! eviction; the *cost* difference between hit and miss is charged by the
-//! NIC cost model, keyed on the [`CacheResult`] this module reports.
-
-use std::collections::HashMap;
+//! exact-match `FlowKey → verdict` map with bounded capacity; the *cost*
+//! difference between hit and miss is charged by the NIC cost model, keyed
+//! on the [`CacheResult`] this module reports.
+//!
+//! Structurally it mirrors a hardware CAM line-up rather than a software
+//! map: a fixed-capacity, power-of-two, open-addressed table with inline
+//! keys probed linearly from the key's [FNV] home slot — no per-lookup
+//! allocation, no SipHash, no pointer chasing — and clock (second-chance)
+//! eviction, the constant-time stand-in for LRU that real TCAMs/EMFCs use.
+//! Deletions backward-shift the probe chain, so no tombstones accumulate
+//! and lookups stay O(probe length) forever. The table is sized at twice
+//! the flow capacity, capping the load factor at 50%.
+//!
+//! [FNV]: netstack::flow::FlowKey::stable_hash
 
 use netstack::flow::FlowKey;
+
+/// Hard upper bound on [`FlowCache`] capacity, in flows.
+///
+/// The slot array is `2 × capacity` rounded up to a power of two, so this
+/// bound caps the table at 2^21 slots — matching the size class of the
+/// hardware exact-match tables the cache models (hundreds of thousands of
+/// entries), and keeping a misconfigured constructor from attempting a
+/// multi-gigabyte allocation. Requests above the bound are clamped;
+/// [`FlowCache::new`] reports the clamp through [`FlowCache::clamped`]
+/// and [`FlowCache::checked_new`] rejects it instead.
+pub const MAX_CAPACITY: usize = 1 << 20;
 
 /// Whether a lookup hit the cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,12 +61,45 @@ impl CacheStats {
     }
 }
 
-/// A bounded exact-match flow cache with LRU eviction.
+/// The error [`FlowCache::checked_new`] returns for out-of-range capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityError {
+    /// What the caller asked for.
+    pub requested: usize,
+    /// The bound it exceeded ([`MAX_CAPACITY`]) — or 0 for a zero request.
+    pub bound: usize,
+}
+
+impl std::fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.requested == 0 {
+            write!(f, "flow cache capacity must be positive")
+        } else {
+            write!(
+                f,
+                "flow cache capacity {} exceeds MAX_CAPACITY {}",
+                self.requested, self.bound
+            )
+        }
+    }
+}
+
+impl std::error::Error for CapacityError {}
+
+#[derive(Debug, Clone)]
+struct Entry<V> {
+    key: FlowKey,
+    value: V,
+    /// Second-chance reference bit: set on hit, cleared by the clock hand.
+    referenced: bool,
+}
+
+/// A bounded exact-match flow cache: open-addressed, inline keys, clock
+/// (second-chance) eviction.
 ///
-/// Recency is tracked with a monotonic use counter; eviction scans for the
-/// least-recent entry. Scans are O(n) but only run when the cache is full
-/// and a new flow arrives — rare in steady state, where the active flow set
-/// fits (the hardware table holds hundreds of thousands of entries).
+/// New entries start *unreferenced* and earn their reference bit on the
+/// first hit, so a one-packet scan flow cannot displace an active flow —
+/// the clock hand always finds the scan entries first.
 ///
 /// # Example
 ///
@@ -62,88 +115,212 @@ impl CacheStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct FlowCache<V> {
-    map: HashMap<FlowKey, (V, u64)>,
+    slots: Vec<Option<Entry<V>>>,
+    mask: usize,
     capacity: usize,
-    clock: u64,
+    len: usize,
+    /// Clock hand for second-chance eviction.
+    hand: usize,
+    clamped: bool,
     stats: CacheStats,
 }
 
 impl<V> FlowCache<V> {
     /// Creates a cache holding at most `capacity` flows.
     ///
+    /// Capacities above [`MAX_CAPACITY`] are clamped to it; the clamp is
+    /// observable through [`FlowCache::clamped`] (and callers that must
+    /// not lose capacity silently should use [`FlowCache::checked_new`]).
+    ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
+        let clamped = capacity > MAX_CAPACITY;
+        let capacity = capacity.min(MAX_CAPACITY);
+        let slots = (capacity * 2).next_power_of_two();
         FlowCache {
-            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slots: (0..slots).map(|_| None).collect(),
+            mask: slots - 1,
             capacity,
-            clock: 0,
+            len: 0,
+            hand: 0,
+            clamped,
             stats: CacheStats::default(),
         }
     }
 
-    /// Looks up `flow`, refreshing its recency on a hit.
-    pub fn lookup(&mut self, flow: &FlowKey) -> (Option<&V>, CacheResult) {
-        self.clock += 1;
-        match self.map.get_mut(flow) {
-            Some((v, used)) => {
-                *used = self.clock;
-                self.stats.hits += 1;
-                (Some(&*v), CacheResult::Hit)
+    /// Like [`FlowCache::new`] but rejects out-of-range capacities
+    /// (zero or above [`MAX_CAPACITY`]) instead of panicking or clamping.
+    pub fn checked_new(capacity: usize) -> Result<Self, CapacityError> {
+        if capacity == 0 {
+            return Err(CapacityError {
+                requested: 0,
+                bound: 0,
+            });
+        }
+        if capacity > MAX_CAPACITY {
+            return Err(CapacityError {
+                requested: capacity,
+                bound: MAX_CAPACITY,
+            });
+        }
+        Ok(Self::new(capacity))
+    }
+
+    /// Whether the constructor clamped the requested capacity to
+    /// [`MAX_CAPACITY`].
+    pub fn clamped(&self) -> bool {
+        self.clamped
+    }
+
+    /// A flow's home slot.
+    #[inline]
+    fn home(&self, flow: &FlowKey) -> usize {
+        flow.stable_hash() as usize & self.mask
+    }
+
+    /// Probes linearly from the home slot; returns `Ok(slot)` on a key
+    /// match or `Err(first_empty_slot)` on a miss. Always terminates: the
+    /// load factor never exceeds 50%.
+    #[inline]
+    fn probe(&self, flow: &FlowKey) -> Result<usize, usize> {
+        let mut i = self.home(flow);
+        loop {
+            match &self.slots[i] {
+                Some(e) if e.key == *flow => return Ok(i),
+                Some(_) => i = (i + 1) & self.mask,
+                None => return Err(i),
             }
-            None => {
+        }
+    }
+
+    /// Looks up `flow`, refreshing its recency on a hit.
+    #[inline]
+    pub fn lookup(&mut self, flow: &FlowKey) -> (Option<&V>, CacheResult) {
+        match self.probe(flow) {
+            Ok(i) => {
+                self.stats.hits += 1;
+                let e = self.slots[i].as_mut().expect("probed occupied slot");
+                e.referenced = true;
+                (Some(&e.value), CacheResult::Hit)
+            }
+            Err(_) => {
                 self.stats.misses += 1;
                 (None, CacheResult::Miss)
             }
         }
     }
 
-    /// Inserts (or replaces) an entry, evicting the least-recently used
-    /// flow if at capacity.
+    /// Inserts (or replaces) an entry, clock-evicting a victim if at
+    /// capacity.
     pub fn insert(&mut self, flow: FlowKey, verdict: V) {
-        self.clock += 1;
-        if !self.map.contains_key(&flow) && self.map.len() >= self.capacity {
-            if let Some(victim) = self
-                .map
-                .iter()
-                .min_by_key(|(_, (_, used))| *used)
-                .map(|(k, _)| *k)
-            {
-                self.map.remove(&victim);
-                self.stats.evictions += 1;
+        match self.probe(&flow) {
+            Ok(i) => {
+                let e = self.slots[i].as_mut().expect("probed occupied slot");
+                e.value = verdict;
+                e.referenced = true;
+            }
+            Err(mut empty) => {
+                if self.len >= self.capacity {
+                    self.evict_one();
+                    // The backward shift may have moved entries into (or
+                    // out of) our probe chain; re-probe for the slot.
+                    empty = self
+                        .probe(&flow)
+                        .expect_err("key cannot appear during eviction");
+                }
+                self.slots[empty] = Some(Entry {
+                    key: flow,
+                    value: verdict,
+                    referenced: false,
+                });
+                self.len += 1;
             }
         }
-        self.map.insert(flow, (verdict, self.clock));
+    }
+
+    /// Second-chance scan: clears reference bits until an unreferenced
+    /// entry comes under the hand, then removes it.
+    fn evict_one(&mut self) {
+        debug_assert!(self.len > 0);
+        loop {
+            let i = self.hand;
+            self.hand = (self.hand + 1) & self.mask;
+            match &mut self.slots[i] {
+                Some(e) if e.referenced => e.referenced = false,
+                Some(_) => {
+                    let _ = self.remove_slot(i);
+                    self.stats.evictions += 1;
+                    return;
+                }
+                None => {}
+            }
+        }
+    }
+
+    /// Removes the entry at `i`, backward-shifting the rest of the probe
+    /// chain so no tombstone is left behind.
+    fn remove_slot(&mut self, i: usize) -> Entry<V> {
+        let e = self.slots[i].take().expect("remove_slot on empty slot");
+        self.len -= 1;
+        self.backward_shift_from(i);
+        e
     }
 
     /// Reads an entry without touching recency or statistics.
     pub fn peek(&self, flow: &FlowKey) -> Option<&V> {
-        self.map.get(flow).map(|(v, _)| v)
+        match self.probe(flow) {
+            Ok(i) => self.slots[i].as_ref().map(|e| &e.value),
+            Err(_) => None,
+        }
     }
 
     /// Removes a flow (e.g. on policy change), returning its verdict.
     pub fn invalidate(&mut self, flow: &FlowKey) -> Option<V> {
-        self.map.remove(flow).map(|(v, _)| v)
+        match self.probe(flow) {
+            Ok(i) => Some(self.remove_slot(i).value),
+            Err(_) => None,
+        }
+    }
+
+    /// Refills the hole at `i` by walking the probe chain and shifting
+    /// back every entry whose home precedes the hole in circular probe
+    /// order — shifting any other entry would detach it from its chain.
+    fn backward_shift_from(&mut self, mut i: usize) {
+        let mut j = i;
+        loop {
+            j = (j + 1) & self.mask;
+            let Some(e) = &self.slots[j] else { return };
+            let home = self.home(&e.key);
+            if (j.wrapping_sub(home) & self.mask) >= (j.wrapping_sub(i) & self.mask) {
+                self.slots[i] = self.slots[j].take();
+                i = j;
+            }
+        }
     }
 
     /// Drops every entry (full policy reload).
     pub fn invalidate_all(&mut self) {
-        self.map.clear();
+        for s in &mut self.slots {
+            *s = None;
+        }
+        self.len = 0;
+        self.hand = 0;
     }
 
     /// Number of cached flows.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.len
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len == 0
     }
 
-    /// Configured capacity.
+    /// Configured capacity (post-clamp).
     pub fn capacity(&self) -> usize {
         self.capacity
     }
@@ -157,6 +334,7 @@ impl<V> FlowCache<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
 
     fn flow(port: u16) -> FlowKey {
         FlowKey::tcp([10, 0, 0, 1], port, [10, 0, 0, 2], 5001)
@@ -174,11 +352,12 @@ mod tests {
     }
 
     #[test]
-    fn lru_evicts_least_recent() {
+    fn clock_evicts_unreferenced_before_touched() {
         let mut c = FlowCache::new(2);
         c.insert(flow(1), 1u32);
         c.insert(flow(2), 2u32);
-        // Touch flow 1 so flow 2 becomes the LRU victim.
+        // Touch flow 1: its reference bit protects it; untouched flow 2 is
+        // the victim wherever the hand starts.
         c.lookup(&flow(1));
         c.insert(flow(3), 3u32);
         assert_eq!(c.lookup(&flow(2)).1, CacheResult::Miss);
@@ -186,6 +365,22 @@ mod tests {
         assert_eq!(c.lookup(&flow(3)).1, CacheResult::Hit);
         assert_eq!(c.stats().evictions, 1);
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn hot_entry_survives_a_scan() {
+        // One flow is hit every round while a sweep of one-packet flows
+        // churns through: the hot flow must never be evicted (the scan
+        // entries are unreferenced and go first).
+        let mut c = FlowCache::new(16);
+        let hot = flow(9_999);
+        c.insert(hot, 0u32);
+        c.lookup(&hot);
+        for p in 0..1_000u16 {
+            c.insert(flow(p), 1);
+            assert_eq!(c.lookup(&hot).1, CacheResult::Hit, "scan evicted hot");
+        }
+        assert!(c.stats().evictions > 0);
     }
 
     #[test]
@@ -222,6 +417,24 @@ mod tests {
     }
 
     #[test]
+    fn capacity_clamp_is_reported() {
+        let c: FlowCache<u8> = FlowCache::new(MAX_CAPACITY + 1);
+        assert!(c.clamped());
+        assert_eq!(c.capacity(), MAX_CAPACITY);
+        let c: FlowCache<u8> = FlowCache::new(MAX_CAPACITY);
+        assert!(!c.clamped());
+        assert_eq!(
+            FlowCache::<u8>::checked_new(MAX_CAPACITY + 1).err(),
+            Some(CapacityError {
+                requested: MAX_CAPACITY + 1,
+                bound: MAX_CAPACITY,
+            })
+        );
+        assert!(FlowCache::<u8>::checked_new(0).is_err());
+        assert!(FlowCache::<u8>::checked_new(64).is_ok());
+    }
+
+    #[test]
     fn steady_state_hit_ratio_high() {
         let mut c = FlowCache::new(64);
         // 32 active flows, 100 rounds: after warmup everything hits.
@@ -235,5 +448,66 @@ mod tests {
             }
         }
         assert!(c.stats().hit_ratio() > 0.98);
+    }
+
+    #[test]
+    fn matches_hashmap_model_below_capacity() {
+        // Below eviction pressure the cache must behave exactly like a
+        // map: drive a deterministic random op mix against both.
+        let mut c = FlowCache::new(256);
+        let mut model: HashMap<FlowKey, u32> = HashMap::new();
+        let mut x = 0x243f6a8885a308d3u64;
+        for step in 0..20_000u32 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let f = flow((x % 200) as u16);
+            match x % 5 {
+                0 => {
+                    c.insert(f, step);
+                    model.insert(f, step);
+                }
+                1 => assert_eq!(c.invalidate(&f), model.remove(&f), "step {step}"),
+                2 => assert_eq!(c.peek(&f), model.get(&f), "step {step}"),
+                _ => {
+                    let (got, r) = c.lookup(&f);
+                    assert_eq!(got, model.get(&f), "step {step}");
+                    assert_eq!(
+                        r,
+                        if model.contains_key(&f) {
+                            CacheResult::Hit
+                        } else {
+                            CacheResult::Miss
+                        },
+                        "step {step}"
+                    );
+                }
+            }
+            assert_eq!(c.len(), model.len(), "step {step}");
+        }
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn over_capacity_invariants_hold() {
+        // Under heavy churn: len is pinned at capacity, a fresh insert is
+        // always immediately visible, and every displaced entry counts as
+        // an eviction.
+        let cap = 32;
+        let mut c = FlowCache::new(cap);
+        let mut x = 0xb5297a4d3f84d5b5u64;
+        for step in 0..10_000u32 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let f = flow((x % 4_096) as u16);
+            if c.lookup(&f).1 == CacheResult::Miss {
+                c.insert(f, step);
+                assert_eq!(c.peek(&f), Some(&step), "insert not visible");
+            }
+            assert!(c.len() <= cap, "over capacity at step {step}");
+        }
+        assert_eq!(c.len(), cap);
+        assert!(c.stats().evictions > 0);
     }
 }

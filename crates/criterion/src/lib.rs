@@ -12,8 +12,23 @@
 //! is the dual-clock telemetry contract: the same `fv-telemetry`
 //! instrumentation that runs under virtual time in the simulator is
 //! exercised here under wall-clock time on real threads.
+//!
+//! # Harness modes
+//!
+//! * `cargo bench -- --test` — smoke mode, mirroring real Criterion: every
+//!   benchmark body runs exactly once (one iteration, no timing loop) so
+//!   CI can prove the benches still compile and execute without paying
+//!   for measurement.
+//! * `FV_BENCH_QUICK=1` — caps warm-up/measurement/sample settings at
+//!   small values regardless of per-bench configuration; used by
+//!   `scripts/bench.sh` to produce a fast, repeatable sweep.
+//! * `FV_BENCH_JSON=<path>` — appends one JSON line per benchmark
+//!   (`{"bench": "group/id", "ns_per_iter": …, "melem_per_s": …|null}`)
+//!   for machine consumption; `scripts/bench.sh` assembles these into the
+//!   repo-root `BENCH_*.json` artifact.
 
 use std::fmt::Display;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// Top-level benchmark driver. Mirrors `criterion::Criterion`.
@@ -21,6 +36,10 @@ pub struct Criterion {
     measurement_time: Duration,
     warm_up_time: Duration,
     sample_size: usize,
+    /// `cargo bench -- --test`: run each bench body once, don't measure.
+    test_mode: bool,
+    /// `FV_BENCH_QUICK=1`: cap the timing knobs for a fast sweep.
+    quick: bool,
 }
 
 impl Default for Criterion {
@@ -29,9 +48,16 @@ impl Default for Criterion {
             measurement_time: Duration::from_secs(2),
             warm_up_time: Duration::from_millis(500),
             sample_size: 20,
+            test_mode: std::env::args().any(|a| a == "--test"),
+            quick: std::env::var_os("FV_BENCH_QUICK").is_some_and(|v| v != "0" && !v.is_empty()),
         }
     }
 }
+
+/// Quick-mode caps (also the effective settings for most benches).
+const QUICK_MEASUREMENT: Duration = Duration::from_millis(250);
+const QUICK_WARM_UP: Duration = Duration::from_millis(50);
+const QUICK_SAMPLES: usize = 10;
 
 impl Criterion {
     /// Sets the time spent collecting samples per benchmark.
@@ -60,6 +86,18 @@ impl Criterion {
             criterion: self,
             name,
             throughput: None,
+        }
+    }
+
+    fn effective(&self) -> (Duration, Duration, usize) {
+        if self.quick {
+            (
+                self.measurement_time.min(QUICK_MEASUREMENT),
+                self.warm_up_time.min(QUICK_WARM_UP),
+                self.sample_size.min(QUICK_SAMPLES),
+            )
+        } else {
+            (self.measurement_time, self.warm_up_time, self.sample_size)
         }
     }
 }
@@ -128,10 +166,17 @@ impl BenchmarkGroup<'_> {
             elapsed: Duration::ZERO,
             iters: 1,
         };
+        if self.criterion.test_mode {
+            // `cargo bench -- --test`: one iteration proves the bench runs.
+            f(&mut bencher);
+            eprintln!("{}/{id}: test ok", self.name);
+            return;
+        }
+        let (measurement_time, warm_up_time, sample_size) = self.criterion.effective();
         // Warm-up & calibration: grow the per-sample iteration count until
         // one sample costs roughly measurement_time / sample_size.
-        let warm_up_end = Instant::now() + self.criterion.warm_up_time;
-        let target = self.criterion.measurement_time / self.criterion.sample_size as u32;
+        let warm_up_end = Instant::now() + warm_up_time;
+        let target = measurement_time / sample_size as u32;
         loop {
             bencher.elapsed = Duration::ZERO;
             f(&mut bencher);
@@ -147,8 +192,8 @@ impl BenchmarkGroup<'_> {
             }
         }
         // Measurement: fixed iteration count per sample, keep per-iter times.
-        let mut samples: Vec<f64> = Vec::with_capacity(self.criterion.sample_size);
-        for _ in 0..self.criterion.sample_size {
+        let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
             bencher.elapsed = Duration::ZERO;
             f(&mut bencher);
             samples.push(bencher.elapsed.as_nanos() as f64 / bencher.iters.max(1) as f64);
@@ -164,6 +209,7 @@ impl BenchmarkGroup<'_> {
             fmt_ns(median),
             fmt_ns(hi)
         );
+        let mut melem_per_s = None;
         if let Some(t) = self.throughput {
             let (per_iter, unit) = match t {
                 Throughput::Elements(n) => (n, "elem"),
@@ -172,10 +218,38 @@ impl BenchmarkGroup<'_> {
             if median > 0.0 {
                 let per_sec = per_iter as f64 * 1e9 / median;
                 line.push_str(&format!("  thrpt {:.3} M{unit}/s", per_sec / 1e6));
+                if matches!(t, Throughput::Elements(_)) {
+                    melem_per_s = Some(per_sec / 1e6);
+                }
             }
         }
         eprintln!("{line}");
+        if let Some(path) = std::env::var_os("FV_BENCH_JSON") {
+            let record = json_line(&self.name, &id, median, melem_per_s);
+            if let Err(e) = append_line(std::path::Path::new(&path), &record) {
+                eprintln!("warning: FV_BENCH_JSON write failed: {e}");
+            }
+        }
     }
+}
+
+/// One machine-readable result record (JSON-lines format).
+fn json_line(group: &str, id: &str, median_ns: f64, melem_per_s: Option<f64>) -> String {
+    let thrpt = match melem_per_s {
+        Some(v) => format!("{v:.4}"),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"bench\": \"{group}/{id}\", \"ns_per_iter\": {median_ns:.2}, \"melem_per_s\": {thrpt}}}"
+    )
+}
+
+fn append_line(path: &std::path::Path, line: &str) -> std::io::Result<()> {
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{line}")
 }
 
 /// Timing handle passed to benchmark closures. Mirrors `criterion::Bencher`.
@@ -280,5 +354,53 @@ mod tests {
     #[test]
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("threads", 8).id, "threads/8");
+    }
+
+    #[test]
+    fn test_mode_runs_body_exactly_once() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_secs(30))
+            .sample_size(100);
+        c.test_mode = true;
+        let mut g = c.benchmark_group("smoke_test_mode");
+        let mut calls = 0u64;
+        g.bench_function("counted", |b| {
+            b.iter(|| calls += 1);
+        });
+        g.finish();
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn quick_mode_caps_settings() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_secs(30))
+            .warm_up_time(Duration::from_secs(5))
+            .sample_size(200);
+        c.quick = true;
+        let (m, w, s) = c.effective();
+        assert_eq!(m, QUICK_MEASUREMENT);
+        assert_eq!(w, QUICK_WARM_UP);
+        assert_eq!(s, QUICK_SAMPLES);
+        // Quick mode never raises small explicit settings.
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(10))
+            .sample_size(3);
+        c.quick = true;
+        let (m, _, s) = c.effective();
+        assert_eq!(m, Duration::from_millis(10));
+        assert_eq!(s, 3);
+    }
+
+    #[test]
+    fn json_line_format() {
+        assert_eq!(
+            json_line("grp", "id/4", 123.456, Some(8.1)),
+            "{\"bench\": \"grp/id/4\", \"ns_per_iter\": 123.46, \"melem_per_s\": 8.1000}"
+        );
+        assert_eq!(
+            json_line("grp", "plain", 2.0, None),
+            "{\"bench\": \"grp/plain\", \"ns_per_iter\": 2.00, \"melem_per_s\": null}"
+        );
     }
 }

@@ -683,13 +683,17 @@ impl SchedulingTree {
     /// chain stage dropped: without the refund, upstream Γs would count
     /// bits that never reached the wire.
     pub(crate) fn uncount_path(&self, label: &QosLabel, bits: u64) {
+        // Every uncount refunds a prior count of the same bits, so a plain
+        // subtract is exact — no compare-exchange loop on the packet path.
         for cid in label.path() {
             if let Some(&i) = self.index.get(cid) {
-                let _ = self.nodes[i].consumed_bits.fetch_update(
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                    |v| Some(v.saturating_sub(bits)),
+                debug_assert!(
+                    self.nodes[i].consumed_bits.load(Ordering::Acquire) >= bits,
+                    "uncount without a matching count"
                 );
+                self.nodes[i]
+                    .consumed_bits
+                    .fetch_sub(bits, Ordering::AcqRel);
             }
         }
     }

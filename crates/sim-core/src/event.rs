@@ -5,9 +5,25 @@
 //! Determinism matters here — every experiment in the benchmark harness is
 //! reproducible row-for-row given a seed, and an unstable heap order would
 //! silently break that.
+//!
+//! # Backends
+//!
+//! Two interchangeable backends implement the same `(time, seq)` ordering:
+//!
+//! * [`QueueBackend::Calendar`] (the default) — a hierarchical radix-bucket
+//!   calendar queue that exploits the simulator's *monotonicity*: a
+//!   discrete-event loop never schedules an event earlier than the
+//!   timestamp it most recently popped. Under that contract, scheduling is
+//!   O(1) and each entry migrates through at most 64 buckets over its whole
+//!   lifetime, so pops are amortized O(1) — versus the O(log n) sift of a
+//!   binary heap whose branchy comparisons dominate the simulator hot loop.
+//! * [`QueueBackend::BinaryHeap`] — the original `std::collections`
+//!   max-heap, retained as the differential-testing oracle. Property tests
+//!   drive both backends with identical randomized schedules and assert
+//!   pop-for-pop equality, FIFO ties included.
 
 use std::cmp::Ordering as CmpOrdering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::time::Nanos;
 
@@ -43,6 +59,183 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
+/// Which internal data structure an [`EventQueue`] runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueBackend {
+    /// Radix-bucket calendar queue (amortized O(1) under monotonic use).
+    #[default]
+    Calendar,
+    /// The original binary heap — kept as a differential-testing oracle.
+    BinaryHeap,
+}
+
+/// Radix buckets above the ready lane: one per possible position of the
+/// highest bit in which a pending key differs from the current epoch.
+const RADIX_BUCKETS: usize = 64;
+
+/// The calendar backend: a radix heap over `u64` nanosecond keys.
+///
+/// `epoch` is the timestamp of the most recently popped entry (initially
+/// 0). Entries whose key equals the epoch sit in `ready`, a FIFO lane
+/// popped from the front; an entry with key `k > epoch` sits in radix
+/// bucket `msb(k ^ epoch)` (1-indexed bit position, stored at
+/// `buckets[b - 1]`). Bucket key ranges are disjoint and increasing with
+/// `b`, so the queue minimum always lives in the ready lane or, failing
+/// that, the lowest non-empty bucket.
+///
+/// Two invariants make this both fast and deterministic:
+///
+/// * **Monotonicity** — `schedule` never runs with `time < epoch` (debug
+///   assertion; release builds clamp to the epoch, degrading a violation
+///   to "fires as soon as possible" instead of corrupting the order).
+///   The epoch advances only inside [`CalendarQueue::pop`], to the key of
+///   the entry being popped, so redistribution only ever moves entries to
+///   *strictly lower* buckets: every key spilled from bucket `b` shares
+///   bit `b` with the new epoch (the spill's minimum), so their XOR has
+///   its top bit below `b`. Each entry therefore migrates at most 64
+///   times regardless of queue length — amortized O(1) pops.
+/// * **FIFO ties** — the bucket index is a function of only the key and
+///   the current epoch, and epoch advances keep stale placements valid
+///   (keys in buckets above the spilled one still differ from the new
+///   epoch at the same top bit). Equal keys thus always cohabit a single
+///   bucket, appended in `seq` order and respilled in iteration order, so
+///   same-timestamp events pop in exactly insertion order.
+///
+/// `min` caches the earliest pending timestamp so [`peek_time`] stays a
+/// borrow-only O(1) read; it is refreshed on push (cheap compare) and on
+/// pop (a scan of the lowest non-empty bucket when the ready lane drains —
+/// the same entries the next pop's redistribution walks anyway).
+///
+/// [`peek_time`]: CalendarQueue::peek_time
+#[derive(Debug)]
+struct CalendarQueue<E> {
+    ready: VecDeque<Scheduled<E>>,
+    buckets: Vec<Vec<Scheduled<E>>>,
+    /// Timestamp of the most recently popped entry.
+    epoch: u64,
+    /// Cached earliest pending timestamp; `None` iff the queue is empty.
+    min: Option<Nanos>,
+    /// Pending entries in `buckets` (excludes `ready`).
+    deferred: usize,
+}
+
+impl<E> CalendarQueue<E> {
+    fn with_capacity(cap: usize) -> Self {
+        CalendarQueue {
+            ready: VecDeque::with_capacity(cap),
+            buckets: (0..RADIX_BUCKETS).map(|_| Vec::new()).collect(),
+            epoch: 0,
+            min: None,
+            deferred: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.ready.len() + self.deferred
+    }
+
+    /// 1-indexed position of the highest bit where `time` differs from the
+    /// epoch; 0 means "equal" (the ready lane).
+    #[inline]
+    fn lane_of(&self, time: u64) -> usize {
+        (64 - (time ^ self.epoch).leading_zeros()) as usize
+    }
+
+    fn push(&mut self, mut time: Nanos, seq: u64, event: E) {
+        debug_assert!(
+            time.as_nanos() >= self.epoch,
+            "scheduled into the past: {} < epoch {}",
+            time.as_nanos(),
+            self.epoch
+        );
+        if time.as_nanos() < self.epoch {
+            time = Nanos::from_nanos(self.epoch);
+        }
+        if self.min.map(|m| time < m).unwrap_or(true) {
+            self.min = Some(time);
+        }
+        let lane = self.lane_of(time.as_nanos());
+        if lane == 0 {
+            self.ready.push_back(Scheduled { time, seq, event });
+        } else {
+            self.buckets[lane - 1].push(Scheduled { time, seq, event });
+            self.deferred += 1;
+        }
+    }
+
+    /// Spills the lowest non-empty bucket into lower lanes, advancing the
+    /// epoch to its minimum key (which the caller is about to pop).
+    /// Entries matching the new epoch land in `ready` in preserved
+    /// insertion order.
+    fn redistribute(&mut self) {
+        debug_assert!(self.ready.is_empty() && self.deferred > 0);
+        let b = self
+            .buckets
+            .iter()
+            .position(|v| !v.is_empty())
+            .expect("deferred > 0 with all buckets empty");
+        let spill = std::mem::take(&mut self.buckets[b]);
+        self.deferred -= spill.len();
+        self.epoch = spill
+            .iter()
+            .map(|s| s.time.as_nanos())
+            .min()
+            .expect("spill bucket is non-empty");
+        for s in spill {
+            let lane = self.lane_of(s.time.as_nanos());
+            debug_assert!(lane <= b, "entry failed to migrate downward");
+            if lane == 0 {
+                self.ready.push_back(s);
+            } else {
+                self.buckets[lane - 1].push(s);
+                self.deferred += 1;
+            }
+        }
+        debug_assert!(!self.ready.is_empty(), "spill minimum must become ready");
+    }
+
+    fn pop(&mut self) -> Option<(Nanos, E)> {
+        if self.ready.is_empty() {
+            if self.deferred == 0 {
+                return None;
+            }
+            self.redistribute();
+        }
+        let s = self.ready.pop_front().expect("ready lane refilled");
+        // Refresh the cached minimum: the remaining ready entries share the
+        // epoch key; otherwise the minimum sits in the lowest bucket.
+        self.min = if !self.ready.is_empty() {
+            Some(Nanos::from_nanos(self.epoch))
+        } else {
+            self.buckets
+                .iter()
+                .find(|v| !v.is_empty())
+                .map(|v| v.iter().map(|s| s.time).min().expect("non-empty bucket"))
+        };
+        Some((s.time, s.event))
+    }
+
+    fn peek_time(&self) -> Option<Nanos> {
+        self.min
+    }
+
+    fn clear(&mut self) {
+        self.ready.clear();
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.epoch = 0;
+        self.min = None;
+        self.deferred = 0;
+    }
+}
+
+#[derive(Debug)]
+enum Backend<E> {
+    Calendar(CalendarQueue<E>),
+    Heap(BinaryHeap<Scheduled<E>>),
+}
+
 /// A deterministic time-ordered event queue.
 ///
 /// # Example
@@ -66,60 +259,94 @@ impl<E> Ord for Scheduled<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    backend: Backend<E>,
     seq: u64,
     popped: u64,
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue on the default (calendar) backend.
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            seq: 0,
-            popped: 0,
-        }
+        Self::with_backend(QueueBackend::Calendar)
     }
 
     /// Creates an empty queue with pre-allocated capacity.
     pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
+            backend: Backend::Calendar(CalendarQueue::with_capacity(cap)),
             seq: 0,
             popped: 0,
         }
     }
 
+    /// Creates an empty queue on an explicit backend. The heap backend is
+    /// the differential-testing oracle; prefer [`EventQueue::new`].
+    pub fn with_backend(backend: QueueBackend) -> Self {
+        let backend = match backend {
+            QueueBackend::Calendar => Backend::Calendar(CalendarQueue::with_capacity(0)),
+            QueueBackend::BinaryHeap => Backend::Heap(BinaryHeap::new()),
+        };
+        EventQueue {
+            backend,
+            seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Which backend this queue runs on.
+    pub fn backend(&self) -> QueueBackend {
+        match &self.backend {
+            Backend::Calendar(_) => QueueBackend::Calendar,
+            Backend::Heap(_) => QueueBackend::BinaryHeap,
+        }
+    }
+
     /// Schedules `event` to fire at `time`.
     ///
-    /// Events at equal times fire in insertion order.
+    /// Events at equal times fire in insertion order. The calendar backend
+    /// additionally requires `time` to be no earlier than the timestamp of
+    /// the last popped event (simulators are monotonic); violations panic
+    /// in debug builds and clamp to that timestamp in release builds.
     pub fn schedule(&mut self, time: Nanos, event: E) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Scheduled { time, seq, event });
+        match &mut self.backend {
+            Backend::Calendar(q) => q.push(time, seq, event),
+            Backend::Heap(h) => h.push(Scheduled { time, seq, event }),
+        }
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(Nanos, E)> {
-        self.heap.pop().map(|s| {
+        let popped = match &mut self.backend {
+            Backend::Calendar(q) => q.pop(),
+            Backend::Heap(h) => h.pop().map(|s| (s.time, s.event)),
+        };
+        if popped.is_some() {
             self.popped += 1;
-            (s.time, s.event)
-        })
+        }
+        popped
     }
 
     /// The timestamp of the earliest pending event.
     pub fn peek_time(&self) -> Option<Nanos> {
-        self.heap.peek().map(|s| s.time)
+        match &self.backend {
+            Backend::Calendar(q) => q.peek_time(),
+            Backend::Heap(h) => h.peek().map(|s| s.time),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backend {
+            Backend::Calendar(q) => q.len(),
+            Backend::Heap(h) => h.len(),
+        }
     }
 
     /// Whether the queue holds no pending events.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events dispatched so far (popped).
@@ -127,9 +354,13 @@ impl<E> EventQueue<E> {
         self.popped
     }
 
-    /// Drops every pending event.
+    /// Drops every pending event (and, on the calendar backend, rewinds
+    /// the monotonicity epoch so a fresh run may start at time zero).
     pub fn clear(&mut self) {
-        self.heap.clear();
+        match &mut self.backend {
+            Backend::Calendar(q) => q.clear(),
+            Backend::Heap(h) => h.clear(),
+        }
     }
 }
 
@@ -159,6 +390,11 @@ impl<E> FromIterator<(Nanos, E)> for EventQueue<E> {
 mod tests {
     use super::*;
 
+    fn both_backends(test: impl Fn(EventQueue<u64>)) {
+        test(EventQueue::with_backend(QueueBackend::Calendar));
+        test(EventQueue::with_backend(QueueBackend::BinaryHeap));
+    }
+
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
@@ -171,12 +407,13 @@ mod tests {
 
     #[test]
     fn simultaneous_events_are_fifo() {
-        let mut q = EventQueue::new();
-        for i in 0..100u32 {
-            q.schedule(Nanos::from_nanos(5), i);
-        }
-        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
+        both_backends(|mut q| {
+            for i in 0..100u64 {
+                q.schedule(Nanos::from_nanos(5), i);
+            }
+            let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+            assert_eq!(order, (0..100).collect::<Vec<_>>());
+        });
     }
 
     #[test]
@@ -219,5 +456,85 @@ mod tests {
         q.schedule(Nanos::ZERO, ());
         q.clear();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_rewinds_calendar_epoch() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_nanos(1_000_000), 1u64);
+        q.pop();
+        q.clear();
+        // A fresh run may start before the previous run's last timestamp.
+        q.schedule(Nanos::from_nanos(7), 2u64);
+        assert_eq!(q.pop(), Some((Nanos::from_nanos(7), 2)));
+    }
+
+    #[test]
+    fn push_between_last_popped_and_pending_min() {
+        // Scheduling later than the last pop but *earlier* than everything
+        // pending is legal and must pop first.
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_nanos(10), 1u64);
+        q.schedule(Nanos::from_nanos(50), 2u64);
+        assert_eq!(q.pop(), Some((Nanos::from_nanos(10), 1)));
+        assert_eq!(q.peek_time(), Some(Nanos::from_nanos(50)));
+        q.schedule(Nanos::from_nanos(20), 3u64);
+        assert_eq!(q.peek_time(), Some(Nanos::from_nanos(20)));
+        assert_eq!(q.pop(), Some((Nanos::from_nanos(20), 3)));
+        assert_eq!(q.pop(), Some((Nanos::from_nanos(50), 2)));
+    }
+
+    #[test]
+    fn interleaved_monotonic_schedule_and_pop() {
+        both_backends(|mut q| {
+            // A self-clocking pattern like the NIC model: each pop schedules
+            // two follow-ups slightly in the future.
+            q.schedule(Nanos::from_nanos(1), 0);
+            let mut expect_time = Nanos::ZERO;
+            let mut popped = 0u64;
+            while let Some((t, v)) = q.pop() {
+                assert!(t >= expect_time, "time went backwards");
+                expect_time = t;
+                popped += 1;
+                if popped < 500 {
+                    q.schedule(t + Nanos::from_nanos(v % 7), popped * 2);
+                    q.schedule(t + Nanos::from_nanos(13 + v % 11), popped * 2 + 1);
+                }
+            }
+            assert_eq!(q.dispatched(), 999);
+        });
+    }
+
+    #[test]
+    fn calendar_matches_heap_on_mixed_schedule() {
+        let mut cal = EventQueue::with_backend(QueueBackend::Calendar);
+        let mut heap = EventQueue::with_backend(QueueBackend::BinaryHeap);
+        // Deterministic pseudo-random times with plenty of collisions.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut now = 0u64;
+        for i in 0..2_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let t = Nanos::from_nanos(now + x % 16);
+            cal.schedule(t, i);
+            heap.schedule(t, i);
+            assert_eq!(cal.peek_time(), heap.peek_time());
+            if x.is_multiple_of(3) {
+                let (a, b) = (cal.pop(), heap.pop());
+                assert_eq!(a, b);
+                if let Some((t, _)) = a {
+                    now = t.as_nanos();
+                }
+            }
+        }
+        loop {
+            assert_eq!(cal.peek_time(), heap.peek_time());
+            let (a, b) = (cal.pop(), heap.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 }

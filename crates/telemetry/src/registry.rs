@@ -134,6 +134,13 @@ impl Registry {
         Arc::clone(&self.inner.ring)
     }
 
+    /// Thins the event trace to 1 in `2^shift` events (0 = record all).
+    /// Counters, gauges and histograms are unaffected — only the ring.
+    /// See [`EventRing::set_sampling_shift`].
+    pub fn set_trace_sampling_shift(&self, shift: u32) {
+        self.inner.ring.set_sampling_shift(shift);
+    }
+
     /// Merges every metric (and the event-ring tail) into a [`Snapshot`]
     /// taken "at" the supplied instant.
     pub fn snapshot(&self, at: Nanos) -> Snapshot {

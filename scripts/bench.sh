@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Hot-path benchmark snapshot: runs the Criterion microbench suite (quick
+# mode by default) plus the fig13 max-throughput driver, and assembles one
+# machine-readable BENCH_<tag>.json at the repo root mapping bench name to
+# ns/op (and Melem/s where the bench declares throughput) or Mpps.
+#
+# Usage:
+#   scripts/bench.sh [tag]       # default tag: pr3 -> BENCH_pr3.json
+#   FV_BENCH_FULL=1 scripts/bench.sh   # full measurement times, not quick
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TAG="${1:-pr3}"
+OUT="BENCH_${TAG}.json"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+MODE=quick
+if [[ "${FV_BENCH_FULL:-0}" == "1" ]]; then
+    MODE=full
+fi
+
+echo "==> criterion microbenches (${MODE} mode)"
+if [[ "$MODE" == quick ]]; then
+    FV_BENCH_QUICK=1 FV_BENCH_JSON="$TMP" cargo bench -p bench
+else
+    FV_BENCH_JSON="$TMP" cargo bench -p bench
+fi
+
+echo "==> fig13 max throughput (Mpps)"
+cargo run --release -p bench --bin fig13_max_throughput >/dev/null
+
+{
+    echo '{'
+    # Criterion JSONL: {"bench": "g/id", "ns_per_iter": N, "melem_per_s": M|null}
+    sed -e 's/^{"bench": \("[^"]*"\), /  \1: {/' -e 's/$/,/' "$TMP"
+    # fig13 rows are [size, fv_mpps, fv_gbps, dpdk_mpps, cores, htb_mpps].
+    tr -d '[] ' <results/fig13_max_throughput.json | tr ',' '\n' | awk 'NF' |
+        awk '{ v[(NR-1)%6] = $0 }
+             NR%6 == 0 { printf "  \"fig13/flowvalve_%sB_mpps\": %s,\n", v[0], v[1] }'
+    printf '  "_meta": {"tag": "%s", "mode": "%s", "source": "scripts/bench.sh"}\n' \
+        "$TAG" "$MODE"
+    echo '}'
+} >"$OUT"
+
+echo "wrote $OUT ($(grep -c ':' "$OUT") entries)"

@@ -16,4 +16,10 @@ cargo build --release
 echo "==> cargo test -q (tier-1)"
 cargo test -q
 
+echo "==> cargo test -p sim-core --doc (EventQueue API contract)"
+cargo test -q -p sim-core --doc
+
+echo "==> cargo bench -- --test (bench smoke: every bench body runs once)"
+cargo bench -p bench -- --test
+
 echo "All checks passed."
