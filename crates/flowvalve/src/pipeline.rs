@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use classifier::{CacheResult, Classifier, FilterRule};
 use fv_telemetry::metrics::Counter;
+use fv_telemetry::span::{SpanRecorder, Stage};
 use fv_telemetry::trace::{EventRing, TraceKind};
 use fv_telemetry::Registry;
 use netstack::packet::Packet;
@@ -75,6 +76,7 @@ struct PipelineTelemetry {
     registry: Registry,
     per_class: HashMap<ClassId, ClassChannels>,
     ring: Arc<EventRing>,
+    spans: SpanRecorder,
 }
 
 impl PipelineTelemetry {
@@ -98,6 +100,7 @@ impl PipelineTelemetry {
             registry: registry.clone(),
             per_class,
             ring: registry.ring(),
+            spans: SpanRecorder::new(registry),
         }
     }
 
@@ -315,12 +318,20 @@ impl EgressDecider for FlowValvePipeline {
         locks: &mut LockTable,
     ) -> Decision {
         // Labeling function: exact-match cache with table-walk fill.
+        let classify_t0 = meter.total();
         let (label, cache) = self.classifier.classify(&pkt.flow, pkt.vf);
         let label = *label;
         meter.charge(match cache {
             CacheResult::Hit => Op::ClassifyHit,
             CacheResult::Miss => Op::ClassifyMiss,
         });
+        // Classify span: the cycles this packet's labeling charged to the
+        // worker, converted at the NIC clock. Starts when the worker picked
+        // the packet up (`now` here is the dispatch start).
+        let classify_dur = self.freq.duration_of(meter.total() - classify_t0);
+        if let Some(t) = &self.telemetry {
+            t.spans.record(Stage::Classify, now, pkt.id, classify_dur);
+        }
 
         // Scheduling function (Algorithm 1); unlabeled traffic bypasses it.
         // Tokens are metered in *wire* bits (frame + preamble/IFG): a tree
@@ -330,6 +341,7 @@ impl EgressDecider for FlowValvePipeline {
         match label {
             None => Decision::Forward,
             Some(label) => {
+                let sched_t0 = meter.total();
                 let verdict = match self.discipline {
                     LockDiscipline::PerClass => {
                         let mut exec = SimExec {
@@ -355,6 +367,12 @@ impl EgressDecider for FlowValvePipeline {
                     }
                 };
                 if let Some(t) = &self.telemetry {
+                    // Sched span: every cycle the scheduling function
+                    // charged (token grabs, lock waits, updates), placed
+                    // right after the classify span on the same worker.
+                    let sched_dur = self.freq.duration_of(meter.total() - sched_t0);
+                    t.spans
+                        .record(Stage::Sched, now + classify_dur, pkt.id, sched_dur);
                     t.record(now, label.leaf(), wire_bits, verdict);
                 }
                 if verdict.passes() {
@@ -513,5 +531,34 @@ mod tests {
             }
             other => panic!("expected theta gauge, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn decide_stamps_classify_and_sched_spans() {
+        let mut p = pipeline_10g();
+        let registry = Registry::new();
+        p.attach_telemetry(&registry);
+        let mut meter = CostMeter::new(CycleCosts::agilio());
+        let mut locks = LockTable::new(16);
+        let _ = p.decide(&pkt(3, 5001), Nanos::from_micros(1), &mut meter, &mut locks);
+        let snap = registry.snapshot(Nanos::from_micros(2));
+        for metric in ["span.classify_ns", "span.sched_ns"] {
+            let h = snap.histogram(metric).unwrap_or_else(|| panic!("{metric}"));
+            assert_eq!(h.count, 1, "{metric}");
+            assert!(h.min > 0, "{metric} should have nonzero duration");
+        }
+        // Ring carries both spans with the packet id, sched after classify.
+        let events = registry.ring().recent(16);
+        let classify = events
+            .iter()
+            .find(|e| e.kind == TraceKind::SpanClassify)
+            .expect("classify span");
+        let sched = events
+            .iter()
+            .find(|e| e.kind == TraceKind::SpanSched)
+            .expect("sched span");
+        assert_eq!(classify.a, 3);
+        assert_eq!(sched.a, 3);
+        assert_eq!(sched.at.as_nanos(), classify.at.as_nanos() + classify.b);
     }
 }

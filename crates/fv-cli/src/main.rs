@@ -1,7 +1,9 @@
 //! `fv` — the FlowValve command-line front end.
 //!
 //! ```text
-//! fv check <script.fv>           parse and validate a policy script
+//! fv check <script.fv>           parse and validate a policy script,
+//!                                then run the saturation demo and check
+//!                                rate-conformance SLOs against it
 //! fv show  <script.fv>           print the compiled scheduling tree
 //! fv demo  <script.fv> [--json]  run a 10 ms saturation demo on the NIC
 //!                                model and print per-class rates and
@@ -9,6 +11,16 @@
 //!                                telemetry snapshot)
 //! fv stats <script.fv> [--json]  run the same demo and print
 //!                                `tc -s qdisc show`-style statistics
+//! fv trace <script.fv> [--out FILE]
+//!                                run the demo with per-packet span
+//!                                tracing and export a Chrome-trace JSON
+//!                                document (open in chrome://tracing or
+//!                                Perfetto); without --out the JSON goes
+//!                                to stdout
+//! fv timeseries <script.fv> [--csv|--jsonl|--prom] [--interval-us N]
+//!                                run the demo with the virtual-time
+//!                                sampler attached and export the
+//!                                counter-delta time series
 //! ```
 //!
 //! Scripts use the `tc`-style dialect documented in
@@ -20,7 +32,9 @@ use std::process::ExitCode;
 use flowvalve::frontend::Policy;
 use flowvalve::pipeline::FlowValvePipeline;
 use flowvalve::tree::{SchedulingTree, TreeParams};
-use fv_telemetry::{MetricValue, Snapshot, ToJson};
+use fv_scope::{chrome_trace, evaluate, latency_table, prometheus_text, Slo};
+use fv_scope::{SamplerConfig, TimeSampler};
+use fv_telemetry::{MetricValue, Registry, Snapshot, ToJson};
 use netstack::flow::FlowKey;
 use netstack::gen::{ArrivalProcess, LineRateProcess};
 use netstack::packet::{AppId, Packet, PacketIdGen, VfPort};
@@ -41,18 +55,48 @@ fn read_script(path: &str) -> std::io::Result<String> {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: fv <check|show|demo|stats> <script.fv|-> [--json]");
+    eprintln!(
+        "usage: fv <check|show|demo|stats|trace|timeseries> <script.fv|-> \
+         [--json] [--out FILE] [--csv|--jsonl|--prom] [--interval-us N]"
+    );
     ExitCode::from(2)
+}
+
+/// Parsed command-line flags (everything after the two positionals).
+#[derive(Default)]
+struct Flags {
+    json: bool,
+    csv: bool,
+    jsonl: bool,
+    prom: bool,
+    out: Option<String>,
+    interval_us: Option<u64>,
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let json = args.iter().any(|a| a == "--json");
-    let positional: Vec<&str> = args
-        .iter()
-        .map(String::as_str)
-        .filter(|a| !a.starts_with("--"))
-        .collect();
+    let mut flags = Flags::default();
+    let mut positional: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => flags.json = true,
+            "--csv" => flags.csv = true,
+            "--jsonl" => flags.jsonl = true,
+            "--prom" => flags.prom = true,
+            "--out" => flags.out = it.next().cloned(),
+            "--interval-us" => flags.interval_us = it.next().and_then(|v| v.parse().ok()),
+            a if a.starts_with("--out=") => {
+                flags.out = Some(a["--out=".len()..].to_owned());
+            }
+            a if a.starts_with("--interval-us=") => {
+                flags.interval_us = a["--interval-us=".len()..].parse().ok();
+            }
+            // Unknown flags are ignored, matching the old behaviour.
+            a if a.starts_with("--") => {}
+            a => positional.push(a),
+        }
+    }
     let (cmd, path) = match positional.as_slice() {
         [cmd, path] => (*cmd, *path),
         _ => return usage(),
@@ -75,23 +119,7 @@ fn main() -> ExitCode {
     };
 
     match cmd {
-        "check" => match policy.compile(TreeParams::default()) {
-            Ok((tree, rules, default)) => {
-                println!(
-                    "ok: {} classes, {} filters, default {}",
-                    tree.len(),
-                    rules.len(),
-                    default
-                        .map(|d| d.leaf().to_string())
-                        .unwrap_or_else(|| "none (bypass)".into())
-                );
-                ExitCode::SUCCESS
-            }
-            Err(e) => {
-                eprintln!("fv: {e}");
-                ExitCode::FAILURE
-            }
-        },
+        "check" => check(&policy),
         "show" => match policy.compile(TreeParams::default()) {
             Ok((tree, _, _)) => {
                 print!("{}", tree.render());
@@ -102,9 +130,28 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
-        "demo" => demo(&policy, json),
-        "stats" => stats(&policy, json),
+        "demo" => demo(&policy, flags.json),
+        "stats" => stats(&policy, flags.json),
+        "trace" => trace(&policy, &flags),
+        "timeseries" => timeseries(&policy, &flags),
         _ => usage(),
+    }
+}
+
+/// Knobs for [`run_workload`] beyond the policy itself.
+struct RunOptions {
+    /// Event-ring capacity (`fv trace` wants a deep ring).
+    ring_capacity: usize,
+    /// Attach a virtual-time sampler with this configuration.
+    sampler: Option<SamplerConfig>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            ring_capacity: 1024,
+            sampler: None,
+        }
     }
 }
 
@@ -114,23 +161,27 @@ struct DemoRun {
     tree: std::sync::Arc<SchedulingTree>,
     flows: usize,
     offered: BitRate,
+    registry: Registry,
+    sampler: Option<TimeSampler>,
+    horizon: Nanos,
 }
 
 /// Saturates every filtered class with an equal share of 1.5x line rate
 /// for 10 ms of simulated time, with full telemetry attached, and returns
 /// the end-of-run registry snapshot.
-fn run_workload(policy: &Policy) -> Result<DemoRun, String> {
+fn run_workload(policy: &Policy, opts: RunOptions) -> Result<DemoRun, String> {
     let cfg = NicConfig::agilio_cx_40g();
     let pipeline = FlowValvePipeline::compile(policy, TreeParams::default(), &cfg)
         .map_err(|e| e.to_string())?;
     let tree = pipeline.tree().clone();
     let line = cfg.line_rate;
     let framing = cfg.framing;
-    let mut nic = SmartNic::new(cfg, Box::new(pipeline));
-    let registry = nic.registry().clone();
+    let registry = Registry::with_ring_capacity(opts.ring_capacity);
+    let mut nic = SmartNic::with_registry(cfg, Box::new(pipeline), &registry);
     if let Some(p) = nic.decider_as::<FlowValvePipeline>() {
         p.attach_telemetry(&registry);
     }
+    let mut sampler = opts.sampler.map(|cfg| TimeSampler::new(&registry, cfg));
 
     // One flow per filter, matched as precisely as the filter allows.
     let mut flows: Vec<(FlowKey, VfPort)> = Vec::new();
@@ -173,9 +224,15 @@ fn run_workload(policy: &Policy) -> Result<DemoRun, String> {
             break;
         }
         let (flow, vf) = flows[idx];
+        if let Some(s) = sampler.as_mut() {
+            s.advance_to(t);
+        }
         let pkt = Packet::new(ids.next_id(), flow, 1518, AppId(idx as u16), vf, t);
         let _ = nic.rx(&pkt, t);
         next[idx] = t + gens[idx].next_arrival(&mut rng).0;
+    }
+    if let Some(s) = sampler.as_mut() {
+        s.advance_to(horizon);
     }
 
     // Publish cold-path gauges (per-engine utilization, θ/Γ) and capture.
@@ -188,6 +245,9 @@ fn run_workload(policy: &Policy) -> Result<DemoRun, String> {
         tree,
         flows: flows.len(),
         offered,
+        registry,
+        sampler,
+        horizon,
     })
 }
 
@@ -205,7 +265,7 @@ fn fmt_bps(bps: u64) -> String {
 /// Runs the saturation demo and prints per-class verdicts, all routed
 /// through the telemetry snapshot (`--json` dumps the whole snapshot).
 fn demo(policy: &Policy, json: bool) -> ExitCode {
-    let run = match run_workload(policy) {
+    let run = match run_workload(policy, RunOptions::default()) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("fv: {e}");
@@ -272,7 +332,7 @@ fn demo(policy: &Policy, json: bool) -> ExitCode {
 /// Runs the saturation demo and prints `tc -s qdisc show`-style per-class
 /// statistics from the telemetry snapshot.
 fn stats(policy: &Policy, json: bool) -> ExitCode {
-    let run = match run_workload(policy) {
+    let run = match run_workload(policy, RunOptions::default()) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("fv: {e}");
@@ -323,6 +383,241 @@ fn stats(policy: &Policy, json: bool) -> ExitCode {
             borrowed,
             snap.counter(&format!("{base}.lent")),
         );
+    }
+    ExitCode::SUCCESS
+}
+
+/// True when `id` or any of its ancestors has a sibling at strictly
+/// higher priority (lower `prio` value). Under the saturating check
+/// workload every class has demand, so strict priority at any level of
+/// the path starves a dominated class regardless of its configured rate
+/// — its guarantee is not checkable, only noted.
+fn dominated(tree: &SchedulingTree, mut id: flowvalve::label::ClassId) -> bool {
+    while let Some(spec) = tree.spec(id) {
+        let Some(parent) = spec.parent else { break };
+        let outranked = tree.class_ids().into_iter().any(|sib| {
+            sib != id
+                && tree
+                    .spec(sib)
+                    .is_some_and(|s| s.parent == Some(parent) && s.prio < spec.prio)
+        });
+        if outranked {
+            return true;
+        }
+        id = parent;
+    }
+    false
+}
+
+/// Derives rate-conformance SLOs from the compiled tree:
+///
+/// * every *undominated* leaf with a configured rate must achieve at
+///   least 95% of it (the saturating workload always offers more than
+///   the guarantee; borrowing may push it above, so no upper band);
+/// * every leaf with a ceiling stays under it (+5% tolerance);
+/// * no leaf exceeds the root's configured rate (isolation);
+/// * the leaves' combined throughput matches the root rate within ±5%
+///   (work conservation under saturation).
+///
+/// Returns the SLOs plus notes for guarantees skipped as uncheckable.
+fn conformance_slos(tree: &SchedulingTree) -> (Vec<Slo>, Vec<String>) {
+    let parents: std::collections::HashSet<_> = tree
+        .class_ids()
+        .into_iter()
+        .filter_map(|id| tree.spec(id).and_then(|s| s.parent))
+        .collect();
+    let root_rate = tree
+        .class_ids()
+        .into_iter()
+        .filter_map(|id| tree.spec(id))
+        .find(|s| s.parent.is_none())
+        .and_then(|s| s.rate);
+    let mut slos = Vec::new();
+    let mut notes = Vec::new();
+    let mut leaf_series = Vec::new();
+    for id in tree.class_ids() {
+        let Some(spec) = tree.spec(id) else { continue };
+        if parents.contains(&id) {
+            continue;
+        }
+        let series = format!("fv.class.{id}.tx_bits");
+        leaf_series.push(series.clone());
+        if let Some(rate) = spec.rate {
+            if dominated(tree, id) {
+                notes.push(format!(
+                    "note: class {id} ({}) guarantee {rate} unchecked \
+                     (starved by a higher-priority sibling under saturation)",
+                    spec.name
+                ));
+            } else {
+                slos.push(Slo::RateBetween {
+                    name: format!("class {id} ({}) achieves >=95% of {rate}", spec.name),
+                    series: series.clone(),
+                    min: 0.95 * rate.as_bps() as f64,
+                    max: f64::INFINITY,
+                });
+            }
+        }
+        match (spec.ceil, root_rate) {
+            (Some(ceil), _) => slos.push(Slo::RateBetween {
+                name: format!("class {id} ({}) under ceil {ceil}", spec.name),
+                series,
+                min: 0.0,
+                max: 1.05 * ceil.as_bps() as f64,
+            }),
+            (None, Some(root)) => slos.push(Slo::RateBetween {
+                name: format!("class {id} ({}) under root rate {root}", spec.name),
+                series,
+                min: 0.0,
+                max: 1.05 * root.as_bps() as f64,
+            }),
+            (None, None) => {}
+        }
+    }
+    if let Some(rate) = root_rate {
+        let r = rate.as_bps() as f64;
+        slos.push(Slo::SumRateBetween {
+            name: format!("leaves sum to root rate {rate} within 5%"),
+            series: leaf_series,
+            min: 0.95 * r,
+            max: 1.05 * r,
+        });
+    }
+    (slos, notes)
+}
+
+/// Validates the policy, then runs the saturation demo with the sampler
+/// attached and evaluates the derived rate-conformance SLOs over the
+/// steady-state second half of the run.
+fn check(policy: &Policy) -> ExitCode {
+    let tree = match policy.compile(TreeParams::default()) {
+        Ok((tree, rules, default)) => {
+            println!(
+                "ok: {} classes, {} filters, default {}",
+                tree.len(),
+                rules.len(),
+                default
+                    .map(|d| d.leaf().to_string())
+                    .unwrap_or_else(|| "none (bypass)".into())
+            );
+            tree
+        }
+        Err(e) => {
+            eprintln!("fv: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if policy.filters.is_empty() {
+        println!("conformance: skipped (no filters, nothing to drive)");
+        return ExitCode::SUCCESS;
+    }
+    let (slos, notes) = conformance_slos(&tree);
+    for note in &notes {
+        println!("{note}");
+    }
+    if slos.is_empty() {
+        println!("conformance: skipped (no class carries a rate or ceil)");
+        return ExitCode::SUCCESS;
+    }
+    let opts = RunOptions {
+        sampler: Some(SamplerConfig::default().with_prefix("fv.class.")),
+        ..RunOptions::default()
+    };
+    let run = match run_workload(policy, opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fv: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sampler = run.sampler.as_ref().expect("check attaches a sampler");
+    // Steady state: the second half of the run, past bucket warm-up.
+    let window = (Nanos::from_nanos(run.horizon.as_nanos() / 2), run.horizon);
+    let report = evaluate(&slos, sampler, &run.snapshot, window);
+    print!("{}", report.render());
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Runs the demo with a deep event ring and exports the span trace as a
+/// Chrome-trace JSON document, plus a per-stage latency table.
+fn trace(policy: &Policy, flags: &Flags) -> ExitCode {
+    let opts = RunOptions {
+        ring_capacity: 1 << 17,
+        ..RunOptions::default()
+    };
+    let run = match run_workload(policy, opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fv: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ring = run.registry.ring();
+    let events = ring.recent(ring.capacity());
+    let doc = chrome_trace(&events);
+    let spans = events
+        .iter()
+        .filter(|e| e.kind.is_span() || e.kind == fv_telemetry::TraceKind::LockWait)
+        .count();
+    match &flags.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, doc.to_pretty()) {
+                eprintln!("fv: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "wrote {path}: {spans} spans of {} events (open in chrome://tracing)\n",
+                events.len()
+            );
+            print!("{}", latency_table(&run.snapshot));
+        }
+        None => println!("{}", doc.to_pretty()),
+    }
+    ExitCode::SUCCESS
+}
+
+/// Runs the demo with the virtual-time sampler attached and prints the
+/// counter-delta time series (CSV by default).
+fn timeseries(policy: &Policy, flags: &Flags) -> ExitCode {
+    let mut cfg = SamplerConfig::default();
+    if let Some(us) = flags.interval_us {
+        if us == 0 {
+            eprintln!("fv: --interval-us must be positive");
+            return ExitCode::FAILURE;
+        }
+        cfg.interval = Nanos::from_micros(us);
+    }
+    let opts = RunOptions {
+        sampler: Some(cfg),
+        ..RunOptions::default()
+    };
+    let run = match run_workload(policy, opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fv: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sampler = run.sampler.as_ref().expect("timeseries attaches a sampler");
+    let text = if flags.prom {
+        prometheus_text(&run.snapshot)
+    } else if flags.jsonl {
+        sampler.to_jsonl()
+    } else {
+        sampler.to_csv()
+    };
+    match &flags.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("fv: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => print!("{text}"),
     }
     ExitCode::SUCCESS
 }

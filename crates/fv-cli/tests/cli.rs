@@ -194,3 +194,251 @@ fn stats_mimics_tc_qdisc_show() {
     assert!(stdout.contains("dropped"), "stdout: {stdout}");
     assert!(stdout.contains("theta"), "stdout: {stdout}");
 }
+
+/// A tree whose guarantees cannot all hold: two equal-priority leaves
+/// each demand 8 of the root's 10 Gbps. `fv check` must catch it.
+const OVERSUBSCRIBED: &str = "\
+fv qdisc add dev nic0 root handle 1: fv default 1:20
+fv class add dev nic0 parent root classid 1:1 name link rate 10gbit
+fv class add dev nic0 parent 1:1 classid 1:10 name a rate 8gbit
+fv class add dev nic0 parent 1:1 classid 1:20 name b rate 8gbit
+fv filter add dev nic0 match vf 0 flowid 1:10
+fv filter add dev nic0 match vf 1 flowid 1:20
+";
+
+#[test]
+fn check_reports_rate_conformance() {
+    let f = write_script(GOOD);
+    let out = fv().args(["check"]).arg(&f.path).output().expect("fv runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("conformance over"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("leaves sum to root rate"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("assertions passed"), "stdout: {stdout}");
+    assert!(!stdout.contains("FAIL"), "stdout: {stdout}");
+}
+
+#[test]
+fn check_fails_on_unachievable_guarantees() {
+    let f = write_script(OVERSUBSCRIBED);
+    let out = fv().args(["check"]).arg(&f.path).output().expect("fv runs");
+    assert!(!out.status.success(), "oversubscribed tree must fail check");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FAIL"), "stdout: {stdout}");
+    assert!(stdout.contains("achieves >=95%"), "stdout: {stdout}");
+    assert!(stdout.contains("assertions FAILED"), "stdout: {stdout}");
+}
+
+#[test]
+fn trace_exports_chrome_trace_json() {
+    use fv_telemetry::json::JsonValue;
+
+    let f = write_script(GOOD);
+    let out_path = std::env::temp_dir().join(format!(
+        "fv-cli-trace-{}-{:?}.json",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let out = fv()
+        .args(["trace"])
+        .arg(&f.path)
+        .arg("--out")
+        .arg(&out_path)
+        .output()
+        .expect("fv runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The terminal companion is the per-stage latency table.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("stage"), "stdout: {stdout}");
+    assert!(stdout.contains("wire"), "stdout: {stdout}");
+
+    let text = std::fs::read_to_string(&out_path).expect("trace file written");
+    let _ = std::fs::remove_file(&out_path);
+    let doc = JsonValue::parse(&text).expect("trace is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    let span_cats: std::collections::BTreeSet<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+        .filter_map(|e| e.get("cat").and_then(|c| c.as_str()))
+        .collect();
+    assert!(
+        span_cats.len() >= 4,
+        "want >=4 distinct span stage categories, got {span_cats:?}"
+    );
+    // Wire spans carry nonzero durations (serialization time).
+    let wire_dur = events
+        .iter()
+        .filter(|e| e.get("cat").and_then(|c| c.as_str()) == Some("wire"))
+        .filter_map(|e| e.get("dur").and_then(|d| d.as_f64()))
+        .fold(0.0_f64, f64::max);
+    assert!(wire_dur > 0.0, "wire spans must have duration");
+}
+
+#[test]
+fn timeseries_emits_per_class_csv() {
+    let f = write_script(GOOD);
+    let out = fv()
+        .args(["timeseries"])
+        .arg(&f.path)
+        .args(["--interval-us", "1000"])
+        .output()
+        .expect("fv runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let mut lines = stdout.lines();
+    let header = lines.next().expect("csv header");
+    assert!(header.starts_with("t_ns,"), "header: {header}");
+    assert!(header.contains("fv.class.1:10.tx_bits"), "header: {header}");
+    let rows: Vec<&str> = lines.collect();
+    // 10 ms horizon at 1 ms cadence = 10 frames.
+    assert_eq!(rows.len(), 10, "rows: {rows:?}");
+    let cols = header.split(',').count();
+    for row in &rows {
+        assert_eq!(row.split(',').count(), cols);
+        for v in row.split(',') {
+            v.parse::<u64>().expect("numeric cell");
+        }
+    }
+}
+
+#[test]
+fn timeseries_prometheus_text_has_typed_families() {
+    let f = write_script(GOOD);
+    let out = fv()
+        .args(["timeseries", "--prom"])
+        .arg(&f.path)
+        .output()
+        .expect("fv runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("# TYPE"), "stdout: {stdout}");
+    assert!(stdout.contains("counter"), "stdout: {stdout}");
+}
+
+// ---- golden-file tests ------------------------------------------------
+//
+// The machine-readable surfaces (`demo --json` schema, `stats` layout)
+// are contracts downstream tooling parses; these tests pin them. Set
+// FV_UPDATE_GOLDEN=1 to rewrite the goldens after an intentional change.
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("FV_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e} (run with FV_UPDATE_GOLDEN=1)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "output drifted from {}; rerun with FV_UPDATE_GOLDEN=1 if intentional",
+        path.display()
+    );
+}
+
+/// Collects every object key as a dotted path, recursing through arrays
+/// via their first element (the run is seeded, so this is deterministic).
+fn key_paths(
+    v: &fv_telemetry::json::JsonValue,
+    prefix: &str,
+    out: &mut std::collections::BTreeSet<String>,
+) {
+    use fv_telemetry::json::JsonValue;
+    match v {
+        JsonValue::Obj(fields) => {
+            for (k, val) in fields {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                out.insert(path.clone());
+                key_paths(val, &path, out);
+            }
+        }
+        JsonValue::Arr(items) => {
+            if let Some(first) = items.first() {
+                key_paths(first, &format!("{prefix}[]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[test]
+fn demo_json_schema_matches_golden() {
+    use fv_telemetry::json::JsonValue;
+
+    let f = write_script(GOOD);
+    let out = fv()
+        .args(["demo", "--json"])
+        .arg(&f.path)
+        .output()
+        .expect("fv runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let doc = JsonValue::parse(&stdout).expect("demo --json parses");
+    let mut paths = std::collections::BTreeSet::new();
+    key_paths(&doc, "", &mut paths);
+    let schema: String = paths.into_iter().map(|p| p + "\n").collect();
+    assert_matches_golden("demo_json_schema.txt", &schema);
+}
+
+#[test]
+fn stats_layout_matches_golden() {
+    let f = write_script(GOOD);
+    let out = fv().args(["stats"]).arg(&f.path).output().expect("fv runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Normalize every digit run to `N` so the golden pins the layout and
+    // vocabulary without freezing measured quantities.
+    let mut normalized = String::with_capacity(stdout.len());
+    let mut in_digits = false;
+    for c in stdout.chars() {
+        if c.is_ascii_digit() || (in_digits && c == '.') {
+            if !in_digits {
+                normalized.push('N');
+                in_digits = true;
+            }
+        } else {
+            in_digits = false;
+            normalized.push(c);
+        }
+    }
+    assert_matches_golden("stats_layout.txt", &normalized);
+}

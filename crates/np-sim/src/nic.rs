@@ -9,6 +9,7 @@
 use std::sync::Arc;
 
 use fv_telemetry::metrics::{Counter, Histogram, RateWindow};
+use fv_telemetry::span::{SpanRecorder, Stage};
 use fv_telemetry::trace::{EventRing, TraceKind};
 use fv_telemetry::Registry;
 use netstack::packet::Packet;
@@ -169,6 +170,7 @@ struct NicTelemetry {
     tx_rate: Arc<RateWindow>,
     latency: Arc<Histogram>,
     ring: Arc<EventRing>,
+    spans: SpanRecorder,
 }
 
 pub struct SmartNic {
@@ -234,6 +236,7 @@ impl SmartNic {
             tx_rate: registry.rate("nic.tx_bits_rate", Nanos::from_micros(100)),
             latency: registry.histogram("nic.latency_ns"),
             ring: registry.ring(),
+            spans: SpanRecorder::new(registry),
         };
         SmartNic {
             workers: WorkerPool::new(config.num_mes, config.freq, config.rx_max_wait),
@@ -269,6 +272,11 @@ impl SmartNic {
             }
             Dispatch::Started { start } => start,
         };
+        // Ingress span: time spent waiting for a free worker. Recorded even
+        // when zero so the span count equals the dispatched-packet count.
+        self.telemetry
+            .spans
+            .record(Stage::Ingress, now, pkt.id, start - now);
 
         self.meter.reset();
         self.meter.charge(Op::Parse);
@@ -290,7 +298,7 @@ impl SmartNic {
                 let slot = &mut self.vf_release[pkt.vf.0 as usize];
                 let release = done.max(*slot);
                 *slot = release;
-                match self.fifo.enqueue(pkt.frame_len, release) {
+                match self.fifo.enqueue_pkt(pkt.frame_len, release, pkt.id) {
                     Ok(wire_done) => {
                         let delivered = wire_done + self.config.base_pipeline_latency;
                         self.telemetry.tx_packets.incr(0);
@@ -533,6 +541,41 @@ mod tests {
                 .any(|e| !matches!(e.value, fv_telemetry::MetricValue::Gauge { value: 0, .. })),
             "no engine showed utilization"
         );
+    }
+
+    #[test]
+    fn transmit_path_stamps_stage_spans() {
+        let reg = Registry::new();
+        let mut nic = SmartNic::with_registry(
+            NicConfig::agilio_cx_40g(),
+            Box::new(PassthroughDecider),
+            &reg,
+        );
+        // Two back-to-back MTU frames: the second waits in the TM FIFO.
+        assert!(matches!(
+            nic.rx(&pkt(7, 0, 1518), Nanos::ZERO),
+            RxOutcome::Transmit { .. }
+        ));
+        assert!(matches!(
+            nic.rx(&pkt(8, 0, 1518), Nanos::from_nanos(1)),
+            RxOutcome::Transmit { .. }
+        ));
+        let snap = reg.snapshot(Nanos::from_micros(10));
+        for metric in ["span.ingress_ns", "span.tm_queue_ns", "span.wire_ns"] {
+            let h = snap.histogram(metric).unwrap_or_else(|| panic!("{metric}"));
+            assert_eq!(h.count, 2, "{metric}");
+        }
+        // Wire spans carry the serialization time; the second packet's
+        // tm_queue span is nonzero (it queued behind the first).
+        let wire = snap.histogram("span.wire_ns").unwrap();
+        assert!(wire.min > 0);
+        let events = reg.ring().recent(64);
+        assert!(events
+            .iter()
+            .any(|e| e.kind == TraceKind::SpanWire && e.a == 8 && e.b > 0));
+        assert!(events
+            .iter()
+            .any(|e| e.kind == TraceKind::SpanTmQueue && e.a == 8 && e.b > 0));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use std::sync::Arc;
 
 use fv_telemetry::metrics::{Counter, Gauge};
+use fv_telemetry::span::{SpanRecorder, Stage};
 use fv_telemetry::trace::{EventRing, TraceKind};
 use fv_telemetry::Registry;
 use sim_core::time::Nanos;
@@ -75,6 +76,7 @@ struct FifoTelemetry {
     tail_drops: Arc<Counter>,
     backlog_bytes: Arc<Gauge>,
     ring: Arc<EventRing>,
+    spans: SpanRecorder,
 }
 
 #[derive(Debug, Clone)]
@@ -113,7 +115,9 @@ impl TxFifo {
 
     /// Mirrors every enqueue into `registry` under the `tm.fifo.*`
     /// namespace: the [`TmStats`] counters, an occupancy gauge (whose
-    /// high-water mark survives drains), and `TailDrop` trace events.
+    /// high-water mark survives drains), `TailDrop` trace events, and —
+    /// for packets offered via [`TxFifo::enqueue_pkt`] — per-packet
+    /// `tm_queue`/`wire` stage spans.
     pub fn attach_telemetry(&mut self, registry: &Registry) {
         self.telemetry = Some(FifoTelemetry {
             tx_packets: registry.counter("tm.fifo.tx_packets"),
@@ -121,6 +125,7 @@ impl TxFifo {
             tail_drops: registry.counter("tm.fifo.tail_drops"),
             backlog_bytes: registry.gauge("tm.fifo.backlog_bytes"),
             ring: registry.ring(),
+            spans: SpanRecorder::new(registry),
         });
     }
 
@@ -135,6 +140,17 @@ impl TxFifo {
     ///
     /// [`TmDrop::TailDrop`] when the backlog would exceed capacity.
     pub fn enqueue(&mut self, frame_len: u32, t: Nanos) -> Result<Nanos, TmDrop> {
+        self.enqueue_pkt(frame_len, t, u64::MAX)
+    }
+
+    /// [`TxFifo::enqueue`] with the packet's id threaded through so the
+    /// FIFO wait (`tm_queue`) and serialization (`wire`) spans carry it.
+    /// Callers without an id (`enqueue`) stamp `u64::MAX`.
+    ///
+    /// # Errors
+    ///
+    /// [`TmDrop::TailDrop`] when the backlog would exceed capacity.
+    pub fn enqueue_pkt(&mut self, frame_len: u32, t: Nanos, pkt_id: u64) -> Result<Nanos, TmDrop> {
         let t = t.max(self.last_t);
         self.last_t = t;
         let backlog = self.free_at.saturating_sub(t);
@@ -152,7 +168,8 @@ impl TxFifo {
             return Err(TmDrop::TailDrop);
         }
         let ser = self.framing.serialization_time(self.rate, frame_len as u64);
-        self.free_at = self.free_at.max(t) + ser;
+        let wire_start = self.free_at.max(t);
+        self.free_at = wire_start + ser;
         self.stats.tx_packets += 1;
         self.stats.tx_bits += frame_len as u64 * 8;
         if let Some(tel) = &self.telemetry {
@@ -160,6 +177,8 @@ impl TxFifo {
             tel.tx_bits.add(0, frame_len as u64 * 8);
             let occupancy = self.rate.bits_in(self.free_at - t) / 8;
             tel.backlog_bytes.set(occupancy);
+            tel.spans.record(Stage::TmQueue, t, pkt_id, wire_start - t);
+            tel.spans.record(Stage::Wire, wire_start, pkt_id, ser);
         }
         Ok(self.free_at)
     }

@@ -236,7 +236,7 @@ impl DpdkQos {
     ///
     /// # Errors
     ///
-    /// [`QueueDrop::Overlimit`] when the target queue is full.
+    /// [`QueueDrop::OverPkts`] / [`QueueDrop::OverBytes`] when the target queue is full.
     ///
     /// # Panics
     ///

@@ -7,14 +7,17 @@ use netstack::packet::Packet;
 /// Why an enqueue was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueueDrop {
-    /// The queue's byte or packet limit was reached.
-    Overlimit,
+    /// The queue's packet-count limit was reached.
+    OverPkts,
+    /// The queue's byte limit would be exceeded.
+    OverBytes,
 }
 
 impl core::fmt::Display for QueueDrop {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            QueueDrop::Overlimit => write!(f, "queue over limit"),
+            QueueDrop::OverPkts => write!(f, "queue over packet limit"),
+            QueueDrop::OverBytes => write!(f, "queue over byte limit"),
         }
     }
 }
@@ -64,12 +67,17 @@ impl PacketFifo {
     ///
     /// # Errors
     ///
-    /// [`QueueDrop::Overlimit`] when either limit would be exceeded.
+    /// [`QueueDrop::OverPkts`] when the packet-count limit is reached,
+    /// [`QueueDrop::OverBytes`] when the byte limit would be exceeded
+    /// (packet limit checked first).
     pub fn push(&mut self, pkt: Packet) -> Result<(), QueueDrop> {
-        if self.queue.len() >= self.pkt_limit || self.bytes + pkt.frame_len as u64 > self.byte_limit
-        {
+        if self.queue.len() >= self.pkt_limit {
             self.drops += 1;
-            return Err(QueueDrop::Overlimit);
+            return Err(QueueDrop::OverPkts);
+        }
+        if self.bytes + pkt.frame_len as u64 > self.byte_limit {
+            self.drops += 1;
+            return Err(QueueDrop::OverBytes);
         }
         self.bytes += pkt.frame_len as u64;
         self.queue.push_back(pkt);
@@ -136,7 +144,7 @@ mod tests {
         let mut q = PacketFifo::new(250, 1024);
         q.push(pkt(0, 100)).unwrap();
         q.push(pkt(1, 100)).unwrap();
-        assert_eq!(q.push(pkt(2, 100)), Err(QueueDrop::Overlimit));
+        assert_eq!(q.push(pkt(2, 100)), Err(QueueDrop::OverBytes));
         assert_eq!(q.drops(), 1);
         assert_eq!(q.bytes(), 200);
     }
@@ -146,7 +154,7 @@ mod tests {
         let mut q = PacketFifo::new(1 << 20, 2);
         q.push(pkt(0, 64)).unwrap();
         q.push(pkt(1, 64)).unwrap();
-        assert!(q.push(pkt(2, 64)).is_err());
+        assert_eq!(q.push(pkt(2, 64)), Err(QueueDrop::OverPkts));
         // Popping frees a slot.
         q.pop();
         assert!(q.push(pkt(3, 64)).is_ok());

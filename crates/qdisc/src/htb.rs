@@ -25,6 +25,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use fv_telemetry::metrics::{Counter, Gauge};
+use fv_telemetry::span::{SpanRecorder, Stage};
 use fv_telemetry::trace::{EventRing, TraceKind};
 use fv_telemetry::Registry;
 use netstack::packet::Packet;
@@ -234,6 +235,7 @@ struct HtbTelemetry {
     dequeued_bits: Arc<Counter>,
     backlog_pkts: Arc<Gauge>,
     ring: Arc<EventRing>,
+    spans: SpanRecorder,
 }
 
 pub struct Htb {
@@ -332,6 +334,7 @@ impl Htb {
             dequeued_bits: registry.counter("htb.dequeued_bits"),
             backlog_pkts: registry.gauge("htb.backlog_pkts"),
             ring: registry.ring(),
+            spans: SpanRecorder::new(registry),
         });
     }
 
@@ -487,7 +490,7 @@ impl Htb {
                 if self.classes[i].deficit >= head_len {
                     self.classes[i].deficit -= head_len;
                     self.rr_cursor = (self.rr_cursor + k) % n;
-                    return Some(self.transmit(i));
+                    return Some(self.transmit(i, now));
                 }
                 if pass == 0 {
                     self.classes[i].deficit += self.classes[i].spec.quantum as i64;
@@ -500,7 +503,7 @@ impl Htb {
 
     /// Pops leaf `i`'s head and charges tokens along the hierarchy, with
     /// the kernel model's undercharging applied.
-    fn transmit(&mut self, i: usize) -> Packet {
+    fn transmit(&mut self, i: usize, now: Nanos) -> Packet {
         let pkt = self.classes[i].queue.pop().expect("leaf has a head");
         let charged = (pkt.frame_bits() as f64 * self.model.charge_factor) as i64;
         let lender = if self.classes[i].tokens <= 0 {
@@ -524,6 +527,10 @@ impl Htb {
             t.dequeued.incr(0);
             t.dequeued_bits.add(0, pkt.frame_bits());
             t.backlog_pkts.set(self.backlog_pkts() as u64);
+            // Queue span: how long the packet waited in its leaf queue.
+            let sojourn = now.saturating_sub(pkt.created_at);
+            t.spans
+                .record(Stage::Queue, pkt.created_at, pkt.id, sojourn);
         }
         pkt
     }

@@ -7,9 +7,11 @@
 use std::sync::Arc;
 
 use fv_telemetry::metrics::{Counter, Gauge};
+use fv_telemetry::span::{SpanRecorder, Stage};
 use fv_telemetry::trace::{EventRing, TraceKind};
 use fv_telemetry::Registry;
 use netstack::packet::Packet;
+use sim_core::time::Nanos;
 
 use crate::fifo::{PacketFifo, QueueDrop};
 
@@ -38,8 +40,12 @@ struct PrioTelemetry {
     enqueued: Arc<Counter>,
     dequeued: Arc<Counter>,
     drops: Arc<Counter>,
+    drops_overpkts: Arc<Counter>,
+    drops_overbytes: Arc<Counter>,
+    band_drops: Vec<Arc<Counter>>,
     backlog_pkts: Arc<Gauge>,
     ring: Arc<EventRing>,
+    spans: SpanRecorder,
 }
 
 #[derive(Debug)]
@@ -71,13 +77,22 @@ impl Prio {
 
     /// Mirrors this qdisc's counters into `registry` under `prio.*` —
     /// band overflows additionally trace [`TraceKind::TailDrop`] events.
+    /// Drops are broken out by cause (`prio.drops_overpkts` /
+    /// `prio.drops_overbytes`) and by band (`prio.band<i>.drops`)
+    /// alongside the aggregate `prio.drops`.
     pub fn attach_telemetry(&mut self, registry: &Registry) {
         self.telemetry = Some(PrioTelemetry {
             enqueued: registry.counter("prio.enqueued"),
             dequeued: registry.counter("prio.dequeued"),
             drops: registry.counter("prio.drops"),
+            drops_overpkts: registry.counter("prio.drops_overpkts"),
+            drops_overbytes: registry.counter("prio.drops_overbytes"),
+            band_drops: (0..self.bands.len())
+                .map(|i| registry.counter(&format!("prio.band{i}.drops")))
+                .collect(),
             backlog_pkts: registry.gauge("prio.backlog_pkts"),
             ring: registry.ring(),
+            spans: SpanRecorder::new(registry),
         });
     }
 
@@ -90,7 +105,8 @@ impl Prio {
     ///
     /// # Errors
     ///
-    /// [`QueueDrop::Overlimit`] when the band is full.
+    /// [`QueueDrop::OverPkts`] / [`QueueDrop::OverBytes`] when the band
+    /// is full, naming which limit refused the packet.
     ///
     /// # Panics
     ///
@@ -106,9 +122,14 @@ impl Prio {
                     t.backlog_pkts.set(self.backlog_pkts() as u64);
                 }
             }
-            Err(_) => {
+            Err(cause) => {
                 if let Some(t) = &self.telemetry {
                     t.drops.incr(0);
+                    match cause {
+                        QueueDrop::OverPkts => t.drops_overpkts.incr(0),
+                        QueueDrop::OverBytes => t.drops_overbytes.incr(0),
+                    }
+                    t.band_drops[band].incr(0);
                     t.ring.record(at, TraceKind::TailDrop, band as u64, id);
                 }
             }
@@ -118,12 +139,27 @@ impl Prio {
 
     /// Dequeues from the highest-priority non-empty band.
     pub fn dequeue(&mut self) -> Option<Packet> {
+        self.dequeue_inner(None)
+    }
+
+    /// [`Prio::dequeue`] with the dequeue instant threaded through, so the
+    /// packet's queue sojourn (`now - created_at`) is stamped as a `queue`
+    /// stage span when telemetry is attached.
+    pub fn dequeue_at(&mut self, now: Nanos) -> Option<Packet> {
+        self.dequeue_inner(Some(now))
+    }
+
+    fn dequeue_inner(&mut self, now: Option<Nanos>) -> Option<Packet> {
         for band in 0..self.bands.len() {
             if let Some(p) = self.bands[band].pop() {
                 self.dequeued += 1;
                 if let Some(t) = &self.telemetry {
                     t.dequeued.incr(0);
                     t.backlog_pkts.set(self.backlog_pkts() as u64);
+                    if let Some(now) = now {
+                        let sojourn = now.saturating_sub(p.created_at);
+                        t.spans.record(Stage::Queue, p.created_at, p.id, sojourn);
+                    }
                 }
                 return Some(p);
             }
@@ -232,5 +268,49 @@ mod tests {
             .events
             .iter()
             .any(|e| e.kind == TraceKind::TailDrop && e.a == 0 && e.b == 1));
+    }
+
+    #[test]
+    fn drops_are_attributed_by_cause_and_band() {
+        fn sized(id: u64, len: u32) -> Packet {
+            let flow = FlowKey::tcp([10, 0, 0, 1], 1, [10, 0, 0, 2], 2);
+            Packet::new(id, flow, len, AppId(0), VfPort(0), Nanos::ZERO)
+        }
+        // Shared limits: 250 bytes, 2 packets per band. Band 0 fills the
+        // packet slots with small frames → OverPkts; band 1 blows the byte
+        // budget with one large frame → OverBytes.
+        let mut q = Prio::new(2, 250, 2);
+        let registry = Registry::new();
+        q.attach_telemetry(&registry);
+        q.enqueue(0, sized(0, 64)).unwrap();
+        q.enqueue(0, sized(1, 64)).unwrap();
+        assert_eq!(q.enqueue(0, sized(2, 64)), Err(QueueDrop::OverPkts));
+        q.enqueue(1, sized(3, 200)).unwrap();
+        assert_eq!(q.enqueue(1, sized(4, 100)), Err(QueueDrop::OverBytes));
+        let snap = registry.snapshot(Nanos::ZERO);
+        assert_eq!(snap.counter("prio.drops"), 2);
+        assert_eq!(snap.counter("prio.drops_overpkts"), 1);
+        assert_eq!(snap.counter("prio.drops_overbytes"), 1);
+        assert_eq!(snap.counter("prio.band0.drops"), 1);
+        assert_eq!(snap.counter("prio.band1.drops"), 1);
+    }
+
+    #[test]
+    fn dequeue_at_stamps_queue_sojourn_spans() {
+        let mut q = Prio::new(2, 1 << 20, 10);
+        let registry = Registry::new();
+        q.attach_telemetry(&registry);
+        q.enqueue(0, pkt(5)).unwrap(); // created_at = 0
+        let now = Nanos::from_micros(3);
+        assert_eq!(q.dequeue_at(now).map(|p| p.id), Some(5));
+        let snap = registry.snapshot(now);
+        let h = snap.histogram("span.queue_ns").expect("queue span hist");
+        assert_eq!(h.count, 1);
+        assert_eq!(h.min, now.as_nanos());
+        assert!(registry
+            .ring()
+            .recent(8)
+            .iter()
+            .any(|e| e.kind == TraceKind::SpanQueue && e.a == 5 && e.b == now.as_nanos()));
     }
 }

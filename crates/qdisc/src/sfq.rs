@@ -111,7 +111,7 @@ impl Sfq {
     ///
     /// # Errors
     ///
-    /// [`QueueDrop::Overlimit`] if the flow's bucket is full.
+    /// [`QueueDrop::OverPkts`] / [`QueueDrop::OverBytes`] if the flow's bucket is full.
     pub fn enqueue(&mut self, pkt: Packet, now: Nanos) -> Result<(), QueueDrop> {
         self.maybe_perturb(now);
         let b = self.bucket_of(&pkt);

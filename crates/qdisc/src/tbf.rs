@@ -8,6 +8,7 @@
 use std::sync::Arc;
 
 use fv_telemetry::metrics::{Counter, Gauge};
+use fv_telemetry::span::{SpanRecorder, Stage};
 use fv_telemetry::trace::{EventRing, TraceKind};
 use fv_telemetry::Registry;
 use netstack::packet::Packet;
@@ -44,8 +45,11 @@ struct TbfTelemetry {
     dequeued: Arc<Counter>,
     dequeued_bits: Arc<Counter>,
     drops: Arc<Counter>,
+    drops_overpkts: Arc<Counter>,
+    drops_overbytes: Arc<Counter>,
     backlog_pkts: Arc<Gauge>,
     ring: Arc<EventRing>,
+    spans: SpanRecorder,
 }
 
 #[derive(Debug)]
@@ -80,15 +84,20 @@ impl Tbf {
     }
 
     /// Mirrors this shaper's counters into `registry` under `tbf.*` —
-    /// backlog overflows additionally trace [`TraceKind::TailDrop`] events.
+    /// backlog overflows additionally trace [`TraceKind::TailDrop`]
+    /// events, and drops are broken out by cause
+    /// (`tbf.drops_overpkts` / `tbf.drops_overbytes`).
     pub fn attach_telemetry(&mut self, registry: &Registry) {
         self.telemetry = Some(TbfTelemetry {
             enqueued: registry.counter("tbf.enqueued"),
             dequeued: registry.counter("tbf.dequeued"),
             dequeued_bits: registry.counter("tbf.dequeued_bits"),
             drops: registry.counter("tbf.drops"),
+            drops_overpkts: registry.counter("tbf.drops_overpkts"),
+            drops_overbytes: registry.counter("tbf.drops_overbytes"),
             backlog_pkts: registry.gauge("tbf.backlog_pkts"),
             ring: registry.ring(),
+            spans: SpanRecorder::new(registry),
         });
     }
 
@@ -96,7 +105,8 @@ impl Tbf {
     ///
     /// # Errors
     ///
-    /// [`QueueDrop::Overlimit`] when the backlog is full.
+    /// [`QueueDrop::OverPkts`] / [`QueueDrop::OverBytes`] when the backlog
+    /// is full, naming which limit refused the packet.
     pub fn enqueue(&mut self, pkt: Packet) -> Result<(), QueueDrop> {
         let (at, id) = (pkt.created_at, pkt.id);
         let r = self.queue.push(pkt);
@@ -107,9 +117,13 @@ impl Tbf {
                     t.backlog_pkts.set(self.queue.len() as u64);
                 }
             }
-            Err(_) => {
+            Err(cause) => {
                 if let Some(t) = &self.telemetry {
                     t.drops.incr(0);
+                    match cause {
+                        QueueDrop::OverPkts => t.drops_overpkts.incr(0),
+                        QueueDrop::OverBytes => t.drops_overbytes.incr(0),
+                    }
                     t.ring.record(at, TraceKind::TailDrop, 0, id);
                 }
             }
@@ -136,6 +150,9 @@ impl Tbf {
                 t.dequeued.incr(0);
                 t.dequeued_bits.add(0, p.frame_bits());
                 t.backlog_pkts.set(self.queue.len() as u64);
+                // Queue span: how long the packet sat waiting for tokens.
+                let sojourn = now.saturating_sub(p.created_at);
+                t.spans.record(Stage::Queue, p.created_at, p.id, sojourn);
             }
             pkt
         } else {
@@ -246,5 +263,49 @@ mod tests {
             .events
             .iter()
             .any(|e| e.kind == fv_telemetry::trace::TraceKind::TailDrop && e.b == 1));
+        // The 1-packet limit refused packet 1: cause is OverPkts.
+        assert_eq!(snap.counter("tbf.drops_overpkts"), 1);
+        assert_eq!(snap.counter("tbf.drops_overbytes"), 0);
+    }
+
+    #[test]
+    fn byte_limit_drops_are_attributed() {
+        use fv_telemetry::Registry;
+
+        // 2000-byte backlog: one 1250 B packet fits, the second overflows
+        // the byte limit (packet limit is generous).
+        let mut tbf = Tbf::new(BitRate::from_gbps(1.0), 10_000, 2_000, 100);
+        let registry = Registry::new();
+        tbf.attach_telemetry(&registry);
+        tbf.enqueue(pkt(0, 1250)).unwrap();
+        assert_eq!(tbf.enqueue(pkt(1, 1250)), Err(QueueDrop::OverBytes));
+        let snap = registry.snapshot(Nanos::ZERO);
+        assert_eq!(snap.counter("tbf.drops_overbytes"), 1);
+        assert_eq!(snap.counter("tbf.drops_overpkts"), 0);
+    }
+
+    #[test]
+    fn dequeue_stamps_queue_sojourn_spans() {
+        use fv_telemetry::trace::TraceKind;
+        use fv_telemetry::Registry;
+
+        // Tiny burst: the packet must wait for tokens before release.
+        let mut tbf = Tbf::new(BitRate::from_gbps(1.0), 1_250, 1 << 20, 10);
+        let registry = Registry::new();
+        tbf.attach_telemetry(&registry);
+        tbf.enqueue(pkt(0, 1250)).unwrap(); // exactly one burst worth
+        tbf.enqueue(pkt(1, 1250)).unwrap();
+        assert!(tbf.dequeue(Nanos::ZERO).is_some());
+        let ready = tbf.next_ready(Nanos::ZERO).unwrap();
+        assert!(tbf.dequeue(ready).is_some());
+        let snap = registry.snapshot(ready);
+        let h = snap.histogram("span.queue_ns").expect("queue span hist");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.max, ready.as_nanos()); // second packet waited 10 us
+        assert!(registry
+            .ring()
+            .recent(8)
+            .iter()
+            .any(|e| e.kind == TraceKind::SpanQueue && e.a == 1 && e.b == ready.as_nanos()));
     }
 }

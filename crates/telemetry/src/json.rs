@@ -87,6 +87,32 @@ impl JsonValue {
         }
     }
 
+    /// Parses a JSON document.
+    ///
+    /// The counterpart of the emitter, used by the trace-export smoke tests
+    /// and the golden-file schema tests (no `serde_json` in this
+    /// environment). Numbers without a fraction/exponent that fit the
+    /// integer nodes parse as [`JsonValue::UInt`]/[`JsonValue::Int`];
+    /// everything else numeric becomes [`JsonValue::Num`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a `position: message` string on malformed input or trailing
+    /// garbage.
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("{}: trailing characters", p.pos));
+        }
+        Ok(v)
+    }
+
     /// Renders the document on one line.
     pub fn to_compact(&self) -> String {
         let mut out = String::new();
@@ -140,6 +166,196 @@ impl JsonValue {
                 });
             }
         }
+    }
+}
+
+/// Recursive-descent JSON parser over raw bytes (multi-byte UTF-8 is only
+/// ever copied through inside strings, never inspected).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("{}: expected {:?}", self.pos, b as char))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("{}: expected {word}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("{}: expected a value", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("{}: expected ',' or ']'", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(pairs));
+                }
+                _ => return Err(format!("{}: expected ',' or '}}'", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| format!("{start}: invalid UTF-8"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| format!("{}: unterminated escape", self.pos))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| format!("{}: bad \\u escape", self.pos))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("{}: bad \\u escape", self.pos))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by our emitter;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(format!("{}: unknown escape", self.pos - 1)),
+                    }
+                }
+                _ => return Err(format!("{}: unterminated string", self.pos)),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    integral = false;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if integral {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(JsonValue::UInt(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(JsonValue::Int(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| format!("{start}: bad number"))
     }
 }
 
@@ -362,5 +578,64 @@ mod tests {
     fn empty_containers() {
         assert_eq!(JsonValue::arr([]).to_compact(), "[]");
         assert_eq!(JsonValue::obj::<String>([]).to_pretty(), "{}");
+    }
+
+    #[test]
+    fn parse_roundtrips_the_emitter() {
+        let doc = JsonValue::obj([
+            ("name", "a\"b\\c\nd".to_json()),
+            ("count", 3u64.to_json()),
+            ("neg", (-7i64).to_json()),
+            ("rate", 2.5f64.to_json()),
+            ("whole", 3.0f64.to_json()),
+            ("on", true.to_json()),
+            ("gone", JsonValue::Null),
+            ("xs", JsonValue::arr([1u64.to_json(), 2u64.to_json()])),
+            ("nested", JsonValue::obj([("k", JsonValue::arr([]))])),
+        ]);
+        assert_eq!(JsonValue::parse(&doc.to_compact()), Ok(doc.clone()));
+        assert_eq!(JsonValue::parse(&doc.to_pretty()), Ok(doc));
+    }
+
+    #[test]
+    fn parse_number_forms() {
+        assert_eq!(JsonValue::parse("42"), Ok(JsonValue::UInt(42)));
+        assert_eq!(JsonValue::parse("-42"), Ok(JsonValue::Int(-42)));
+        assert_eq!(JsonValue::parse("1e3"), Ok(JsonValue::Num(1000.0)));
+        assert_eq!(JsonValue::parse("0.5"), Ok(JsonValue::Num(0.5)));
+        assert_eq!(
+            JsonValue::parse("18446744073709551615"),
+            Ok(JsonValue::UInt(u64::MAX))
+        );
+    }
+
+    #[test]
+    fn parse_unicode_escapes_and_multibyte_passthrough() {
+        assert_eq!(
+            JsonValue::parse("\"a\\u0041\\u00e9\""),
+            Ok(JsonValue::Str("aA\u{e9}".into()))
+        );
+        assert_eq!(
+            JsonValue::parse("\"caf\u{e9}\""),
+            Ok(JsonValue::Str("caf\u{e9}".into()))
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in [
+            "", "{", "[1,", "{\"a\":}", "tru", "\"open", "{} extra", "[1 2]",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_tolerates_whitespace() {
+        let v = JsonValue::parse(" { \"a\" : [ 1 , 2 ] } \n").unwrap();
+        assert_eq!(
+            v.get("a").and_then(JsonValue::as_arr).map(<[_]>::len),
+            Some(2)
+        );
     }
 }

@@ -56,9 +56,11 @@
 pub mod json;
 pub mod metrics;
 pub mod registry;
+pub mod span;
 pub mod trace;
 
 pub use json::{JsonValue, ToJson};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, RateWindow};
 pub use registry::{MetricEntry, MetricValue, Registry, Snapshot};
+pub use span::{SpanRecorder, Stage, STAGES};
 pub use trace::{EventRing, TraceEvent, TraceKind};

@@ -203,34 +203,60 @@ impl Histogram {
             return HistogramSnapshot::default();
         }
         let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Relaxed)).collect();
-        // Concurrent writers can make the per-bucket view lag `count`;
-        // quantiles are computed against the per-bucket total for coherence.
-        let in_buckets: u64 = counts.iter().sum();
-        let quantile = |q: f64| -> u64 {
-            if in_buckets == 0 {
-                return 0;
-            }
-            let target = ((q * in_buckets as f64).ceil() as u64).clamp(1, in_buckets);
-            let mut seen = 0u64;
-            for (idx, c) in counts.iter().enumerate() {
-                seen += c;
-                if seen >= target {
-                    return bucket_floor(idx);
-                }
-            }
-            bucket_floor(BUCKETS - 1)
-        };
+        let min = self.min.load(Relaxed);
+        let max = self.max.load(Relaxed);
         HistogramSnapshot {
             count,
             sum: self.sum.load(Relaxed),
-            min: self.min.load(Relaxed),
-            max: self.max.load(Relaxed),
-            p50: quantile(0.50),
-            p90: quantile(0.90),
-            p99: quantile(0.99),
-            p999: quantile(0.999),
+            min,
+            max,
+            p50: quantile_from(&counts, min, max, 0.50).unwrap_or(0),
+            p90: quantile_from(&counts, min, max, 0.90).unwrap_or(0),
+            p99: quantile_from(&counts, min, max, 0.99).unwrap_or(0),
+            p999: quantile_from(&counts, min, max, 0.999).unwrap_or(0),
         }
     }
+
+    /// The `q`-quantile of the recorded samples (bucket lower bound,
+    /// clamped into `[min, max]`), or `None` when the histogram is empty
+    /// or `q` is outside `[0, 1]` — never a garbage value.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count.load(Relaxed) == 0 {
+            return None;
+        }
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Relaxed)).collect();
+        quantile_from(&counts, self.min.load(Relaxed), self.max.load(Relaxed), q)
+    }
+}
+
+/// Shared quantile kernel: walks the bucket counts to the target rank and
+/// clamps the bucket floor into the observed `[min, max]` range.
+///
+/// The clamp fixes two edge cases of the raw bucket walk: a single sample
+/// (or any narrow distribution) used to report the *floor* of its bucket —
+/// up to ≈6% below the only value ever recorded — and a sample landing in
+/// the final overflow bucket used to report that bucket's enormous floor
+/// rather than anything observed. Returns `None` when `q` is outside
+/// `[0, 1]` or no bucketed samples are visible yet (concurrent writers can
+/// make the per-bucket view lag `count`; quantiles are computed against the
+/// per-bucket total for coherence).
+fn quantile_from(counts: &[u64], min: u64, max: u64, q: f64) -> Option<u64> {
+    if !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let in_buckets: u64 = counts.iter().sum();
+    if in_buckets == 0 {
+        return None;
+    }
+    let target = ((q * in_buckets as f64).ceil() as u64).clamp(1, in_buckets);
+    let mut seen = 0u64;
+    for (idx, c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= target {
+            return Some(bucket_floor(idx).clamp(min, max));
+        }
+    }
+    Some(bucket_floor(BUCKETS - 1).clamp(min, max))
 }
 
 impl std::fmt::Debug for Histogram {
@@ -484,6 +510,56 @@ mod tests {
         let s = Histogram::new().snapshot();
         assert_eq!(s, HistogramSnapshot::default());
         assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_none_not_garbage() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile(0.99), None);
+    }
+
+    #[test]
+    fn out_of_range_q_is_none() {
+        let h = Histogram::new();
+        h.record(100);
+        assert_eq!(h.quantile(-0.1), None);
+        assert_eq!(h.quantile(1.5), None);
+        assert_eq!(h.quantile(f64::NAN), None);
+    }
+
+    #[test]
+    fn single_sample_quantiles_report_the_sample() {
+        // 1000 lands in a bucket whose floor is 992; the raw bucket walk
+        // used to report that floor for every quantile. Clamping to the
+        // observed [min, max] pins all quantiles to the only sample.
+        let h = Histogram::new();
+        h.record(1_000);
+        assert_eq!(h.quantile(0.0), Some(1_000));
+        assert_eq!(h.quantile(0.5), Some(1_000));
+        assert_eq!(h.quantile(1.0), Some(1_000));
+        let s = h.snapshot();
+        assert_eq!((s.p50, s.p99, s.p999), (1_000, 1_000, 1_000));
+    }
+
+    #[test]
+    fn overflow_bucket_quantile_clamps_to_observed_max() {
+        let h = Histogram::new();
+        h.record(10);
+        h.record(u64::MAX); // lands in the final overflow bucket
+        let s = h.snapshot();
+        assert!(s.p999 <= s.max, "p999 {} above max {}", s.p999, s.max);
+        // The top quantile is a bucket lower bound (≈6% resolution) but
+        // never exceeds the observed max — previously it could also sit
+        // *below* min for narrow distributions; both are now impossible.
+        let top = h.quantile(1.0).unwrap();
+        assert!(top <= s.max && top >= s.max / 2, "top {top}");
+        assert_eq!(h.quantile(0.25), Some(10));
+        // All quantiles stay within the observed range.
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q).unwrap();
+            assert!((10..=u64::MAX).contains(&v), "q={q} v={v}");
+        }
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! Per-packet span stamping at pipeline stage boundaries.
+//!
+//! A *span* is one packet's dwell in one stage of the pipeline — ingress
+//! dispatch wait, classification, the scheduling verdict, the transmit-FIFO
+//! wait, serialization onto the wire, or residency in a software qdisc.
+//! [`SpanRecorder`] publishes each span twice from a single call:
+//!
+//! * as a [`TraceKind`] span event in the shared [`EventRing`], so a run
+//!   can be exported to Chrome-trace/Perfetto JSON (the `fv-scope` crate's
+//!   `chrome` module), and
+//! * into a per-stage log-linear [`Histogram`] (`span.<stage>_ns`), so the
+//!   latency *decomposition* survives even when the bounded ring has
+//!   wrapped or is being sampled.
+//!
+//! Both sinks are wait-free relaxed atomics, so stamping stays cheap enough
+//! to leave on inside the simulated micro-engine hot path and inside the
+//! multi-threaded wall-clock benchmarks (the `span_stamp` bench in the
+//! `bench` crate keeps this honest: ≈ tens of nanoseconds per stamp).
+
+use std::sync::Arc;
+
+use sim_core::time::Nanos;
+
+use crate::metrics::Histogram;
+use crate::registry::Registry;
+use crate::trace::{EventRing, TraceKind};
+
+/// Pipeline stages a packet is stamped at. The discriminants index
+/// [`SpanRecorder`]'s histogram array and the Chrome-trace thread lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Arrival to worker start (ingress dispatch wait).
+    Ingress = 0,
+    /// The labeling function: flow classification.
+    Classify = 1,
+    /// The scheduling function: token grab and verdict.
+    Sched = 2,
+    /// Wait in the traffic-manager FIFO before serialization.
+    TmQueue = 3,
+    /// Serialization onto the wire.
+    Wire = 4,
+    /// Residency in a software qdisc (enqueue to dequeue).
+    Queue = 5,
+}
+
+/// All stages, in discriminant order.
+pub const STAGES: [Stage; 6] = [
+    Stage::Ingress,
+    Stage::Classify,
+    Stage::Sched,
+    Stage::TmQueue,
+    Stage::Wire,
+    Stage::Queue,
+];
+
+impl Stage {
+    /// Stable lowercase name (the Chrome-trace category).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::Ingress => "ingress",
+            Stage::Classify => "classify",
+            Stage::Sched => "sched",
+            Stage::TmQueue => "tm_queue",
+            Stage::Wire => "wire",
+            Stage::Queue => "queue",
+        }
+    }
+
+    /// The registry histogram this stage records into.
+    pub fn metric(&self) -> &'static str {
+        match self {
+            Stage::Ingress => "span.ingress_ns",
+            Stage::Classify => "span.classify_ns",
+            Stage::Sched => "span.sched_ns",
+            Stage::TmQueue => "span.tm_queue_ns",
+            Stage::Wire => "span.wire_ns",
+            Stage::Queue => "span.queue_ns",
+        }
+    }
+
+    /// The trace-ring event kind carrying this stage's spans.
+    pub fn kind(&self) -> TraceKind {
+        match self {
+            Stage::Ingress => TraceKind::SpanIngress,
+            Stage::Classify => TraceKind::SpanClassify,
+            Stage::Sched => TraceKind::SpanSched,
+            Stage::TmQueue => TraceKind::SpanTmQueue,
+            Stage::Wire => TraceKind::SpanWire,
+            Stage::Queue => TraceKind::SpanQueue,
+        }
+    }
+
+    /// Inverse of [`Stage::kind`]: the stage a span event belongs to.
+    pub fn from_kind(kind: TraceKind) -> Option<Stage> {
+        Some(match kind {
+            TraceKind::SpanIngress => Stage::Ingress,
+            TraceKind::SpanClassify => Stage::Classify,
+            TraceKind::SpanSched => Stage::Sched,
+            TraceKind::SpanTmQueue => Stage::TmQueue,
+            TraceKind::SpanWire => Stage::Wire,
+            TraceKind::SpanQueue => Stage::Queue,
+            _ => return None,
+        })
+    }
+}
+
+impl core::fmt::Display for Stage {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Stamps per-packet spans into a registry's event ring and per-stage
+/// histograms.
+///
+/// Cloning is cheap (`Arc` handles); all clones record into the same sinks.
+///
+/// # Example
+///
+/// ```
+/// use fv_telemetry::span::{SpanRecorder, Stage};
+/// use fv_telemetry::Registry;
+/// use sim_core::time::Nanos;
+///
+/// let reg = Registry::new();
+/// let spans = SpanRecorder::new(&reg);
+/// // Packet 7 waited 80 ns in the transmit FIFO starting at t=1 us.
+/// spans.record(Stage::TmQueue, Nanos::from_micros(1), 7, Nanos::from_nanos(80));
+/// let snap = reg.snapshot(Nanos::from_micros(2));
+/// assert_eq!(snap.histogram("span.tm_queue_ns").unwrap().count, 1);
+/// assert_eq!(snap.events[0].a, 7);
+/// ```
+#[derive(Clone)]
+pub struct SpanRecorder {
+    ring: Arc<EventRing>,
+    hists: [Arc<Histogram>; STAGES.len()],
+}
+
+impl SpanRecorder {
+    /// Registers the per-stage histograms in `registry` and binds to its
+    /// event ring. Cold path; call once at wiring time.
+    pub fn new(registry: &Registry) -> SpanRecorder {
+        SpanRecorder {
+            ring: registry.ring(),
+            hists: STAGES.map(|s| registry.histogram(s.metric())),
+        }
+    }
+
+    /// Records that a packet spent `dur` in `stage` starting at `start`.
+    /// Wait-free: one histogram record plus one (possibly sampled) ring
+    /// record, all relaxed atomics.
+    #[inline]
+    pub fn record(&self, stage: Stage, start: Nanos, pkt_id: u64, dur: Nanos) {
+        self.hists[stage as usize].record(dur.as_nanos());
+        self.ring
+            .record(start, stage.kind(), pkt_id, dur.as_nanos());
+    }
+}
+
+impl core::fmt::Debug for SpanRecorder {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SpanRecorder").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_metrics_and_kinds_are_consistent() {
+        for (i, s) in STAGES.iter().enumerate() {
+            assert_eq!(*s as usize, i);
+            assert_eq!(Stage::from_kind(s.kind()), Some(*s));
+            assert!(s.kind().is_span());
+            assert!(s.metric().starts_with("span."));
+            assert!(s.metric().contains(s.name()));
+            assert_eq!(format!("{s}"), s.name());
+        }
+        assert_eq!(Stage::from_kind(TraceKind::TailDrop), None);
+    }
+
+    #[test]
+    fn record_feeds_both_histogram_and_ring() {
+        let reg = Registry::new();
+        let spans = SpanRecorder::new(&reg);
+        spans.record(
+            Stage::Sched,
+            Nanos::from_nanos(100),
+            3,
+            Nanos::from_nanos(40),
+        );
+        spans.record(
+            Stage::Sched,
+            Nanos::from_nanos(200),
+            4,
+            Nanos::from_nanos(60),
+        );
+        spans.record(
+            Stage::Wire,
+            Nanos::from_nanos(300),
+            4,
+            Nanos::from_nanos(1_231),
+        );
+        let snap = reg.snapshot(Nanos::from_micros(1));
+        let sched = snap.histogram("span.sched_ns").expect("sched histogram");
+        assert_eq!(sched.count, 2);
+        assert_eq!(sched.min, 40);
+        assert_eq!(sched.max, 60);
+        assert_eq!(snap.histogram("span.wire_ns").unwrap().count, 1);
+        // Empty stages still exist in the snapshot (count 0), so exporters
+        // always see the full decomposition.
+        assert_eq!(snap.histogram("span.queue_ns").unwrap().count, 0);
+        let spans_in_ring: Vec<_> = snap.events.iter().filter(|e| e.kind.is_span()).collect();
+        assert_eq!(spans_in_ring.len(), 3);
+        assert_eq!(spans_in_ring[0].b, 40);
+    }
+
+    #[test]
+    fn clones_share_sinks() {
+        let reg = Registry::new();
+        let a = SpanRecorder::new(&reg);
+        let b = a.clone();
+        a.record(Stage::Ingress, Nanos::ZERO, 1, Nanos::from_nanos(5));
+        b.record(Stage::Ingress, Nanos::ZERO, 2, Nanos::from_nanos(7));
+        assert_eq!(
+            reg.snapshot(Nanos::ZERO)
+                .histogram("span.ingress_ns")
+                .unwrap()
+                .count,
+            2
+        );
+    }
+}

@@ -32,6 +32,20 @@ pub enum TraceKind {
     TailDrop = 6,
     /// Packet dropped before scheduling (dispatch overload). `a` = VF.
     RxDrop = 7,
+    /// Span: ingress dispatch wait (arrival to worker start).
+    /// For every span kind `at` = span start, `a` = packet id, `b` =
+    /// duration in nanoseconds.
+    SpanIngress = 8,
+    /// Span: labeling function (flow classification).
+    SpanClassify = 9,
+    /// Span: scheduling function (token grab / verdict).
+    SpanSched = 10,
+    /// Span: wait in the traffic-manager FIFO before serialization.
+    SpanTmQueue = 11,
+    /// Span: serialization onto the wire.
+    SpanWire = 12,
+    /// Span: residency in a software qdisc (enqueue to dequeue).
+    SpanQueue = 13,
 }
 
 impl TraceKind {
@@ -45,6 +59,12 @@ impl TraceKind {
             5 => TraceKind::LockWait,
             6 => TraceKind::TailDrop,
             7 => TraceKind::RxDrop,
+            8 => TraceKind::SpanIngress,
+            9 => TraceKind::SpanClassify,
+            10 => TraceKind::SpanSched,
+            11 => TraceKind::SpanTmQueue,
+            12 => TraceKind::SpanWire,
+            13 => TraceKind::SpanQueue,
             _ => return None,
         })
     }
@@ -60,7 +80,27 @@ impl TraceKind {
             TraceKind::LockWait => "lock_wait",
             TraceKind::TailDrop => "tail_drop",
             TraceKind::RxDrop => "rx_drop",
+            TraceKind::SpanIngress => "span_ingress",
+            TraceKind::SpanClassify => "span_classify",
+            TraceKind::SpanSched => "span_sched",
+            TraceKind::SpanTmQueue => "span_tm_queue",
+            TraceKind::SpanWire => "span_wire",
+            TraceKind::SpanQueue => "span_queue",
         }
+    }
+
+    /// Whether this kind is a stage span (`at` = start, `a` = packet id,
+    /// `b` = duration in nanoseconds).
+    pub fn is_span(&self) -> bool {
+        matches!(
+            self,
+            TraceKind::SpanIngress
+                | TraceKind::SpanClassify
+                | TraceKind::SpanSched
+                | TraceKind::SpanTmQueue
+                | TraceKind::SpanWire
+                | TraceKind::SpanQueue
+        )
     }
 }
 
@@ -336,5 +376,30 @@ mod tests {
     fn capacity_rounds_to_power_of_two() {
         assert_eq!(EventRing::new(0).capacity(), 8);
         assert_eq!(EventRing::new(100).capacity(), 128);
+    }
+
+    #[test]
+    fn span_kinds_roundtrip_through_the_ring() {
+        let ring = EventRing::new(16);
+        let kinds = [
+            TraceKind::SpanIngress,
+            TraceKind::SpanClassify,
+            TraceKind::SpanSched,
+            TraceKind::SpanTmQueue,
+            TraceKind::SpanWire,
+            TraceKind::SpanQueue,
+        ];
+        for (i, k) in kinds.iter().enumerate() {
+            assert!(k.is_span());
+            assert!(k.name().starts_with("span_"));
+            ring.record(Nanos::from_nanos(i as u64), *k, 42, 100 + i as u64);
+        }
+        assert!(!TraceKind::LockWait.is_span());
+        let events = ring.recent(16);
+        assert_eq!(events.len(), kinds.len());
+        for (e, k) in events.iter().zip(kinds) {
+            assert_eq!(e.kind, k);
+            assert_eq!(e.a, 42);
+        }
     }
 }

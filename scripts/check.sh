@@ -22,4 +22,21 @@ cargo test -q -p sim-core --doc
 echo "==> cargo bench -- --test (bench smoke: every bench body runs once)"
 cargo bench -p bench -- --test
 
+echo "==> fv check scripts/motivation.fv (rate-conformance gate)"
+cargo run --release -q -p fv-cli -- check scripts/motivation.fv
+
+echo "==> fv trace export smoke"
+TRACE="$(mktemp --suffix=.json)"
+trap 'rm -f "$TRACE"' EXIT
+cargo run --release -q -p fv-cli -- trace scripts/motivation.fv --out "$TRACE" >/dev/null
+python3 - "$TRACE" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+cats = {e["cat"] for e in spans}
+assert len(cats) >= 4, f"want >=4 span stage categories, got {cats}"
+assert any(e["dur"] > 0 for e in spans), "all spans have zero duration"
+print(f"trace ok: {len(spans)} spans, stages {sorted(cats)}")
+PY
+
 echo "All checks passed."
