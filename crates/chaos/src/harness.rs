@@ -1,0 +1,377 @@
+//! The resilience harness: the `fv demo` saturation workload, faulted.
+//!
+//! [`run_chaos`] drives the exact workload `fv demo`/`fv check` runs — one
+//! TCP flow per filter, each offered an equal slice of 1.5x line rate for
+//! 10 ms on the Agilio CX 40G model — but with a [`ChaosController`]
+//! installed at every hook point: the NIC's traffic manager, worker pool
+//! and lock table, the FlowValve scheduler clock, and the host boundary.
+//! `reconfig` faults additionally hot-reload the policy mid-run with every
+//! rate scaled, restoring the original when the window closes.
+//!
+//! After the run, one [`fv_scope::Slo::RateRecovers`] assertion per
+//! completed fault window checks that aggregate NIC throughput returned to
+//! the root rate's conformance band — the paper's pitch is that the
+//! offloaded scheduler keeps shaping through disturbance, and this is
+//! where that claim is pinned.
+
+use std::sync::Arc;
+
+use flowvalve::frontend::Policy;
+use flowvalve::pipeline::FlowValvePipeline;
+use flowvalve::tree::TreeParams;
+use fv_scope::{evaluate, CheckReport, SamplerConfig, Slo, TimeSampler};
+use fv_telemetry::json::{JsonValue, ToJson};
+use fv_telemetry::{Registry, Snapshot};
+use hostsim::HostChaosHook;
+use netstack::flow::FlowKey;
+use netstack::gen::{ArrivalProcess, LineRateProcess};
+use netstack::packet::{AppId, Packet, PacketIdGen, VfPort};
+use np_sim::config::NicConfig;
+use np_sim::nic::SmartNic;
+use sim_core::rng::SimRng;
+use sim_core::time::Nanos;
+use sim_core::units::BitRate;
+
+use crate::inject::ChaosController;
+use crate::plan::FaultPlan;
+
+/// Virtual time granted after a fault clears before recovery is judged.
+pub const SETTLE: Nanos = Nanos::from_micros(500);
+
+/// Everything a chaos run produces.
+#[derive(Debug)]
+pub struct ChaosReport {
+    /// The executed plan.
+    pub plan: FaultPlan,
+    /// Simulated run length.
+    pub horizon: Nanos,
+    /// Number of driven flows.
+    pub flows: usize,
+    /// End-of-run registry snapshot (includes `chaos.*` and fault-drop
+    /// counters).
+    pub snapshot: Snapshot,
+    /// The virtual-time sampler that watched the run, for further SLO
+    /// evaluation (e.g. per-class conformance over custom windows).
+    pub sampler: TimeSampler,
+    /// Recovery assertions, one per completed fault window.
+    pub recovery: CheckReport,
+    /// Faults whose recovery could not be judged (window ends too late).
+    pub unchecked: Vec<String>,
+}
+
+impl ChaosReport {
+    /// Whether every recovery assertion held.
+    pub fn passed(&self) -> bool {
+        self.recovery.passed()
+    }
+
+    /// Renders a terminal summary: injections, fault drops, recovery.
+    pub fn render(&self) -> String {
+        let snap = &self.snapshot;
+        let mut out = format!(
+            "chaos: {} ms horizon, {} flows, {} faults planned (seed {})\n",
+            self.horizon.as_nanos() / 1_000_000,
+            self.flows,
+            self.plan.faults.len(),
+            self.plan.seed,
+        );
+        for f in &self.plan.faults {
+            out.push_str(&format!(
+                "  fault {:<10} [{} us, {} us)\n",
+                f.kind.name(),
+                f.at.as_nanos() / 1_000,
+                f.end().as_nanos() / 1_000,
+            ));
+        }
+        out.push_str(&format!(
+            "injected {} cleared {} | tm fault-drops {} host-skipped {}\n\n",
+            snap.counter("chaos.faults_injected"),
+            snap.counter("chaos.faults_cleared"),
+            snap.counter("tm.fifo.fault_drops"),
+            snap.counter("chaos.host_skipped"),
+        ));
+        for note in &self.unchecked {
+            out.push_str(&format!("{note}\n"));
+        }
+        out.push_str(&self.recovery.render());
+        out
+    }
+}
+
+impl ToJson for ChaosReport {
+    fn to_json(&self) -> JsonValue {
+        let snap = &self.snapshot;
+        JsonValue::obj([
+            ("plan", self.plan.to_json()),
+            ("horizon_ns", JsonValue::UInt(self.horizon.as_nanos())),
+            ("flows", JsonValue::UInt(self.flows as u64)),
+            (
+                "chaos",
+                JsonValue::obj([
+                    (
+                        "faults_injected",
+                        JsonValue::UInt(snap.counter("chaos.faults_injected")),
+                    ),
+                    (
+                        "faults_cleared",
+                        JsonValue::UInt(snap.counter("chaos.faults_cleared")),
+                    ),
+                    (
+                        "tm_fault_drops",
+                        JsonValue::UInt(snap.counter("tm.fifo.fault_drops")),
+                    ),
+                    (
+                        "nic_fault_drops",
+                        JsonValue::UInt(snap.counter("nic.fault_drops")),
+                    ),
+                    (
+                        "host_skipped",
+                        JsonValue::UInt(snap.counter("chaos.host_skipped")),
+                    ),
+                ]),
+            ),
+            ("recovery", self.recovery.to_json()),
+            (
+                "unchecked",
+                JsonValue::arr(self.unchecked.iter().map(|s| JsonValue::Str(s.clone()))),
+            ),
+            ("passed", JsonValue::Bool(self.passed())),
+            ("snapshot", self.snapshot.to_json()),
+        ])
+    }
+}
+
+/// Scales every class rate/ceil by `permille`/1000 (floor 1 bps).
+fn scale_policy(policy: &Policy, permille: u64) -> Policy {
+    let mut scaled = policy.clone();
+    let scale = |r: BitRate| BitRate::from_bps((r.as_bps().saturating_mul(permille) / 1000).max(1));
+    for c in &mut scaled.classes {
+        c.rate = c.rate.map(scale);
+        c.ceil = c.ceil.map(scale);
+    }
+    scaled
+}
+
+/// Runs the saturation workload under `plan` and judges recovery.
+///
+/// Deterministic: the same `(policy, plan)` pair produces a byte-identical
+/// [`ChaosReport::to_json`] document on every run.
+///
+/// # Errors
+///
+/// Returns a message when the policy has no filters to drive or fails to
+/// compile (including a mid-run `reconfig` compile failure, which aborts
+/// rather than silently continuing unfaulted).
+pub fn run_chaos(policy: &Policy, plan: &FaultPlan) -> Result<ChaosReport, String> {
+    let cfg = NicConfig::agilio_cx_40g();
+    let mut pipeline = FlowValvePipeline::compile(policy, TreeParams::default(), &cfg)
+        .map_err(|e| e.to_string())?;
+    let tree = pipeline.tree().clone();
+    let line = cfg.line_rate;
+    let framing = cfg.framing;
+
+    let registry = Registry::with_ring_capacity(4096);
+    let controller = Arc::new(ChaosController::new(plan.clone(), &registry));
+    let host_skipped = registry.counter("chaos.host_skipped");
+    pipeline.install_chaos_hook(controller.clone());
+    let mut nic = SmartNic::with_registry(cfg.clone(), Box::new(pipeline), &registry);
+    if let Some(p) = nic.decider_as::<FlowValvePipeline>() {
+        p.attach_telemetry(&registry);
+    }
+    nic.install_fault_injector(controller.clone());
+    let mut sampler = TimeSampler::new(
+        &registry,
+        SamplerConfig::default().with_interval(Nanos::from_micros(100)),
+    );
+
+    // One flow per filter, exactly as `fv demo` builds them.
+    let mut flows: Vec<(FlowKey, VfPort)> = Vec::new();
+    for (i, f) in policy.filters.iter().enumerate() {
+        let m = &f.matcher;
+        let flow = FlowKey::tcp(
+            [10, 0, 0, 10 + i as u8],
+            m.src_port.unwrap_or(41_000 + i as u16),
+            [10, 0, 255, 1],
+            m.dst_port.unwrap_or(5_000 + i as u16),
+        );
+        flows.push((flow, m.vf.unwrap_or(VfPort(i as u8))));
+    }
+    if flows.is_empty() {
+        return Err("no filters to drive".into());
+    }
+
+    let horizon = Nanos::from_millis(10);
+    let mut rng = SimRng::seed(plan.seed);
+    let mut ids = PacketIdGen::new();
+    let offered = line.scaled(3, 2 * flows.len() as u64);
+    let mut gens: Vec<LineRateProcess> = flows
+        .iter()
+        .map(|_| LineRateProcess::new(offered, 1518, framing))
+        .collect();
+    let mut next: Vec<Nanos> = gens
+        .iter_mut()
+        .map(|g| Nanos::ZERO + g.next_arrival(&mut rng).0)
+        .collect();
+
+    // `reconfig` faults hot-reload the policy; track the applied scale so
+    // each window reloads exactly once on entry and once on exit.
+    let mut applied_scale: Option<u64> = None;
+
+    loop {
+        let (idx, &t) = next
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &t)| (t, i))
+            .expect("flows is non-empty");
+        if t >= horizon {
+            break;
+        }
+        sampler.advance_to(t);
+        controller.note_transitions(t);
+
+        let want_scale = plan.reconfig_scale_at(t);
+        if want_scale != applied_scale {
+            let target = match want_scale {
+                Some(p) => scale_policy(policy, p),
+                None => policy.clone(),
+            };
+            let p = nic
+                .decider_as::<FlowValvePipeline>()
+                .expect("chaos harness always runs the FlowValve pipeline");
+            p.reload(&target, TreeParams::default(), &cfg)
+                .map_err(|e| format!("reconfig fault failed to compile: {e}"))?;
+            applied_scale = want_scale;
+        }
+
+        let (flow, vf) = flows[idx];
+        let app = AppId(idx as u16);
+        // Host-side faults act before the NIC ever sees the frame: a
+        // paused app offers nothing, a reset VF's frames die at the edge.
+        let host_blocked =
+            controller.app_paused_until(app, t).is_some() || controller.vf_down(vf, t);
+        if host_blocked {
+            ids.next_id(); // keep the packet-id stream identical either way
+            host_skipped.incr(0);
+        } else {
+            let pkt = Packet::new(ids.next_id(), flow, 1518, app, vf, t);
+            let _ = nic.rx(&pkt, t);
+        }
+        next[idx] = t + gens[idx].next_arrival(&mut rng).0;
+    }
+    sampler.advance_to(horizon);
+    controller.note_transitions(horizon);
+    nic.sync_gauges(horizon);
+    if let Some(p) = nic.decider_as::<FlowValvePipeline>() {
+        p.sync_gauges(horizon);
+    }
+    // How much is still queued on the wire when the run ends — after the
+    // last fault clears this should have drained back to (near) zero.
+    registry
+        .gauge("chaos.tm_backlog_bytes")
+        .set(nic.tm_backlog_bytes(horizon));
+
+    // One recovery assertion per fault window that ends early enough to
+    // observe a post-settle window: aggregate throughput back in the root
+    // rate's band.
+    let root_rate = tree
+        .class_ids()
+        .into_iter()
+        .filter_map(|id| tree.spec(id))
+        .find(|s| s.parent.is_none())
+        .and_then(|s| s.rate);
+    let mut slos = Vec::new();
+    let mut unchecked = Vec::new();
+    for (i, f) in plan.faults.iter().enumerate() {
+        let name = format!("fault {i} ({}) recovers by +{SETTLE}", f.kind.name());
+        match root_rate {
+            _ if f.end() + SETTLE >= horizon => unchecked.push(format!(
+                "note: fault {i} ({}) unchecked (window ends at {} us, \
+                 too close to the {} ms horizon)",
+                f.kind.name(),
+                f.end().as_nanos() / 1_000,
+                horizon.as_nanos() / 1_000_000,
+            )),
+            Some(rate) => slos.push(Slo::RateRecovers {
+                name,
+                series: "nic.tx_bits".into(),
+                min: 0.70 * rate.as_bps() as f64,
+                max: 1.15 * rate.as_bps() as f64,
+                clear: f.end(),
+                within: SETTLE,
+            }),
+            None => unchecked.push(format!(
+                "note: fault {i} ({}) unchecked (root class carries no rate)",
+                f.kind.name(),
+            )),
+        }
+    }
+
+    let snapshot = registry.snapshot(horizon);
+    let recovery = evaluate(&slos, &sampler, &snapshot, (Nanos::ZERO, horizon));
+    Ok(ChaosReport {
+        plan: plan.clone(),
+        horizon,
+        flows: flows.len(),
+        snapshot,
+        sampler,
+        recovery,
+        unchecked,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const POLICY: &str = "\
+        fv qdisc add dev nic0 root handle 1: fv default 1:30\n\
+        fv class add dev nic0 parent root classid 1:1 name root rate 40gbit\n\
+        fv class add dev nic0 parent 1:1 classid 1:10 name kvs rate 15gbit prio 0\n\
+        fv class add dev nic0 parent 1:1 classid 1:20 name web rate 15gbit prio 1\n\
+        fv class add dev nic0 parent 1:1 classid 1:30 name bulk rate 10gbit prio 2\n\
+        fv filter add dev nic0 match ip dport 5001 flowid 1:10\n\
+        fv filter add dev nic0 match ip dport 5002 flowid 1:20\n\
+        fv filter add dev nic0 match ip dport 5003 flowid 1:30\n";
+
+    #[test]
+    fn empty_plan_runs_clean_and_passes() {
+        let policy = Policy::parse(POLICY).unwrap();
+        let plan = FaultPlan {
+            seed: 1,
+            ..FaultPlan::default()
+        };
+        let report = run_chaos(&policy, &plan).unwrap();
+        assert!(report.passed(), "{}", report.render());
+        assert_eq!(report.snapshot.counter("chaos.faults_injected"), 0);
+        assert_eq!(report.snapshot.counter("tm.fifo.fault_drops"), 0);
+        assert_eq!(report.snapshot.counter("nic.fault_drops"), 0);
+        assert_eq!(report.snapshot.counter("chaos.host_skipped"), 0);
+        assert!(report.snapshot.counter("nic.tx_packets") > 0);
+    }
+
+    #[test]
+    fn wire_flap_is_injected_counted_and_recovered_from() {
+        let policy = Policy::parse(POLICY).unwrap();
+        let plan = FaultPlan::parse(
+            "chaos seed 1\n\
+             chaos fault wire_flap at 3ms for 2ms permille 250\n",
+        )
+        .unwrap();
+        let report = run_chaos(&policy, &plan).unwrap();
+        assert_eq!(report.snapshot.counter("chaos.faults_injected"), 1);
+        assert_eq!(report.snapshot.counter("chaos.faults_cleared"), 1);
+        assert!(report.passed(), "{}", report.render());
+        assert_eq!(report.recovery.results.len(), 1);
+    }
+
+    #[test]
+    fn late_fault_is_reported_unchecked_not_failed() {
+        let policy = Policy::parse(POLICY).unwrap();
+        let plan = FaultPlan::parse("chaos fault wire_flap at 9ms for 1ms permille 500\n").unwrap();
+        let report = run_chaos(&policy, &plan).unwrap();
+        assert!(report.recovery.results.is_empty());
+        assert_eq!(report.unchecked.len(), 1);
+        assert!(report.passed(), "no judgeable window means a pass");
+        assert!(report.render().contains("unchecked"));
+    }
+}

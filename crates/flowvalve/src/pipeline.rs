@@ -61,6 +61,18 @@ pub enum LockDiscipline {
 /// assert!(format!("{nic:?}").contains("flowvalve"));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
+/// Scheduler-side chaos hook: lets fv-chaos skew the clock the scheduling
+/// function sees relative to the NIC clock (the dual-clock-skew fault).
+/// The pipeline clamps the skewed clock to be monotonic, so token-bucket
+/// epochs never run backwards when a skew window clears.
+pub trait SchedChaosHook: std::fmt::Debug + Send + Sync {
+    /// How far *ahead* of the NIC clock the scheduler's clock runs at
+    /// `now`. Zero (the default) means the clocks agree.
+    fn sched_clock_skew(&self, _now: Nanos) -> Nanos {
+        Nanos::ZERO
+    }
+}
+
 /// Per-class verdict counters, one set per scheduling-tree class.
 struct ClassChannels {
     forwarded: Arc<Counter>,
@@ -144,6 +156,10 @@ pub struct FlowValvePipeline {
     freq: sim_core::time::Freq,
     framing: sim_core::units::WireFraming,
     telemetry: Option<PipelineTelemetry>,
+    chaos: Option<Arc<dyn SchedChaosHook>>,
+    /// High-water mark of the (possibly skewed) scheduler clock, keeping
+    /// it monotonic across fault windows.
+    sched_floor: Nanos,
 }
 
 impl core::fmt::Debug for FlowValvePipeline {
@@ -191,6 +207,8 @@ impl FlowValvePipeline {
             freq: nic.freq,
             framing: nic.framing,
             telemetry: None,
+            chaos: None,
+            sched_floor: Nanos::ZERO,
         }
     }
 
@@ -216,7 +234,16 @@ impl FlowValvePipeline {
             freq: nic.freq,
             framing: nic.framing,
             telemetry: None,
+            chaos: None,
+            sched_floor: Nanos::ZERO,
         }
+    }
+
+    /// Installs a chaos hook consulted on every scheduling decision (the
+    /// dual-clock-skew fault). The hook sees the NIC clock and answers how
+    /// far ahead the scheduler's clock runs.
+    pub fn install_chaos_hook(&mut self, hook: Arc<dyn SchedChaosHook>) {
+        self.chaos = Some(hook);
     }
 
     /// Wires per-class verdict counters (`fv.class.<id>.*`), scheduler
@@ -341,6 +368,17 @@ impl EgressDecider for FlowValvePipeline {
         match label {
             None => Decision::Forward,
             Some(label) => {
+                // The scheduling function reads its own clock, which an
+                // injected skew fault can run ahead of the NIC clock. Keep
+                // it monotonic so epochs never rewind when the skew clears.
+                let sched_now = match &self.chaos {
+                    Some(h) => {
+                        let skewed = now + h.sched_clock_skew(now);
+                        self.sched_floor = self.sched_floor.max(skewed);
+                        self.sched_floor
+                    }
+                    None => now,
+                };
                 let sched_t0 = meter.total();
                 let verdict = match self.discipline {
                     LockDiscipline::PerClass => {
@@ -349,7 +387,7 @@ impl EgressDecider for FlowValvePipeline {
                             locks,
                             update_hold: self.update_hold,
                         };
-                        self.tree.schedule(&label, wire_bits, now, &mut exec)
+                        self.tree.schedule(&label, wire_bits, sched_now, &mut exec)
                     }
                     LockDiscipline::Global => {
                         let mut exec = GlobalLockExec {
@@ -358,7 +396,7 @@ impl EgressDecider for FlowValvePipeline {
                             update_hold: self.update_hold,
                             wait: Nanos::ZERO,
                         };
-                        let verdict = self.tree.schedule(&label, wire_bits, now, &mut exec);
+                        let verdict = self.tree.schedule(&label, wire_bits, sched_now, &mut exec);
                         // The worker spins while waiting for the global
                         // lock: charge the wait as busy cycles.
                         let wait = exec.wait;
@@ -531,6 +569,41 @@ mod tests {
             }
             other => panic!("expected theta gauge, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn clock_skew_hook_keeps_scheduler_time_monotonic() {
+        /// Runs the scheduler clock 100 us ahead inside `[0, 10us)`.
+        #[derive(Debug)]
+        struct Skew;
+        impl SchedChaosHook for Skew {
+            fn sched_clock_skew(&self, now: Nanos) -> Nanos {
+                if now < Nanos::from_micros(10) {
+                    Nanos::from_micros(100)
+                } else {
+                    Nanos::ZERO
+                }
+            }
+        }
+        let mut p = pipeline_10g();
+        p.install_chaos_hook(Arc::new(Skew));
+        let mut meter = CostMeter::new(CycleCosts::agilio());
+        let mut locks = LockTable::new(16);
+        // Inside the window the scheduler sees t ≈ 100 us; once the skew
+        // clears, its clock must not rewind below the floor — the packets
+        // at 20..100 us keep scheduling against a ≥ 100 us clock, so no
+        // epoch rewind panics or double refills occur and packets at a
+        // conforming rate still pass.
+        let mut fwd = 0;
+        for i in 0..50u64 {
+            let now = Nanos::from_micros(i * 2);
+            if p.decide(&pkt(i, 5001), now, &mut meter, &mut locks) == Decision::Forward {
+                fwd += 1;
+            }
+        }
+        // 1250 B every 2 us = 5 Gbps offered to a 10 Gbps class.
+        assert_eq!(fwd, 50);
+        assert!(p.sched_floor >= Nanos::from_micros(100));
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //!                                run the demo with the virtual-time
 //!                                sampler attached and export the
 //!                                counter-delta time series
+//! fv chaos <script.fv> --plan <plan> [--json]
+//!                                run the demo with the plan's faults
+//!                                injected and judge post-fault recovery
+//!                                (--json: deterministic, replayable
+//!                                report for diffing)
 //! ```
 //!
 //! Scripts use the `tc`-style dialect documented in
@@ -56,8 +61,9 @@ fn read_script(path: &str) -> std::io::Result<String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: fv <check|show|demo|stats|trace|timeseries> <script.fv|-> \
-         [--json] [--out FILE] [--csv|--jsonl|--prom] [--interval-us N]"
+        "usage: fv <check|show|demo|stats|trace|timeseries|chaos> <script.fv|-> \
+         [--json] [--out FILE] [--csv|--jsonl|--prom] [--interval-us N] \
+         [--plan FILE]"
     );
     ExitCode::from(2)
 }
@@ -71,6 +77,7 @@ struct Flags {
     prom: bool,
     out: Option<String>,
     interval_us: Option<u64>,
+    plan: Option<String>,
 }
 
 fn main() -> ExitCode {
@@ -86,8 +93,12 @@ fn main() -> ExitCode {
             "--prom" => flags.prom = true,
             "--out" => flags.out = it.next().cloned(),
             "--interval-us" => flags.interval_us = it.next().and_then(|v| v.parse().ok()),
+            "--plan" => flags.plan = it.next().cloned(),
             a if a.starts_with("--out=") => {
                 flags.out = Some(a["--out=".len()..].to_owned());
+            }
+            a if a.starts_with("--plan=") => {
+                flags.plan = Some(a["--plan=".len()..].to_owned());
             }
             a if a.starts_with("--interval-us=") => {
                 flags.interval_us = a["--interval-us=".len()..].parse().ok();
@@ -134,6 +145,7 @@ fn main() -> ExitCode {
         "stats" => stats(&policy, flags.json),
         "trace" => trace(&policy, &flags),
         "timeseries" => timeseries(&policy, &flags),
+        "chaos" => chaos(&policy, &flags),
         _ => usage(),
     }
 }
@@ -578,6 +590,48 @@ fn trace(policy: &Policy, flags: &Flags) -> ExitCode {
         None => println!("{}", doc.to_pretty()),
     }
     ExitCode::SUCCESS
+}
+
+/// Runs the saturation demo under a fault plan and reports injections,
+/// fault drops and post-fault recovery. The `--json` report is fully
+/// deterministic: replaying the same script and plan yields an identical
+/// document.
+fn chaos(policy: &Policy, flags: &Flags) -> ExitCode {
+    let Some(plan_path) = &flags.plan else {
+        eprintln!("fv: chaos requires --plan <file>");
+        return ExitCode::from(2);
+    };
+    let plan_text = match read_script(plan_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fv: cannot read {plan_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let plan = match fv_chaos::FaultPlan::parse(&plan_text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("fv: {plan_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match fv_chaos::run_chaos(policy, &plan) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fv: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if flags.json {
+        println!("{}", report.to_json().to_pretty());
+    } else {
+        print!("{}", report.render());
+    }
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 /// Runs the demo with the virtual-time sampler attached and prints the

@@ -6,8 +6,10 @@
 //! bandwidth by *dropping*, TCP converges onto what is left, and the
 //! recorder bins the delivered bits into the figure's time series.
 
+use std::sync::Arc;
+
 use netstack::flow::FlowKey;
-use netstack::packet::{Packet, PacketIdGen};
+use netstack::packet::{AppId, Packet, PacketIdGen, VfPort};
 use netstack::tcp::TcpConn;
 use sim_core::event::EventQueue;
 use sim_core::rng::SimRng;
@@ -84,9 +86,37 @@ impl RunReport {
     }
 }
 
+/// Host-side chaos hook (fv-chaos): perturbs the sending host rather than
+/// the NIC. Both methods default to "no fault" and must be deterministic
+/// functions of their arguments.
+pub trait HostChaosHook: std::fmt::Debug + Send + Sync {
+    /// When `app`'s process is frozen at `now`, returns the instant the
+    /// pause clears (the sender retries then). `None` = running normally.
+    fn app_paused_until(&self, _app: AppId, _now: Nanos) -> Option<Nanos> {
+        None
+    }
+
+    /// Whether `vf` is down (mid-reset) at `now`. Packets DMA'd into a
+    /// downed VF are lost at the host boundary and surface as losses.
+    fn vf_down(&self, _vf: VfPort, _now: Nanos) -> bool {
+        false
+    }
+}
+
 /// Runs `scenario` over `path`; returns the report and the path (whose
 /// internal statistics the caller may inspect).
-pub fn run(scenario: &Scenario, mut path: EgressPath) -> (RunReport, EgressPath) {
+pub fn run(scenario: &Scenario, path: EgressPath) -> (RunReport, EgressPath) {
+    run_with_chaos(scenario, path, None)
+}
+
+/// [`run`] with an optional host-side chaos hook consulted on every send
+/// attempt (app pauses) and every DMA handoff (VF resets). With `None`
+/// the loop is byte-identical to the clean run.
+pub fn run_with_chaos(
+    scenario: &Scenario,
+    mut path: EgressPath,
+    chaos: Option<Arc<dyn HostChaosHook>>,
+) -> (RunReport, EgressPath) {
     let mut rng = SimRng::seed(scenario.seed);
     let mut ids = PacketIdGen::new();
     let mut events: EventQueue<Ev> = EventQueue::with_capacity(1 << 16);
@@ -143,44 +173,60 @@ pub fn run(scenario: &Scenario, mut path: EgressPath) -> (RunReport, EgressPath)
             let ci: usize = $ci;
             let now: Nanos = $now;
             let app = &scenario.apps[conns[ci].app];
-            if app.active_at(now) && conns[ci].tcp.can_send() {
+            let paused = chaos
+                .as_deref()
+                .and_then(|h| h.app_paused_until(app.app, now));
+            if let Some(until) = paused {
+                // Frozen process: nothing leaves until the pause clears.
+                if app.active_at(now) && conns[ci].tcp.can_send() {
+                    events.schedule(until.max(now + Nanos::from_nanos(1)), Ev::ConnWake(ci));
+                }
+            } else if app.active_at(now) && conns[ci].tcp.can_send() {
                 let seq = conns[ci].tcp.on_send();
                 let vf = app.vf;
                 let slot = &mut vf_free[vf.0 as usize];
                 let t_send = (*slot).max(now);
                 *slot = t_send + framing.serialization_time(host_rate, scenario.frame_len as u64);
-                let pkt = Packet::new(
-                    ids.next_id(),
-                    conns[ci].flow,
-                    scenario.frame_len,
-                    app.app,
-                    vf,
-                    t_send,
-                )
-                .with_seq(seq);
-                let (outcome, arm) = path.send(pkt, t_send);
-                if let Some(out) = outcome {
-                    match out {
-                        Outcome::Delivered { pkt, at } => {
-                            delivered += 1;
-                            recorder.record(&app.name, at, pkt.frame_bits());
-                            let d = at.saturating_sub(pkt.created_at).as_nanos();
-                            delay.record(d);
-                            delay_per_app
-                                .entry(app.name.clone())
-                                .or_insert_with(Histogram::new_latency_ns)
-                                .record(d);
-                            events.schedule(at + ack_delay, Ev::Ack(ci, seq));
-                        }
-                        Outcome::Dropped { at, .. } => {
-                            dropped += 1;
-                            events.schedule(at + scenario.base_rtt, Ev::Loss(ci, seq));
+                if chaos.as_deref().is_some_and(|h| h.vf_down(vf, t_send)) {
+                    // DMA into a VF under reset: lost at the host boundary;
+                    // the sender learns of it like any other loss.
+                    ids.next_id();
+                    dropped += 1;
+                    events.schedule(t_send + scenario.base_rtt, Ev::Loss(ci, seq));
+                } else {
+                    let pkt = Packet::new(
+                        ids.next_id(),
+                        conns[ci].flow,
+                        scenario.frame_len,
+                        app.app,
+                        vf,
+                        t_send,
+                    )
+                    .with_seq(seq);
+                    let (outcome, arm) = path.send(pkt, t_send);
+                    if let Some(out) = outcome {
+                        match out {
+                            Outcome::Delivered { pkt, at } => {
+                                delivered += 1;
+                                recorder.record(&app.name, at, pkt.frame_bits());
+                                let d = at.saturating_sub(pkt.created_at).as_nanos();
+                                delay.record(d);
+                                delay_per_app
+                                    .entry(app.name.clone())
+                                    .or_insert_with(Histogram::new_latency_ns)
+                                    .record(d);
+                                events.schedule(at + ack_delay, Ev::Ack(ci, seq));
+                            }
+                            Outcome::Dropped { at, .. } => {
+                                dropped += 1;
+                                events.schedule(at + scenario.base_rtt, Ev::Loss(ci, seq));
+                            }
                         }
                     }
-                }
-                if arm && !poll_armed {
-                    poll_armed = true;
-                    events.schedule(t_send, Ev::Poll);
+                    if arm && !poll_armed {
+                        poll_armed = true;
+                        events.schedule(t_send, Ev::Poll);
+                    }
                 }
                 // Pace the next segment of this window and arm the RTO.
                 if conns[ci].tcp.can_send() {
@@ -369,6 +415,71 @@ mod tests {
         let h = snap.histogram("nic.latency_ns").unwrap();
         assert_eq!(h.count, report.delivered);
         assert!(h.p99 >= h.p50 && h.p50 > 0);
+    }
+
+    #[test]
+    fn host_pause_silences_the_window_and_recovers() {
+        /// App 0 frozen inside `[20ms, 30ms)`.
+        #[derive(Debug)]
+        struct Pause;
+        impl HostChaosHook for Pause {
+            fn app_paused_until(&self, app: AppId, now: Nanos) -> Option<Nanos> {
+                let (from, to) = (Nanos::from_millis(20), Nanos::from_millis(30));
+                (app.0 == 0 && now >= from && now < to).then_some(to)
+            }
+        }
+        let s = one_app_scenario(4);
+        let nic = SmartNic::new(NicConfig::agilio_cx_10g(), Box::new(PassthroughDecider));
+        let (report, _path) = run_with_chaos(&s, EgressPath::flowvalve(nic), Some(Arc::new(Pause)));
+        let series = report
+            .recorder
+            .binned("App0", Nanos::from_millis(5))
+            .unwrap();
+        // The paused window (bins 4-5) delivers almost nothing; afterwards
+        // the connections resume and climb back toward line rate.
+        let during = series.rates[4].as_gbps() + series.rates[5].as_gbps();
+        assert!(during < 1.0, "rate during pause {during} Gbps");
+        let after = series.mean_rate(7, series.rates.len()).as_gbps();
+        assert!(after > 5.0, "post-pause rate {after} Gbps");
+    }
+
+    #[test]
+    fn vf_reset_drops_at_the_host_boundary() {
+        /// VF 0 down for the whole run: every send is lost on the host.
+        #[derive(Debug)]
+        struct Down;
+        impl HostChaosHook for Down {
+            fn vf_down(&self, vf: VfPort, _now: Nanos) -> bool {
+                vf.0 == 0
+            }
+        }
+        let mut s = one_app_scenario(1);
+        s.horizon = Nanos::from_millis(5);
+        let nic = SmartNic::new(NicConfig::agilio_cx_10g(), Box::new(PassthroughDecider));
+        let (report, path) = run_with_chaos(&s, EgressPath::flowvalve(nic), Some(Arc::new(Down)));
+        assert_eq!(report.delivered, 0);
+        assert!(report.dropped > 0);
+        // The NIC never saw a packet — the loss happened on the host side.
+        let EgressPath::FlowValve { nic } = path else {
+            panic!()
+        };
+        assert_eq!(nic.stats().offered, 0);
+    }
+
+    #[test]
+    fn chaos_none_matches_plain_run() {
+        let s = one_app_scenario(2);
+        let go = |chaos: Option<Arc<dyn HostChaosHook>>| {
+            let nic = SmartNic::new(NicConfig::agilio_cx_10g(), Box::new(PassthroughDecider));
+            let (r, _) = run_with_chaos(&s, EgressPath::flowvalve(nic), chaos);
+            (r.delivered, r.dropped)
+        };
+        assert_eq!(go(None), go(None));
+        let (plain, _) = {
+            let nic = SmartNic::new(NicConfig::agilio_cx_10g(), Box::new(PassthroughDecider));
+            run(&s, EgressPath::flowvalve(nic))
+        };
+        assert_eq!(go(None), (plain.delivered, plain.dropped));
     }
 
     #[test]

@@ -240,9 +240,9 @@ impl EgressPath {
                         Outcome::Delivered { pkt, at: delivered }
                     }
                     RxOutcome::RxDrop => Outcome::Dropped { pkt, at: now },
-                    RxOutcome::SchedDrop { at } | RxOutcome::TailDrop { at } => {
-                        Outcome::Dropped { pkt, at }
-                    }
+                    RxOutcome::SchedDrop { at }
+                    | RxOutcome::TailDrop { at }
+                    | RxOutcome::FaultDrop { at } => Outcome::Dropped { pkt, at },
                 };
                 (Some(out), false)
             }

@@ -51,6 +51,35 @@ impl fmt::Display for ParseFrameError {
 
 impl std::error::Error for ParseFrameError {}
 
+/// Errors produced while encoding a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeFrameError {
+    /// The flow's protocol has no L4 header codec ([`IpProto::Other`]).
+    UnencodableProtocol(u8),
+    /// `frame_len` is too small to hold the headers.
+    FrameTooShort {
+        /// Minimum frame length for this protocol.
+        needed: usize,
+        /// Requested frame length.
+        have: usize,
+    },
+}
+
+impl fmt::Display for EncodeFrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeFrameError::UnencodableProtocol(n) => {
+                write!(f, "cannot encode L4 header for protocol {n}")
+            }
+            EncodeFrameError::FrameTooShort { needed, have } => {
+                write!(f, "frame_len {have} below header minimum {needed}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeFrameError {}
+
 /// RFC 1071 internet checksum over `data`.
 pub fn internet_checksum(data: &[u8]) -> u16 {
     let mut sum: u32 = 0;
@@ -84,10 +113,11 @@ pub struct ParsedFrame {
 /// The 4-byte FCS is included in `frame_len` accounting but written as
 /// zeros (the simulation never validates it).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `frame_len` is too small to hold the headers (54 bytes for
-/// TCP, 42 for UDP, plus 4 FCS) or the protocol is [`IpProto::Other`].
+/// Returns [`EncodeFrameError`] if `frame_len` is too small to hold the
+/// headers (54 bytes for TCP, 42 for UDP, plus 4 FCS) or the protocol is
+/// [`IpProto::Other`].
 ///
 /// # Example
 ///
@@ -96,22 +126,28 @@ pub struct ParsedFrame {
 /// use netstack::headers::{encode_frame, parse_frame};
 ///
 /// let flow = FlowKey::tcp([10, 0, 0, 1], 40_000, [10, 0, 0, 2], 5001);
-/// let bytes = encode_frame(&flow, 128, 0);
+/// let bytes = encode_frame(&flow, 128, 0).expect("frame encodes");
 /// let parsed = parse_frame(&bytes).expect("frame roundtrips");
 /// assert_eq!(parsed.flow, flow);
 /// assert_eq!(parsed.frame_len, 128);
 /// ```
-pub fn encode_frame(flow: &FlowKey, frame_len: usize, dscp: u8) -> Vec<u8> {
+pub fn encode_frame(
+    flow: &FlowKey,
+    frame_len: usize,
+    dscp: u8,
+) -> Result<Vec<u8>, EncodeFrameError> {
     let l4_len = match flow.proto {
         IpProto::Tcp => 20,
         IpProto::Udp => 8,
-        IpProto::Other(n) => panic!("cannot encode L4 header for protocol {n}"),
+        IpProto::Other(n) => return Err(EncodeFrameError::UnencodableProtocol(n)),
     };
     let min = 14 + 20 + l4_len + 4;
-    assert!(
-        frame_len >= min,
-        "frame_len {frame_len} below header minimum {min}"
-    );
+    if frame_len < min {
+        return Err(EncodeFrameError::FrameTooShort {
+            needed: min,
+            have: frame_len,
+        });
+    }
     let mut buf = Vec::with_capacity(frame_len);
 
     // Ethernet: derive MACs from the IPs so encode/parse is self-consistent.
@@ -154,12 +190,12 @@ pub fn encode_frame(flow: &FlowKey, frame_len: usize, dscp: u8) -> Vec<u8> {
             buf.extend_from_slice(&udp_len.to_be_bytes());
             buf.extend_from_slice(&[0, 0]); // checksum optional for IPv4 UDP
         }
-        IpProto::Other(_) => unreachable!(),
+        IpProto::Other(_) => unreachable!("rejected above"),
     }
 
     // Zero payload + zero FCS.
     buf.resize(frame_len, 0);
-    buf
+    Ok(buf)
 }
 
 /// Parses an Ethernet+IPv4+TCP/UDP frame back into its flow tuple.
@@ -237,7 +273,7 @@ mod tests {
     fn tcp_frame_roundtrips() {
         let flow = FlowKey::tcp([10, 1, 2, 3], 1234, [10, 4, 5, 6], 80);
         for len in [64usize, 128, 512, 1518] {
-            let bytes = encode_frame(&flow, len, 0);
+            let bytes = encode_frame(&flow, len, 0).unwrap();
             assert_eq!(bytes.len(), len);
             let parsed = parse_frame(&bytes).unwrap();
             assert_eq!(parsed.flow, flow);
@@ -248,7 +284,7 @@ mod tests {
     #[test]
     fn udp_frame_roundtrips_with_dscp() {
         let flow = FlowKey::udp([192, 168, 1, 1], 5353, [224, 0, 0, 251], 5353);
-        let bytes = encode_frame(&flow, 100, 46);
+        let bytes = encode_frame(&flow, 100, 46).unwrap();
         let parsed = parse_frame(&bytes).unwrap();
         assert_eq!(parsed.flow, flow);
         assert_eq!(parsed.dscp, 46);
@@ -257,7 +293,7 @@ mod tests {
     #[test]
     fn checksum_verifies_and_detects_corruption() {
         let flow = FlowKey::tcp([1, 1, 1, 1], 1, [2, 2, 2, 2], 2);
-        let mut bytes = encode_frame(&flow, 64, 0);
+        let mut bytes = encode_frame(&flow, 64, 0).unwrap();
         assert!(parse_frame(&bytes).is_ok());
         bytes[14 + 8] = 63; // flip TTL without fixing checksum
         assert_eq!(parse_frame(&bytes), Err(ParseFrameError::BadChecksum));
@@ -266,7 +302,7 @@ mod tests {
     #[test]
     fn truncated_frames_error() {
         let flow = FlowKey::tcp([1, 1, 1, 1], 1, [2, 2, 2, 2], 2);
-        let bytes = encode_frame(&flow, 64, 0);
+        let bytes = encode_frame(&flow, 64, 0).unwrap();
         let err = parse_frame(&bytes[..10]).unwrap_err();
         assert!(matches!(err, ParseFrameError::Truncated { .. }));
     }
@@ -296,10 +332,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn frame_too_small_for_headers_panics() {
+    fn frame_too_small_for_headers_errors() {
         let flow = FlowKey::tcp([1, 1, 1, 1], 1, [2, 2, 2, 2], 2);
-        let _ = encode_frame(&flow, 40, 0);
+        assert_eq!(
+            encode_frame(&flow, 40, 0),
+            Err(EncodeFrameError::FrameTooShort {
+                needed: 58,
+                have: 40
+            })
+        );
+    }
+
+    #[test]
+    fn unencodable_protocol_errors() {
+        let mut flow = FlowKey::tcp([1, 1, 1, 1], 1, [2, 2, 2, 2], 2);
+        flow.proto = IpProto::Other(89); // OSPF: no L4 codec
+        assert_eq!(
+            encode_frame(&flow, 128, 0),
+            Err(EncodeFrameError::UnencodableProtocol(89))
+        );
+        assert_eq!(
+            EncodeFrameError::UnencodableProtocol(89).to_string(),
+            "cannot encode L4 header for protocol 89"
+        );
     }
 
     #[test]

@@ -80,10 +80,12 @@ impl<W: Write> PcapWriter<W> {
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors; panics only if the packet's protocol cannot
-    /// be encoded (see [`encode_frame`]).
+    /// Propagates I/O errors; a packet whose protocol or length cannot be
+    /// encoded (see [`encode_frame`]) surfaces as
+    /// [`io::ErrorKind::InvalidInput`].
     pub fn write_packet(&mut self, pkt: &Packet, at: Nanos) -> io::Result<()> {
-        let frame = encode_frame(&pkt.flow, pkt.frame_len as usize, 0);
+        let frame = encode_frame(&pkt.flow, pkt.frame_len as usize, 0)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
         let caplen = (frame.len() as u32).min(self.snaplen);
         let secs = (at.as_nanos() / 1_000_000_000) as u32;
         let usecs = ((at.as_nanos() % 1_000_000_000) / 1_000) as u32;

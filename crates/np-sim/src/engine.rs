@@ -108,6 +108,52 @@ impl WorkerPool {
         Dispatch::Started { start }
     }
 
+    /// [`WorkerPool::dispatch`] under an injected micro-engine stall:
+    /// engines `0..k` (for `stall = Some((k, until))`) cannot *start* new
+    /// work before `until`, modeling a cluster losing workers mid-run. The
+    /// load balancer picks the earliest *effective* start among all
+    /// engines, so packets flow to the surviving engines and the stalled
+    /// ones rejoin once the window clears.
+    pub fn dispatch_with(&mut self, now: Nanos, stall: Option<(usize, Nanos)>) -> Dispatch {
+        let Some((k, until)) = stall.filter(|&(k, _)| k > 0) else {
+            return self.dispatch(now);
+        };
+        assert!(self.pending.is_none(), "previous dispatch not completed");
+        // The heap is ordered by raw free time, which a stall invalidates;
+        // scan all engines for the earliest effective start. The pool is
+        // tens of engines and this path only runs inside fault windows.
+        let mut entries: Vec<(Nanos, usize)> = Vec::with_capacity(self.free_at.len());
+        while let Some(Reverse(e)) = self.free_at.pop() {
+            entries.push(e);
+        }
+        let effective = |&(free, engine): &(Nanos, usize)| {
+            if engine < k {
+                (free.max(until), engine)
+            } else {
+                (free, engine)
+            }
+        };
+        let best = entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| effective(e))
+            .map(|(i, _)| i)
+            .expect("pool is non-empty");
+        let (free, engine) = entries.swap_remove(best);
+        for e in entries {
+            self.free_at.push(Reverse(e));
+        }
+        let start = effective(&(free, engine)).0.max(now);
+        if start - now > self.rx_max_wait {
+            self.rx_drops += 1;
+            self.free_at.push(Reverse((free, engine)));
+            return Dispatch::RxOverflow;
+        }
+        self.pending = Some((start, engine));
+        self.dispatched += 1;
+        Dispatch::Started { start }
+    }
+
     /// Completes the pending dispatch: the worker that started at `start`
     /// consumed `cost` instruction cycles. Returns the completion time.
     ///
@@ -273,6 +319,39 @@ mod tests {
         };
         assert_eq!(start, Nanos::ZERO);
         p.complete(start, Cycles::ZERO);
+    }
+
+    #[test]
+    fn stalled_engines_are_skipped_until_window_clears() {
+        let mut p = pool(2);
+        let until = Nanos::from_nanos(600);
+        // Engine 0 stalled: work lands on engine 1.
+        let Dispatch::Started { start } = p.dispatch_with(Nanos::ZERO, Some((1, until))) else {
+            panic!()
+        };
+        assert_eq!(start, Nanos::ZERO);
+        let (_, engine) = p.pending.unwrap();
+        assert_eq!(engine, 1);
+        p.complete(start, Cycles::new(100));
+        // Engine 1 busy until 100 ns, engine 0 stalled until 600 ns: the
+        // balancer prefers the sooner of the two effective starts.
+        let Dispatch::Started { start } = p.dispatch_with(Nanos::from_nanos(50), Some((1, until)))
+        else {
+            panic!()
+        };
+        assert_eq!(start, Nanos::from_nanos(100));
+        p.complete(start, Cycles::new(100));
+        // With every engine stalled past the rx budget, dispatch overflows.
+        let mut p1 = pool(1);
+        let d = p1.dispatch_with(Nanos::ZERO, Some((1, Nanos::from_millis(1))));
+        assert_eq!(d, Dispatch::RxOverflow);
+        assert_eq!(p1.rx_drops(), 1);
+        // And a no-stall call is the plain dispatch fast path.
+        let Dispatch::Started { start } = p1.dispatch_with(Nanos::ZERO, None) else {
+            panic!()
+        };
+        assert_eq!(start, Nanos::ZERO);
+        p1.complete(start, Cycles::ZERO);
     }
 
     #[test]

@@ -34,6 +34,7 @@
 pub mod config;
 pub mod cost;
 pub mod engine;
+pub mod fault;
 pub mod harness;
 pub mod lock;
 pub mod nic;
@@ -42,6 +43,7 @@ pub mod tm_multi;
 
 pub use config::{CycleCosts, NicConfig};
 pub use cost::{CostMeter, Op};
+pub use fault::{FaultInjector, TmFault};
 pub use lock::{LockId, LockTable};
 pub use nic::{Decision, EgressDecider, NicStats, PassthroughDecider, RxOutcome, SmartNic};
 pub use tm::{TmDrop, TxFifo};

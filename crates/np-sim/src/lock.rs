@@ -19,6 +19,8 @@ use fv_telemetry::trace::{EventRing, TraceKind};
 use fv_telemetry::Registry;
 use sim_core::time::Nanos;
 
+use crate::fault::FaultInjector;
+
 /// Identifies one simulated lock (e.g. one scheduling-tree class).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LockId(pub u32);
@@ -70,6 +72,7 @@ pub struct LockTable {
     free_at: Vec<Nanos>,
     stats: LockStats,
     telemetry: Option<LockTelemetry>,
+    injector: Option<Arc<dyn FaultInjector>>,
 }
 
 impl LockTable {
@@ -79,6 +82,28 @@ impl LockTable {
             free_at: vec![Nanos::ZERO; n],
             stats: LockStats::default(),
             telemetry: None,
+            injector: None,
+        }
+    }
+
+    /// Installs a fault injector whose [`FaultInjector::lock_hold_permille`]
+    /// scales every subsequent hold time (lock-latency inflation).
+    pub fn set_fault_injector(&mut self, injector: Arc<dyn FaultInjector>) {
+        self.injector = Some(injector);
+    }
+
+    /// The hold time after any injected lock-latency inflation.
+    fn effective_hold(&self, now: Nanos, hold: Nanos) -> Nanos {
+        match &self.injector {
+            Some(inj) => {
+                let permille = inj.lock_hold_permille(now);
+                if permille == 1000 {
+                    hold
+                } else {
+                    Nanos::from_nanos(hold.as_nanos().saturating_mul(permille) / 1000)
+                }
+            }
+            None => hold,
         }
     }
 
@@ -120,6 +145,7 @@ impl LockTable {
     ///
     /// Panics if `lock` is out of range.
     pub fn try_acquire(&mut self, lock: LockId, now: Nanos, hold: Nanos) -> bool {
+        let hold = self.effective_hold(now, hold);
         let f = &mut self.free_at[lock.0 as usize];
         if *f <= now {
             *f = now + hold;
@@ -144,6 +170,7 @@ impl LockTable {
     ///
     /// Panics if `lock` is out of range.
     pub fn acquire(&mut self, lock: LockId, now: Nanos, hold: Nanos) -> Nanos {
+        let hold = self.effective_hold(now, hold);
         let f = &mut self.free_at[lock.0 as usize];
         let start = (*f).max(now);
         let wait = start - now;
@@ -262,6 +289,29 @@ mod tests {
             .any(|e| e.kind == TraceKind::LockWait && e.a == 0 && e.b == 80));
         // The plain-struct view agrees with the registry view.
         assert_eq!(t.stats().wait_total, Nanos::from_nanos(80));
+    }
+
+    #[test]
+    fn injected_hold_inflation_extends_critical_sections() {
+        #[derive(Debug)]
+        struct Slow;
+        impl crate::fault::FaultInjector for Slow {
+            fn lock_hold_permille(&self, now: Nanos) -> u64 {
+                if now < Nanos::from_nanos(500) {
+                    8_000
+                } else {
+                    1000
+                }
+            }
+        }
+        let mut t = LockTable::new(1);
+        t.set_fault_injector(Arc::new(Slow));
+        // 100 ns hold inflated 8x: still held at t=700.
+        assert!(t.try_acquire(LockId(0), Nanos::ZERO, HOLD));
+        assert!(!t.try_acquire(LockId(0), Nanos::from_nanos(700), HOLD));
+        assert!(t.try_acquire(LockId(0), Nanos::from_nanos(800), HOLD));
+        // Past the window the hold is nominal again.
+        assert!(t.try_acquire(LockId(0), Nanos::from_nanos(900), HOLD));
     }
 
     #[test]

@@ -13,14 +13,15 @@ use fv_telemetry::span::{SpanRecorder, Stage};
 use fv_telemetry::trace::{EventRing, TraceKind};
 use fv_telemetry::Registry;
 use netstack::packet::Packet;
-use sim_core::time::Nanos;
+use sim_core::time::{Cycles, Nanos};
 use sim_core::units::BitRate;
 
 use crate::config::NicConfig;
 use crate::cost::{CostMeter, Op};
 use crate::engine::{Dispatch, WorkerPool};
+use crate::fault::FaultInjector;
 use crate::lock::LockTable;
-use crate::tm::TxFifo;
+use crate::tm::{TmDrop, TxFifo};
 
 /// A scheduling verdict for one packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +98,11 @@ pub enum RxOutcome {
         /// When the enqueue attempt failed.
         at: Nanos,
     },
+    /// Dropped by an injected fault (e.g. a TM corruption burst) at `at`.
+    FaultDrop {
+        /// When the fault consumed the packet.
+        at: Nanos,
+    },
     /// The packet was transmitted.
     Transmit {
         /// When the last bit left the wire.
@@ -122,6 +128,8 @@ pub struct NicStats {
     pub sched_drops: u64,
     /// Traffic-manager tail drops.
     pub tail_drops: u64,
+    /// Drops caused by injected faults.
+    pub fault_drops: u64,
     /// Packets transmitted.
     pub tx_packets: u64,
     /// Frame bits transmitted.
@@ -165,6 +173,7 @@ struct NicTelemetry {
     rx_drops: Arc<Counter>,
     sched_drops: Arc<Counter>,
     tail_drops: Arc<Counter>,
+    fault_drops: Arc<Counter>,
     tx_packets: Arc<Counter>,
     tx_bits: Arc<Counter>,
     tx_rate: Arc<RateWindow>,
@@ -184,6 +193,7 @@ pub struct SmartNic {
     /// guarantees packets of one VF enter the FIFO in arrival order.
     vf_release: Vec<Nanos>,
     telemetry: NicTelemetry,
+    fault: Option<Arc<dyn FaultInjector>>,
 }
 
 impl core::fmt::Debug for SmartNic {
@@ -231,6 +241,9 @@ impl SmartNic {
             rx_drops: registry.counter("nic.rx_drops"),
             sched_drops: registry.counter("nic.sched_drops"),
             tail_drops: registry.counter("nic.tail_drops"),
+            // Detached until a fault injector exists: fault-free runs keep
+            // their snapshot schema free of fault counters.
+            fault_drops: Arc::new(Counter::new()),
             tx_packets: registry.counter("nic.tx_packets"),
             tx_bits: registry.counter("nic.tx_bits"),
             tx_rate: registry.rate("nic.tx_bits_rate", Nanos::from_micros(100)),
@@ -247,7 +260,25 @@ impl SmartNic {
             decider,
             config,
             telemetry,
+            fault: None,
         }
+    }
+
+    /// Installs a fault injector across the whole pipeline: worker
+    /// dispatch (micro-engine stalls), the per-packet cost meter (extra
+    /// cycles), the traffic manager (wire degradation, pauses, corruption
+    /// drops), and the lock table (hold-time inflation). The same
+    /// scheduler code runs faulted or clean — only these hook points
+    /// consult the injector.
+    pub fn install_fault_injector(&mut self, injector: Arc<dyn FaultInjector>) {
+        // Faults are now possible, so the fault-drop counters join the
+        // registry; fault-free NICs keep their snapshot schema unchanged.
+        let registry = self.telemetry.registry.clone();
+        self.telemetry.fault_drops = registry.counter("nic.fault_drops");
+        self.fifo.attach_fault_telemetry(&registry);
+        self.fifo.set_fault_injector(Arc::clone(&injector));
+        self.locks.set_fault_injector(Arc::clone(&injector));
+        self.fault = Some(injector);
     }
 
     /// The NIC configuration.
@@ -262,7 +293,8 @@ impl SmartNic {
     /// reorder, and the wire-side FIFO.
     pub fn rx(&mut self, pkt: &Packet, now: Nanos) -> RxOutcome {
         self.telemetry.offered.incr(0);
-        let start = match self.workers.dispatch(now) {
+        let stall = self.fault.as_ref().and_then(|f| f.stalled_engines(now));
+        let start = match self.workers.dispatch_with(now, stall) {
             Dispatch::RxOverflow => {
                 self.telemetry.rx_drops.incr(0);
                 self.telemetry
@@ -281,6 +313,12 @@ impl SmartNic {
         self.meter.reset();
         self.meter.charge(Op::Parse);
         self.meter.charge(Op::ForwardBase);
+        if let Some(f) = &self.fault {
+            let extra = f.extra_cycles(start);
+            if extra > 0 {
+                self.meter.charge_cycles(Cycles::new(extra));
+            }
+        }
         let decision = self
             .decider
             .decide(pkt, start, &mut self.meter, &mut self.locks);
@@ -310,9 +348,13 @@ impl SmartNic {
                             delivered,
                         }
                     }
-                    Err(_) => {
+                    Err(TmDrop::TailDrop) => {
                         self.telemetry.tail_drops.incr(0);
                         RxOutcome::TailDrop { at: release }
+                    }
+                    Err(TmDrop::CorruptDrop) => {
+                        self.telemetry.fault_drops.incr(0);
+                        RxOutcome::FaultDrop { at: release }
                     }
                 }
             }
@@ -326,6 +368,7 @@ impl SmartNic {
             rx_drops: self.telemetry.rx_drops.total(),
             sched_drops: self.telemetry.sched_drops.total(),
             tail_drops: self.telemetry.tail_drops.total(),
+            fault_drops: self.telemetry.fault_drops.total(),
             tx_packets: self.telemetry.tx_packets.total(),
             tx_bits: self.telemetry.tx_bits.total(),
         }
@@ -351,6 +394,12 @@ impl SmartNic {
     /// Achieved frame-bit throughput over `[0, horizon]`.
     pub fn throughput(&self, horizon: Nanos) -> BitRate {
         self.fifo.throughput(horizon)
+    }
+
+    /// Bytes still waiting in (or on) the TM serializer at `t` — the
+    /// fault-recovery harness asserts this drains after a wire fault.
+    pub fn tm_backlog_bytes(&self, t: Nanos) -> u64 {
+        self.fifo.backlog_bytes(t)
     }
 
     /// Lock contention statistics from the decider's lock usage.
@@ -576,6 +625,48 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| e.kind == TraceKind::SpanTmQueue && e.a == 8 && e.b > 0));
+    }
+
+    #[test]
+    fn installed_injector_perturbs_and_then_clears() {
+        use crate::fault::{FaultInjector, TmFault};
+
+        /// Corrupts every TM enqueue and stalls all engines inside
+        /// `[2us, 4us)`; clean elsewhere.
+        #[derive(Debug)]
+        struct Window;
+        impl FaultInjector for Window {
+            fn tm_fault(&self, now: Nanos, _pkt_id: u64) -> TmFault {
+                if now >= Nanos::from_micros(2) && now < Nanos::from_micros(4) {
+                    TmFault::CorruptDrop
+                } else {
+                    TmFault::None
+                }
+            }
+        }
+        let reg = Registry::new();
+        let mut nic = SmartNic::with_registry(
+            NicConfig::agilio_cx_40g(),
+            Box::new(PassthroughDecider),
+            &reg,
+        );
+        nic.install_fault_injector(Arc::new(Window));
+        let gap = Nanos::from_micros(1);
+        let mut fault_drops = 0;
+        let mut transmitted = 0;
+        for i in 0..8u64 {
+            match nic.rx(&pkt(i, 0, 1518), gap * i) {
+                RxOutcome::FaultDrop { .. } => fault_drops += 1,
+                RxOutcome::Transmit { .. } => transmitted += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(fault_drops, 2); // t = 2us, 3us
+        assert_eq!(transmitted, 6);
+        let s = nic.stats();
+        assert_eq!(s.fault_drops, 2);
+        assert_eq!(reg.snapshot(Nanos::ZERO).counter("nic.fault_drops"), 2);
+        assert_eq!(reg.snapshot(Nanos::ZERO).counter("tm.fifo.fault_drops"), 2);
     }
 
     #[test]

@@ -21,17 +21,22 @@ use fv_telemetry::Registry;
 use sim_core::time::Nanos;
 use sim_core::units::{BitRate, ByteSize, WireFraming};
 
+use crate::fault::{FaultInjector, TmFault};
+
 /// Why the traffic manager refused a packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TmDrop {
     /// The FIFO was full: classic tail drop.
     TailDrop,
+    /// The frame was corrupted inside the TM by an injected fault.
+    CorruptDrop,
 }
 
 impl core::fmt::Display for TmDrop {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             TmDrop::TailDrop => write!(f, "traffic-manager tail drop"),
+            TmDrop::CorruptDrop => write!(f, "traffic-manager corruption drop (injected fault)"),
         }
     }
 }
@@ -47,6 +52,8 @@ pub struct TmStats {
     pub tx_bits: u64,
     /// Packets tail-dropped at the FIFO.
     pub tail_drops: u64,
+    /// Packets dropped by an injected corruption fault.
+    pub fault_drops: u64,
 }
 
 /// A FIFO transmit queue in front of a fixed-rate wire.
@@ -74,6 +81,7 @@ struct FifoTelemetry {
     tx_packets: Arc<Counter>,
     tx_bits: Arc<Counter>,
     tail_drops: Arc<Counter>,
+    fault_drops: Arc<Counter>,
     backlog_bytes: Arc<Gauge>,
     ring: Arc<EventRing>,
     spans: SpanRecorder,
@@ -91,6 +99,7 @@ pub struct TxFifo {
     last_t: Nanos,
     stats: TmStats,
     telemetry: Option<FifoTelemetry>,
+    injector: Option<Arc<dyn FaultInjector>>,
 }
 
 impl TxFifo {
@@ -110,7 +119,14 @@ impl TxFifo {
             last_t: Nanos::ZERO,
             stats: TmStats::default(),
             telemetry: None,
+            injector: None,
         }
+    }
+
+    /// Installs a fault injector consulted on every enqueue (wire-rate
+    /// degradation, serializer pauses, corruption drops).
+    pub fn set_fault_injector(&mut self, injector: Arc<dyn FaultInjector>) {
+        self.injector = Some(injector);
     }
 
     /// Mirrors every enqueue into `registry` under the `tm.fifo.*`
@@ -123,10 +139,25 @@ impl TxFifo {
             tx_packets: registry.counter("tm.fifo.tx_packets"),
             tx_bits: registry.counter("tm.fifo.tx_bits"),
             tail_drops: registry.counter("tm.fifo.tail_drops"),
+            // Detached until a fault injector exists: fault-free runs keep
+            // their snapshot schema free of fault counters.
+            fault_drops: Arc::new(Counter::new()),
             backlog_bytes: registry.gauge("tm.fifo.backlog_bytes"),
             ring: registry.ring(),
             spans: SpanRecorder::new(registry),
         });
+    }
+
+    /// Registers the corruption-drop counter as `tm.fifo.fault_drops`.
+    ///
+    /// Deliberately separate from [`TxFifo::attach_telemetry`]: fault
+    /// drops require an injector, so a fault-free run never grows its
+    /// snapshot schema. Call alongside [`TxFifo::set_fault_injector`];
+    /// a no-op until telemetry is attached.
+    pub fn attach_fault_telemetry(&mut self, registry: &Registry) {
+        if let Some(tel) = &mut self.telemetry {
+            tel.fault_drops = registry.counter("tm.fifo.fault_drops");
+        }
     }
 
     /// Offers a frame of `frame_len` bytes to the FIFO at time `t`.
@@ -153,6 +184,20 @@ impl TxFifo {
     pub fn enqueue_pkt(&mut self, frame_len: u32, t: Nanos, pkt_id: u64) -> Result<Nanos, TmDrop> {
         let t = t.max(self.last_t);
         self.last_t = t;
+        let mut paused_until = Nanos::ZERO;
+        if let Some(inj) = &self.injector {
+            match inj.tm_fault(t, pkt_id) {
+                TmFault::None => {}
+                TmFault::Paused { until } => paused_until = until,
+                TmFault::CorruptDrop => {
+                    self.stats.fault_drops += 1;
+                    if let Some(tel) = &self.telemetry {
+                        tel.fault_drops.incr(0);
+                    }
+                    return Err(TmDrop::CorruptDrop);
+                }
+            }
+        }
         let backlog = self.free_at.saturating_sub(t);
         if backlog > self.max_backlog {
             self.stats.tail_drops += 1;
@@ -167,8 +212,15 @@ impl TxFifo {
             }
             return Err(TmDrop::TailDrop);
         }
-        let ser = self.framing.serialization_time(self.rate, frame_len as u64);
-        let wire_start = self.free_at.max(t);
+        let mut ser = self.framing.serialization_time(self.rate, frame_len as u64);
+        if let Some(inj) = &self.injector {
+            let permille = inj.wire_rate_permille(t).max(1);
+            if permille != 1000 {
+                // A degraded wire stretches serialization proportionally.
+                ser = Nanos::from_nanos(ser.as_nanos().saturating_mul(1000) / permille);
+            }
+        }
+        let wire_start = self.free_at.max(t).max(paused_until);
         self.free_at = wire_start + ser;
         self.stats.tx_packets += 1;
         self.stats.tx_bits += frame_len as u64 * 8;
@@ -326,6 +378,82 @@ mod tests {
             .events
             .iter()
             .any(|e| e.kind == TraceKind::TailDrop && e.a == 1_000));
+    }
+
+    #[derive(Debug)]
+    struct FaultAt {
+        from: Nanos,
+        to: Nanos,
+        fault: TmFault,
+        permille: u64,
+    }
+
+    impl FaultInjector for FaultAt {
+        fn wire_rate_permille(&self, now: Nanos) -> u64 {
+            if now >= self.from && now < self.to {
+                self.permille
+            } else {
+                1000
+            }
+        }
+        fn tm_fault(&self, now: Nanos, _pkt_id: u64) -> TmFault {
+            if now >= self.from && now < self.to {
+                self.fault
+            } else {
+                TmFault::None
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_wire_stretches_serialization() {
+        let mut f = fifo_1g();
+        f.set_fault_injector(Arc::new(FaultAt {
+            from: Nanos::ZERO,
+            to: Nanos::from_micros(1),
+            fault: TmFault::None,
+            permille: 250,
+        }));
+        // 8000 bits at a quarter of 1 Gbps take 4x as long.
+        let done = f.enqueue(1_000, Nanos::ZERO).unwrap();
+        assert_eq!(done, Nanos::from_nanos(32_000));
+        // Outside the window the wire is back to nominal.
+        let done = f.enqueue(1_000, Nanos::from_micros(40)).unwrap();
+        assert_eq!(done, Nanos::from_nanos(48_000));
+    }
+
+    #[test]
+    fn paused_serializer_defers_wire_start() {
+        let mut f = fifo_1g();
+        let until = Nanos::from_micros(10);
+        f.set_fault_injector(Arc::new(FaultAt {
+            from: Nanos::ZERO,
+            to: Nanos::from_micros(1),
+            fault: TmFault::Paused { until },
+            permille: 1000,
+        }));
+        let done = f.enqueue(1_000, Nanos::ZERO).unwrap();
+        assert_eq!(done, until + Nanos::from_nanos(8_000));
+    }
+
+    #[test]
+    fn corruption_fault_drops_and_counts() {
+        let reg = Registry::new();
+        let mut f = fifo_1g();
+        f.attach_telemetry(&reg);
+        f.attach_fault_telemetry(&reg);
+        f.set_fault_injector(Arc::new(FaultAt {
+            from: Nanos::ZERO,
+            to: Nanos::from_micros(1),
+            fault: TmFault::CorruptDrop,
+            permille: 1000,
+        }));
+        assert_eq!(f.enqueue(1_000, Nanos::ZERO), Err(TmDrop::CorruptDrop));
+        assert!(f.enqueue(1_000, Nanos::from_micros(5)).is_ok());
+        assert_eq!(f.stats().fault_drops, 1);
+        assert_eq!(f.stats().tx_packets, 1);
+        let snap = reg.snapshot(Nanos::ZERO);
+        assert_eq!(snap.counter("tm.fifo.fault_drops"), 1);
     }
 
     #[test]

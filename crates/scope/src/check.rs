@@ -59,6 +59,35 @@ pub enum Slo {
         /// Inclusive p99 bound in nanoseconds.
         max_ns: u64,
     },
+    /// After a fault clears at `clear`, the windowed rate of `series`
+    /// measured over `[clear + within, window end]` is back in
+    /// `[min, max]`. Fails when the recovery window is empty or the
+    /// series has no samples in it — a run that ends mid-recovery has
+    /// not demonstrated recovery.
+    RateRecovers {
+        /// Human-readable assertion name.
+        name: String,
+        /// Sampled counter holding the quantity.
+        series: String,
+        /// Inclusive lower bound (units per second).
+        min: f64,
+        /// Inclusive upper bound (units per second).
+        max: f64,
+        /// Virtual time at which the fault window ended.
+        clear: Nanos,
+        /// Settling time granted before the recovery window opens.
+        within: Nanos,
+    },
+    /// Gauge `gauge` reads at most `max` at snapshot time (e.g. a queue
+    /// backlog that must have drained). Fails when the gauge is absent.
+    GaugeAtMost {
+        /// Human-readable assertion name.
+        name: String,
+        /// The gauge to bound.
+        gauge: String,
+        /// Inclusive upper bound on the final gauge value.
+        max: u64,
+    },
 }
 
 impl Slo {
@@ -68,7 +97,9 @@ impl Slo {
             Slo::RateBetween { name, .. }
             | Slo::SumRateBetween { name, .. }
             | Slo::CounterZero { name, .. }
-            | Slo::P99Below { name, .. } => name,
+            | Slo::P99Below { name, .. }
+            | Slo::RateRecovers { name, .. }
+            | Slo::GaugeAtMost { name, .. } => name,
         }
     }
 }
@@ -259,6 +290,59 @@ pub fn evaluate(
                     detail: format!("{histogram} empty; bound holds vacuously"),
                 },
             },
+            Slo::RateRecovers {
+                name,
+                series,
+                min,
+                max,
+                clear,
+                within,
+            } => {
+                let open = *clear + *within;
+                if open >= to {
+                    SloResult {
+                        name: name.clone(),
+                        passed: false,
+                        detail: format!(
+                            "recovery window empty: opens at {} us, run ends at {} us",
+                            open.as_nanos() / 1_000,
+                            to.as_nanos() / 1_000
+                        ),
+                    }
+                } else {
+                    match sampler.window_rate(series, open, to) {
+                        Some(rate) => SloResult {
+                            name: name.clone(),
+                            passed: (*min..=*max).contains(&rate),
+                            detail: format!(
+                                "recovered to {}/s over [{} us, {} us], want [{}/s, {}/s]",
+                                fmt_rate(rate),
+                                open.as_nanos() / 1_000,
+                                to.as_nanos() / 1_000,
+                                fmt_rate(*min),
+                                fmt_rate(*max)
+                            ),
+                        },
+                        None => SloResult {
+                            name: name.clone(),
+                            passed: false,
+                            detail: format!("series {series:?} has no samples after recovery"),
+                        },
+                    }
+                }
+            }
+            Slo::GaugeAtMost { name, gauge, max } => match snapshot.get(gauge) {
+                Some(fv_telemetry::MetricValue::Gauge { value, .. }) => SloResult {
+                    name: name.clone(),
+                    passed: *value <= *max,
+                    detail: format!("{gauge} = {value}, bound {max}"),
+                },
+                _ => SloResult {
+                    name: name.clone(),
+                    passed: false,
+                    detail: format!("gauge {gauge:?} absent from snapshot"),
+                },
+            },
         })
         .collect();
     CheckReport { window, results }
@@ -381,6 +465,82 @@ mod tests {
         assert!(report.results[1].passed);
         assert!(report.results[2].passed);
         assert!(report.results[3].passed, "vacuous bound must hold");
+    }
+
+    #[test]
+    fn rate_recovers_measures_only_the_post_settle_window() {
+        let reg = Registry::new();
+        let c = reg.counter("bits");
+        let mut s = TimeSampler::new(&reg, SamplerConfig::default().with_interval(us(10)));
+        // Degraded through 50 us (no traffic), full rate afterwards.
+        for i in 1..=10u64 {
+            if i > 5 {
+                c.add(0, 8_000);
+            }
+            s.advance_to(us(i * 10));
+        }
+        let snap = reg.snapshot(us(100));
+        let slos = [
+            Slo::RateRecovers {
+                name: "recovers".into(),
+                series: "bits".into(),
+                min: 7.6e8,
+                max: 8.4e8,
+                clear: us(50),
+                within: us(10),
+            },
+            Slo::RateRecovers {
+                name: "window-empty".into(),
+                series: "bits".into(),
+                min: 0.0,
+                max: 1e12,
+                clear: us(95),
+                within: us(10),
+            },
+            Slo::RateRecovers {
+                name: "ghost-series".into(),
+                series: "no.such".into(),
+                min: 0.0,
+                max: 1e12,
+                clear: us(50),
+                within: us(10),
+            },
+        ];
+        let report = evaluate(&slos, &s, &snap, (us(0), us(100)));
+        assert!(report.results[0].passed, "{}", report.render());
+        assert!(!report.results[1].passed, "empty recovery window must fail");
+        assert!(!report.results[2].passed, "absent series must fail");
+    }
+
+    #[test]
+    fn gauge_at_most_bounds_final_value_and_fails_when_absent() {
+        let reg = Registry::new();
+        let g = reg.gauge("depth");
+        g.set(40);
+        g.set(3);
+        let s = TimeSampler::new(&reg, SamplerConfig::default());
+        let snap = reg.snapshot(us(100));
+        let slos = [
+            Slo::GaugeAtMost {
+                name: "drained".into(),
+                gauge: "depth".into(),
+                max: 5,
+            },
+            Slo::GaugeAtMost {
+                name: "still-full".into(),
+                gauge: "depth".into(),
+                max: 2,
+            },
+            Slo::GaugeAtMost {
+                name: "ghost".into(),
+                gauge: "missing".into(),
+                max: 100,
+            },
+        ];
+        let report = evaluate(&slos, &s, &snap, (us(0), us(100)));
+        assert!(report.results[0].passed, "{}", report.render());
+        assert!(!report.results[1].passed);
+        assert!(!report.results[2].passed, "absent gauge must fail");
     }
 
     #[test]

@@ -61,6 +61,6 @@ pub mod trace;
 
 pub use json::{JsonValue, ToJson};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, RateWindow};
-pub use registry::{MetricEntry, MetricValue, Registry, Snapshot};
+pub use registry::{MetricEntry, MetricValue, Registry, RegistryError, Snapshot};
 pub use span::{SpanRecorder, Stage, STAGES};
 pub use trace::{EventRing, TraceEvent, TraceKind};

@@ -27,6 +27,49 @@ enum Metric {
     Rate(Arc<RateWindow>),
 }
 
+impl Metric {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+            Metric::Rate(_) => "rate",
+        }
+    }
+}
+
+/// Why a metric registration failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The name is taken by a metric of a different type.
+    TypeConflict {
+        /// The requested metric name.
+        name: String,
+        /// Type of the metric already registered under `name`.
+        existing: &'static str,
+        /// Type the caller asked for.
+        requested: &'static str,
+    },
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::TypeConflict {
+                name,
+                existing,
+                requested,
+            } => write!(
+                f,
+                "metric {name:?} already registered with another type \
+                 (existing {existing}, requested {requested})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
 struct Inner {
     metrics: Mutex<BTreeMap<String, Metric>>,
     ring: Arc<EventRing>,
@@ -64,19 +107,46 @@ impl Registry {
         }
     }
 
+    /// Gets or creates the counter named `name`, reporting a type clash
+    /// as an error instead of panicking.
+    pub fn try_counter(&self, name: &str) -> Result<Arc<Counter>, RegistryError> {
+        let mut metrics = self.inner.metrics.lock().unwrap();
+        match metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Ok(Arc::clone(c)),
+            other => Err(RegistryError::TypeConflict {
+                name: name.to_owned(),
+                existing: other.type_name(),
+                requested: "counter",
+            }),
+        }
+    }
+
     /// Gets or creates the counter named `name`.
     ///
     /// # Panics
     ///
     /// Panics if `name` is already registered as a different metric type.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.try_counter(name).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Gets or creates the gauge named `name`, reporting a type clash as
+    /// an error instead of panicking.
+    pub fn try_gauge(&self, name: &str) -> Result<Arc<Gauge>, RegistryError> {
         let mut metrics = self.inner.metrics.lock().unwrap();
         match metrics
             .entry(name.to_owned())
-            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
         {
-            Metric::Counter(c) => Arc::clone(c),
-            _ => panic!("metric {name:?} already registered with another type"),
+            Metric::Gauge(g) => Ok(Arc::clone(g)),
+            other => Err(RegistryError::TypeConflict {
+                name: name.to_owned(),
+                existing: other.type_name(),
+                requested: "gauge",
+            }),
         }
     }
 
@@ -86,13 +156,23 @@ impl Registry {
     ///
     /// Panics if `name` is already registered as a different metric type.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.try_gauge(name).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Gets or creates the histogram named `name`, reporting a type clash
+    /// as an error instead of panicking.
+    pub fn try_histogram(&self, name: &str) -> Result<Arc<Histogram>, RegistryError> {
         let mut metrics = self.inner.metrics.lock().unwrap();
         match metrics
             .entry(name.to_owned())
-            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
         {
-            Metric::Gauge(g) => Arc::clone(g),
-            _ => panic!("metric {name:?} already registered with another type"),
+            Metric::Histogram(h) => Ok(Arc::clone(h)),
+            other => Err(RegistryError::TypeConflict {
+                name: name.to_owned(),
+                existing: other.type_name(),
+                requested: "histogram",
+            }),
         }
     }
 
@@ -102,13 +182,24 @@ impl Registry {
     ///
     /// Panics if `name` is already registered as a different metric type.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.try_histogram(name).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Gets or creates the rate series named `name` with slot width
+    /// `window` (the width of an existing series is kept), reporting a
+    /// type clash as an error instead of panicking.
+    pub fn try_rate(&self, name: &str, window: Nanos) -> Result<Arc<RateWindow>, RegistryError> {
         let mut metrics = self.inner.metrics.lock().unwrap();
         match metrics
             .entry(name.to_owned())
-            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+            .or_insert_with(|| Metric::Rate(Arc::new(RateWindow::new(window))))
         {
-            Metric::Histogram(h) => Arc::clone(h),
-            _ => panic!("metric {name:?} already registered with another type"),
+            Metric::Rate(r) => Ok(Arc::clone(r)),
+            other => Err(RegistryError::TypeConflict {
+                name: name.to_owned(),
+                existing: other.type_name(),
+                requested: "rate",
+            }),
         }
     }
 
@@ -119,14 +210,8 @@ impl Registry {
     ///
     /// Panics if `name` is already registered as a different metric type.
     pub fn rate(&self, name: &str, window: Nanos) -> Arc<RateWindow> {
-        let mut metrics = self.inner.metrics.lock().unwrap();
-        match metrics
-            .entry(name.to_owned())
-            .or_insert_with(|| Metric::Rate(Arc::new(RateWindow::new(window))))
-        {
-            Metric::Rate(r) => Arc::clone(r),
-            _ => panic!("metric {name:?} already registered with another type"),
-        }
+        self.try_rate(name, window)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The shared event-trace ring.
@@ -389,6 +474,27 @@ mod tests {
         let reg = Registry::new();
         reg.counter("x");
         reg.gauge("x");
+    }
+
+    #[test]
+    fn try_constructors_report_type_conflicts() {
+        let reg = Registry::new();
+        reg.counter("x");
+        let err = reg.try_gauge("x").unwrap_err();
+        assert_eq!(
+            err,
+            RegistryError::TypeConflict {
+                name: "x".into(),
+                existing: "counter",
+                requested: "gauge",
+            }
+        );
+        assert!(err.to_string().contains("already registered"));
+        assert!(reg.try_histogram("x").is_err());
+        assert!(reg.try_rate("x", Nanos::from_micros(1)).is_err());
+        // The happy path still returns the same handle as the panicking one.
+        reg.try_counter("x").unwrap().add(0, 2);
+        assert_eq!(reg.snapshot(Nanos::ZERO).counter("x"), 2);
     }
 
     #[test]

@@ -46,6 +46,12 @@ pub enum TraceKind {
     SpanWire = 12,
     /// Span: residency in a software qdisc (enqueue to dequeue).
     SpanQueue = 13,
+    /// A fault window opened (fv-chaos). `a` = fault kind code, `b` =
+    /// fault index within the plan.
+    FaultInject = 14,
+    /// A fault window closed (fv-chaos). `a` = fault kind code, `b` =
+    /// fault index within the plan.
+    FaultClear = 15,
 }
 
 impl TraceKind {
@@ -65,6 +71,8 @@ impl TraceKind {
             11 => TraceKind::SpanTmQueue,
             12 => TraceKind::SpanWire,
             13 => TraceKind::SpanQueue,
+            14 => TraceKind::FaultInject,
+            15 => TraceKind::FaultClear,
             _ => return None,
         })
     }
@@ -86,6 +94,8 @@ impl TraceKind {
             TraceKind::SpanTmQueue => "span_tm_queue",
             TraceKind::SpanWire => "span_wire",
             TraceKind::SpanQueue => "span_queue",
+            TraceKind::FaultInject => "fault_inject",
+            TraceKind::FaultClear => "fault_clear",
         }
     }
 

@@ -25,9 +25,33 @@ cargo bench -p bench -- --test
 echo "==> fv check scripts/motivation.fv (rate-conformance gate)"
 cargo run --release -q -p fv-cli -- check scripts/motivation.fv
 
+echo "==> fv chaos smoke (fault injection + replay determinism)"
+CHAOS_A="$(mktemp --suffix=.json)"
+CHAOS_B="$(mktemp --suffix=.json)"
+trap 'rm -f "$CHAOS_A" "$CHAOS_B"' EXIT
+cargo run --release -q -p fv-cli -- chaos scripts/motivation.fv \
+    --plan scripts/demo.chaos --json > "$CHAOS_A"
+cargo run --release -q -p fv-cli -- chaos scripts/motivation.fv \
+    --plan scripts/demo.chaos --json > "$CHAOS_B"
+cmp "$CHAOS_A" "$CHAOS_B" \
+    || { echo "chaos replay is not byte-identical"; exit 1; }
+python3 - "$CHAOS_A" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["passed"] is True, "chaos demo plan must recover"
+assert doc["chaos"]["faults_injected"] >= 2, doc["chaos"]
+assert doc["chaos"]["faults_cleared"] == doc["chaos"]["faults_injected"]
+assert len(doc["recovery"]["results"]) >= 2, "want a recovery verdict per fault"
+metrics = set(doc["snapshot"]["metrics"])
+assert "nic.tx_bits" in metrics, "snapshot missing nic counters"
+assert "chaos.faults_injected" in metrics, "snapshot missing chaos counters"
+print(f"chaos ok: {doc['chaos']['faults_injected']} faults injected, "
+      f"{len(doc['recovery']['results'])} recovery checks, replay identical")
+PY
+
 echo "==> fv trace export smoke"
 TRACE="$(mktemp --suffix=.json)"
-trap 'rm -f "$TRACE"' EXIT
+trap 'rm -f "$TRACE" "$CHAOS_A" "$CHAOS_B"' EXIT
 cargo run --release -q -p fv-cli -- trace scripts/motivation.fv --out "$TRACE" >/dev/null
 python3 - "$TRACE" <<'PY'
 import json, sys

@@ -19,8 +19,8 @@ fn bytes_to_label_to_verdict() {
     // 1. Build frames as raw bytes and parse them back.
     let kvs_flow = FlowKey::tcp([10, 0, 1, 1], 41_000, [10, 0, 255, 1], 5001);
     let bulk_flow = FlowKey::tcp([10, 0, 1, 2], 41_001, [10, 0, 255, 1], 9999);
-    let kvs_bytes = encode_frame(&kvs_flow, 512, 0);
-    let bulk_bytes = encode_frame(&bulk_flow, 1518, 0);
+    let kvs_bytes = encode_frame(&kvs_flow, 512, 0).expect("kvs frame encodes");
+    let bulk_bytes = encode_frame(&bulk_flow, 1518, 0).expect("bulk frame encodes");
     let kvs_parsed = parse_frame(&kvs_bytes).expect("kvs frame parses");
     let bulk_parsed = parse_frame(&bulk_bytes).expect("bulk frame parses");
     assert_eq!(kvs_parsed.flow, kvs_flow);

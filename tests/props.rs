@@ -28,7 +28,7 @@ fn frame_codec_roundtrips() {
         let len = rng.range(64, 1600) as usize;
         let dscp = rng.range(0, 64) as u8;
         let flow = netstack::flow::FlowKey::tcp(src, sport, dst, dport);
-        let bytes = encode_frame(&flow, len, dscp);
+        let bytes = encode_frame(&flow, len, dscp).expect("own encoding succeeds");
         let parsed = parse_frame(&bytes).expect("own encoding parses");
         assert_eq!(parsed.flow, flow);
         assert_eq!(parsed.frame_len, len);
