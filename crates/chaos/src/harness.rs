@@ -21,12 +21,15 @@ use flowvalve::pipeline::FlowValvePipeline;
 use flowvalve::tree::TreeParams;
 use fv_scope::{evaluate, CheckReport, SamplerConfig, Slo, TimeSampler};
 use fv_telemetry::json::{JsonValue, ToJson};
+use fv_telemetry::SpanSink;
 use fv_telemetry::{Registry, Snapshot};
 use hostsim::HostChaosHook;
 use netstack::flow::FlowKey;
 use netstack::gen::{ArrivalProcess, LineRateProcess};
 use netstack::packet::{AppId, Packet, PacketIdGen, VfPort};
 use np_sim::config::NicConfig;
+use np_sim::cost::CycleAttr;
+use np_sim::lock::PerLockStats;
 use np_sim::nic::SmartNic;
 use sim_core::rng::SimRng;
 use sim_core::time::Nanos;
@@ -57,6 +60,9 @@ pub struct ChaosReport {
     pub recovery: CheckReport,
     /// Faults whose recovery could not be judged (window ends too late).
     pub unchecked: Vec<String>,
+    /// Per-lock attribution rows from the run, for contention profiling
+    /// (not serialized — `fv-probe` folds them into its own report).
+    pub per_lock: Vec<PerLockStats>,
 }
 
 impl ChaosReport {
@@ -163,6 +169,20 @@ fn scale_policy(policy: &Policy, permille: u64) -> Policy {
 /// compile (including a mid-run `reconfig` compile failure, which aborts
 /// rather than silently continuing unfaulted).
 pub fn run_chaos(policy: &Policy, plan: &FaultPlan) -> Result<ChaosReport, String> {
+    run_chaos_probed(policy, plan, None, None)
+}
+
+/// [`run_chaos`] with attribution probes attached: `attr` receives every
+/// cycle charge (stage × op × worker) and `sink` every span stamp and
+/// classification verdict. Both are observers — the packet-level outcome
+/// of the run is identical with or without them, so a probed run still
+/// replays byte-identically.
+pub fn run_chaos_probed(
+    policy: &Policy,
+    plan: &FaultPlan,
+    attr: Option<Arc<CycleAttr>>,
+    sink: Option<Arc<dyn SpanSink>>,
+) -> Result<ChaosReport, String> {
     let cfg = NicConfig::agilio_cx_40g();
     let mut pipeline = FlowValvePipeline::compile(policy, TreeParams::default(), &cfg)
         .map_err(|e| e.to_string())?;
@@ -171,10 +191,16 @@ pub fn run_chaos(policy: &Policy, plan: &FaultPlan) -> Result<ChaosReport, Strin
     let framing = cfg.framing;
 
     let registry = Registry::with_ring_capacity(4096);
+    if let Some(sink) = sink {
+        registry.install_span_sink(sink);
+    }
     let controller = Arc::new(ChaosController::new(plan.clone(), &registry));
     let host_skipped = registry.counter("chaos.host_skipped");
     pipeline.install_chaos_hook(controller.clone());
     let mut nic = SmartNic::with_registry(cfg.clone(), Box::new(pipeline), &registry);
+    if let Some(attr) = attr {
+        nic.attach_probe(attr);
+    }
     if let Some(p) = nic.decider_as::<FlowValvePipeline>() {
         p.attach_telemetry(&registry);
     }
@@ -316,6 +342,7 @@ pub fn run_chaos(policy: &Policy, plan: &FaultPlan) -> Result<ChaosReport, Strin
         sampler,
         recovery,
         unchecked,
+        per_lock: nic.per_lock_stats().to_vec(),
     })
 }
 

@@ -11,7 +11,7 @@ use fv_telemetry::trace::{EventRing, TraceKind};
 use fv_telemetry::Registry;
 use netstack::packet::Packet;
 use np_sim::config::NicConfig;
-use np_sim::cost::{CostMeter, Op};
+use np_sim::cost::{AttrStage, CostMeter, Op};
 use np_sim::lock::LockTable;
 use np_sim::nic::{Decision, EgressDecider};
 use sim_core::time::{Cycles, Nanos};
@@ -346,25 +346,35 @@ impl EgressDecider for FlowValvePipeline {
     ) -> Decision {
         // Labeling function: exact-match cache with table-walk fill.
         let classify_t0 = meter.total();
+        meter.set_stage(AttrStage::Classify);
         let (label, cache) = self.classifier.classify(&pkt.flow, pkt.vf);
         let label = *label;
         meter.charge(match cache {
             CacheResult::Hit => Op::ClassifyHit,
             CacheResult::Miss => Op::ClassifyMiss,
         });
+        // Wire bits (frame + preamble/IFG): what the token buckets meter
+        // and what an attribution sink weighs heavy hitters by.
+        let wire_bits = self.framing.wire_bits(pkt.frame_len as u64);
         // Classify span: the cycles this packet's labeling charged to the
         // worker, converted at the NIC clock. Starts when the worker picked
         // the packet up (`now` here is the dispatch start).
         let classify_dur = self.freq.duration_of(meter.total() - classify_t0);
         if let Some(t) = &self.telemetry {
+            if let Some(sink) = t.spans.sink() {
+                // Tell the attribution sink this packet's class before any
+                // of its spans land, so every span attributes cleanly.
+                let class = label.map(|l| l.leaf().0 as u64).unwrap_or(u64::MAX);
+                sink.classify(pkt.id, class, pkt.flow.stable_hash(), wire_bits);
+            }
             t.spans.record(Stage::Classify, now, pkt.id, classify_dur);
         }
 
         // Scheduling function (Algorithm 1); unlabeled traffic bypasses it.
-        // Tokens are metered in *wire* bits (frame + preamble/IFG): a tree
-        // whose root rate equals the line rate must admit exactly what the
-        // wire can carry, or the transmit FIFO builds a standing queue.
-        let wire_bits = self.framing.wire_bits(pkt.frame_len as u64);
+        // Tokens are metered in *wire* bits: a tree whose root rate equals
+        // the line rate must admit exactly what the wire can carry, or the
+        // transmit FIFO builds a standing queue.
+        meter.set_stage(AttrStage::Sched);
         match label {
             None => Decision::Forward,
             Some(label) => {

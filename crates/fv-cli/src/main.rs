@@ -21,29 +21,48 @@
 //!                                run the demo with the virtual-time
 //!                                sampler attached and export the
 //!                                counter-delta time series
-//! fv chaos <script.fv> --plan <plan> [--json]
+//! fv chaos <script.fv> --plan <plan> [--json] [--flight FILE]
 //!                                run the demo with the plan's faults
 //!                                injected and judge post-fault recovery
 //!                                (--json: deterministic, replayable
-//!                                report for diffing)
+//!                                report for diffing; --flight: write a
+//!                                flight-recorder dump covering the fault
+//!                                windows)
+//! fv profile <script.fv> [--folded|--json] [--out FILE]
+//!                                run the demo with the attribution
+//!                                profiler attached and print the
+//!                                cycle/contention/latency profile
+//!                                (--folded: flamegraph folded stacks)
+//! fv top <script.fv>             run the profiled demo and print the
+//!                                heaviest flows and most contended locks
+//! fv bench-diff <new.json> <base.json> [--tolerance-pct N] [--only PREFIX]
+//!                                compare two BENCH_*.json documents and
+//!                                fail on perf regressions past tolerance
 //! ```
+//!
+//! `fv check` also accepts `--flight FILE`: on SLO violation it dumps the
+//! attribution profile plus the trace-ring tail for post-mortem analysis.
 //!
 //! Scripts use the `tc`-style dialect documented in
 //! `flowvalve::frontend`; `-` reads from stdin.
 
 use std::io::Read;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use flowvalve::frontend::Policy;
 use flowvalve::pipeline::FlowValvePipeline;
 use flowvalve::tree::{SchedulingTree, TreeParams};
+use fv_probe::{diff_docs, flight_doc, rank_locks, LatencyAttr, ProbeReport, UNATTRIBUTED};
 use fv_scope::{chrome_trace, evaluate, latency_table, prometheus_text, Slo};
 use fv_scope::{SamplerConfig, TimeSampler};
-use fv_telemetry::{MetricValue, Registry, Snapshot, ToJson};
+use fv_telemetry::{JsonValue, MetricValue, Registry, Snapshot, ToJson};
 use netstack::flow::FlowKey;
 use netstack::gen::{ArrivalProcess, LineRateProcess};
 use netstack::packet::{AppId, Packet, PacketIdGen, VfPort};
 use np_sim::config::NicConfig;
+use np_sim::cost::CycleAttr;
+use np_sim::lock::PerLockStats;
 use np_sim::nic::SmartNic;
 use sim_core::rng::SimRng;
 use sim_core::time::Nanos;
@@ -61,23 +80,32 @@ fn read_script(path: &str) -> std::io::Result<String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: fv <check|show|demo|stats|trace|timeseries|chaos> <script.fv|-> \
-         [--json] [--out FILE] [--csv|--jsonl|--prom] [--interval-us N] \
-         [--plan FILE]"
+        "usage: fv <check|show|demo|stats|trace|timeseries|chaos|profile|top> \
+         <script.fv|-> [--json] [--out FILE] [--csv|--jsonl|--prom] \
+         [--interval-us N] [--plan FILE] [--folded] [--flight FILE]\n\
+         \x20      fv bench-diff <new.json> <base.json> [--tolerance-pct N] \
+         [--only PREFIX]"
     );
     ExitCode::from(2)
 }
 
-/// Parsed command-line flags (everything after the two positionals).
+/// Parsed command-line flags (everything after the positionals).
 #[derive(Default)]
 struct Flags {
     json: bool,
     csv: bool,
     jsonl: bool,
     prom: bool,
+    folded: bool,
     out: Option<String>,
     interval_us: Option<u64>,
     plan: Option<String>,
+    /// Flight-recorder output path (`fv check` / `fv chaos`).
+    flight: Option<String>,
+    /// Regression tolerance for `fv bench-diff`, in percent.
+    tolerance_pct: Option<f64>,
+    /// Bench-name prefixes `fv bench-diff` restricts itself to.
+    only: Vec<String>,
 }
 
 fn main() -> ExitCode {
@@ -91,9 +119,13 @@ fn main() -> ExitCode {
             "--csv" => flags.csv = true,
             "--jsonl" => flags.jsonl = true,
             "--prom" => flags.prom = true,
+            "--folded" => flags.folded = true,
             "--out" => flags.out = it.next().cloned(),
             "--interval-us" => flags.interval_us = it.next().and_then(|v| v.parse().ok()),
             "--plan" => flags.plan = it.next().cloned(),
+            "--flight" => flags.flight = it.next().cloned(),
+            "--tolerance-pct" => flags.tolerance_pct = it.next().and_then(|v| v.parse().ok()),
+            "--only" => flags.only.extend(it.next().cloned()),
             a if a.starts_with("--out=") => {
                 flags.out = Some(a["--out=".len()..].to_owned());
             }
@@ -103,10 +135,23 @@ fn main() -> ExitCode {
             a if a.starts_with("--interval-us=") => {
                 flags.interval_us = a["--interval-us=".len()..].parse().ok();
             }
+            a if a.starts_with("--flight=") => {
+                flags.flight = Some(a["--flight=".len()..].to_owned());
+            }
+            a if a.starts_with("--tolerance-pct=") => {
+                flags.tolerance_pct = a["--tolerance-pct=".len()..].parse().ok();
+            }
+            a if a.starts_with("--only=") => {
+                flags.only.push(a["--only=".len()..].to_owned());
+            }
             // Unknown flags are ignored, matching the old behaviour.
             a if a.starts_with("--") => {}
             a => positional.push(a),
         }
+    }
+    // `bench-diff` compares two JSON documents — no policy script involved.
+    if let ["bench-diff", new_path, base_path] = positional.as_slice() {
+        return bench_diff(new_path, base_path, &flags);
     }
     let (cmd, path) = match positional.as_slice() {
         [cmd, path] => (*cmd, *path),
@@ -130,7 +175,7 @@ fn main() -> ExitCode {
     };
 
     match cmd {
-        "check" => check(&policy),
+        "check" => check(&policy, &flags),
         "show" => match policy.compile(TreeParams::default()) {
             Ok((tree, _, _)) => {
                 print!("{}", tree.render());
@@ -146,6 +191,8 @@ fn main() -> ExitCode {
         "trace" => trace(&policy, &flags),
         "timeseries" => timeseries(&policy, &flags),
         "chaos" => chaos(&policy, &flags),
+        "profile" => profile(&policy, &flags),
+        "top" => top(&policy),
         _ => usage(),
     }
 }
@@ -156,6 +203,8 @@ struct RunOptions {
     ring_capacity: usize,
     /// Attach a virtual-time sampler with this configuration.
     sampler: Option<SamplerConfig>,
+    /// Attach the attribution probes (cycle + latency).
+    probe: bool,
 }
 
 impl Default for RunOptions {
@@ -163,8 +212,17 @@ impl Default for RunOptions {
         RunOptions {
             ring_capacity: 1024,
             sampler: None,
+            probe: false,
         }
     }
+}
+
+/// The attribution probes attached to a run when `RunOptions::probe` is
+/// set: the cycle-attribution array shared with the NIC's cost meter and
+/// the latency sink installed on the registry's span path.
+struct ProbeHandles {
+    attr: Arc<CycleAttr>,
+    latency: Arc<LatencyAttr>,
 }
 
 /// Everything a reporting command needs after the saturation run.
@@ -176,6 +234,11 @@ struct DemoRun {
     registry: Registry,
     sampler: Option<TimeSampler>,
     horizon: Nanos,
+    probe: Option<ProbeHandles>,
+    /// Per-lock contention rows, collected on every run (cheap).
+    lock_profile: Vec<PerLockStats>,
+    /// `stable_hash` → flow key, so profile output can name flows.
+    flow_names: Vec<(u64, FlowKey)>,
 }
 
 /// Saturates every filtered class with an equal share of 1.5x line rate
@@ -188,11 +251,21 @@ fn run_workload(policy: &Policy, opts: RunOptions) -> Result<DemoRun, String> {
     let tree = pipeline.tree().clone();
     let line = cfg.line_rate;
     let framing = cfg.framing;
+    let num_mes = cfg.num_mes;
     let registry = Registry::with_ring_capacity(opts.ring_capacity);
     let mut nic = SmartNic::with_registry(cfg, Box::new(pipeline), &registry);
     if let Some(p) = nic.decider_as::<FlowValvePipeline>() {
         p.attach_telemetry(&registry);
     }
+    let probe = if opts.probe {
+        let attr = Arc::new(CycleAttr::new(num_mes));
+        nic.attach_probe(attr.clone());
+        let latency = Arc::new(LatencyAttr::new());
+        registry.install_span_sink(latency.clone());
+        Some(ProbeHandles { attr, latency })
+    } else {
+        None
+    };
     let mut sampler = opts.sampler.map(|cfg| TimeSampler::new(&registry, cfg));
 
     // One flow per filter, matched as precisely as the filter allows.
@@ -252,6 +325,8 @@ fn run_workload(policy: &Policy, opts: RunOptions) -> Result<DemoRun, String> {
     if let Some(p) = nic.decider_as::<FlowValvePipeline>() {
         p.sync_gauges(horizon);
     }
+    let lock_profile = nic.per_lock_stats().to_vec();
+    let flow_names = flows.iter().map(|(f, _)| (f.stable_hash(), *f)).collect();
     Ok(DemoRun {
         snapshot: registry.snapshot(horizon),
         tree,
@@ -260,6 +335,9 @@ fn run_workload(policy: &Policy, opts: RunOptions) -> Result<DemoRun, String> {
         registry,
         sampler,
         horizon,
+        probe,
+        lock_profile,
+        flow_names,
     })
 }
 
@@ -396,6 +474,23 @@ fn stats(policy: &Policy, json: bool) -> ExitCode {
             snap.counter(&format!("{base}.lent")),
         );
     }
+    let locks = rank_locks(&run.lock_profile);
+    if !locks.is_empty() {
+        println!("locks (ranked by wait):");
+        for l in &locks {
+            println!(
+                " lock {}: acquires {} contended {} try-fail {} \
+                 wait {} ns hold {} ns contention {}/1000",
+                l.id.0,
+                l.stats.acquires,
+                l.stats.contended,
+                l.stats.try_failed,
+                l.stats.wait_total.as_nanos(),
+                l.stats.hold_total.as_nanos(),
+                l.contention_permille(),
+            );
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -500,8 +595,10 @@ fn conformance_slos(tree: &SchedulingTree) -> (Vec<Slo>, Vec<String>) {
 
 /// Validates the policy, then runs the saturation demo with the sampler
 /// attached and evaluates the derived rate-conformance SLOs over the
-/// steady-state second half of the run.
-fn check(policy: &Policy) -> ExitCode {
+/// steady-state second half of the run. With `--flight FILE`, an SLO
+/// violation additionally dumps a flight-recorder document (attribution
+/// profile plus the trace-ring tail) for post-mortem analysis.
+fn check(policy: &Policy, flags: &Flags) -> ExitCode {
     let tree = match policy.compile(TreeParams::default()) {
         Ok((tree, rules, default)) => {
             println!(
@@ -533,6 +630,7 @@ fn check(policy: &Policy) -> ExitCode {
     }
     let opts = RunOptions {
         sampler: Some(SamplerConfig::default().with_prefix("fv.class.")),
+        probe: flags.flight.is_some(),
         ..RunOptions::default()
     };
     let run = match run_workload(policy, opts) {
@@ -547,11 +645,29 @@ fn check(policy: &Policy) -> ExitCode {
     let window = (Nanos::from_nanos(run.horizon.as_nanos() / 2), run.horizon);
     let report = evaluate(&slos, sampler, &run.snapshot, window);
     print!("{}", report.render());
-    if report.passed() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
+    if !report.passed() {
+        if let (Some(path), Some(p)) = (&flags.flight, &run.probe) {
+            let probe = ProbeReport::build(
+                &p.attr,
+                &run.lock_profile,
+                &p.latency,
+                &run.snapshot,
+                run.horizon,
+            );
+            let ring = run.registry.ring();
+            let events = ring.recent(ring.capacity());
+            let doc = flight_doc("slo:conformance", run.horizon, &probe, &events);
+            match std::fs::write(path, doc.to_pretty()) {
+                Ok(()) => println!(
+                    "wrote flight recorder {path} ({} trace events)",
+                    events.len()
+                ),
+                Err(e) => eprintln!("fv: cannot write {path}: {e}"),
+            }
+        }
+        return ExitCode::FAILURE;
     }
+    ExitCode::SUCCESS
 }
 
 /// Runs the demo with a deep event ring and exports the span trace as a
@@ -615,7 +731,20 @@ fn chaos(policy: &Policy, flags: &Flags) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let report = match fv_chaos::run_chaos(policy, &plan) {
+    // `--flight` attaches the attribution probes so the dump can say what
+    // the pipeline was doing across the fault windows.
+    let probes = flags.flight.as_ref().map(|_| ProbeHandles {
+        attr: Arc::new(CycleAttr::new(NicConfig::agilio_cx_40g().num_mes)),
+        latency: Arc::new(LatencyAttr::new()),
+    });
+    let report = match fv_chaos::run_chaos_probed(
+        policy,
+        &plan,
+        probes.as_ref().map(|p| p.attr.clone()),
+        probes
+            .as_ref()
+            .map(|p| p.latency.clone() as Arc<dyn fv_telemetry::SpanSink>),
+    ) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("fv: {e}");
@@ -626,6 +755,24 @@ fn chaos(policy: &Policy, flags: &Flags) -> ExitCode {
         println!("{}", report.to_json().to_pretty());
     } else {
         print!("{}", report.render());
+    }
+    if let (Some(path), Some(p)) = (&flags.flight, &probes) {
+        let probe = ProbeReport::build(
+            &p.attr,
+            &report.per_lock,
+            &p.latency,
+            &report.snapshot,
+            report.horizon,
+        );
+        let trigger = format!("chaos:{} fault windows", report.plan.faults.len());
+        let doc = flight_doc(&trigger, report.horizon, &probe, &report.snapshot.events);
+        match std::fs::write(path, doc.to_pretty()) {
+            Ok(()) => println!(
+                "wrote flight recorder {path} ({} trace events)",
+                report.snapshot.events.len()
+            ),
+            Err(e) => eprintln!("fv: cannot write {path}: {e}"),
+        }
     }
     if report.passed() {
         ExitCode::SUCCESS
@@ -674,4 +821,153 @@ fn timeseries(policy: &Policy, flags: &Flags) -> ExitCode {
         None => print!("{text}"),
     }
     ExitCode::SUCCESS
+}
+
+/// Runs the demo with the attribution probes attached and prints the
+/// cycle/contention/latency profile. `--folded` emits flamegraph folded
+/// stacks (pipe into `inferno-flamegraph`); `--json` the full document.
+/// Attribution is deterministic: the same script yields byte-identical
+/// output on every run.
+fn profile(policy: &Policy, flags: &Flags) -> ExitCode {
+    let opts = RunOptions {
+        probe: true,
+        ..RunOptions::default()
+    };
+    let run = match run_workload(policy, opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fv: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let p = run.probe.as_ref().expect("profile attaches probes");
+    let report = ProbeReport::build(
+        &p.attr,
+        &run.lock_profile,
+        &p.latency,
+        &run.snapshot,
+        run.horizon,
+    );
+    let text = if flags.folded {
+        report.folded()
+    } else if flags.json {
+        let mut s = report.to_json().to_pretty();
+        s.push('\n');
+        s
+    } else {
+        report.render()
+    };
+    match &flags.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("fv: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// Runs the profiled demo and prints the heavy hitters: the flows that
+/// moved the most wire bits (named via the demo's flow table) and the
+/// most contended locks.
+fn top(policy: &Policy) -> ExitCode {
+    let opts = RunOptions {
+        probe: true,
+        ..RunOptions::default()
+    };
+    let run = match run_workload(policy, opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fv: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let p = run.probe.as_ref().expect("top attaches probes");
+    let report = ProbeReport::build(
+        &p.attr,
+        &run.lock_profile,
+        &p.latency,
+        &run.snapshot,
+        run.horizon,
+    );
+    println!(
+        "top: {} spans attributed across {} classes\n",
+        p.latency.span_count(),
+        report.classes.len()
+    );
+    println!(
+        "{:<5} {:<10} {:>16} {:>8} {:>10}  flow",
+        "rank", "class", "wire_bits", "pkts", "err_bits"
+    );
+    for (i, f) in report.top_flows.iter().enumerate() {
+        let class = if f.class == UNATTRIBUTED {
+            "unlabeled".to_string()
+        } else {
+            format!("1:{}", f.class)
+        };
+        let name = run
+            .flow_names
+            .iter()
+            .find(|(h, _)| *h == f.flow_hash)
+            .map(|(_, k)| k.to_string())
+            .unwrap_or_else(|| format!("{:016x}", f.flow_hash));
+        println!(
+            "{:<5} {:<10} {:>16} {:>8} {:>10}  {name}",
+            i + 1,
+            class,
+            f.wire_bits,
+            f.packets,
+            f.err_bits
+        );
+    }
+    if !report.locks.is_empty() {
+        println!("\ntop contended locks:");
+        for l in report.locks.iter().take(5) {
+            println!(
+                " lock {}: wait {} ns hold {} ns contention {}/1000",
+                l.id.0,
+                l.stats.wait_total.as_nanos(),
+                l.stats.hold_total.as_nanos(),
+                l.contention_permille(),
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Compares two `BENCH_*.json` documents and fails when any shared bench
+/// regressed past the tolerance (default 10%) or a baseline entry is
+/// missing from the fresh run — CI's perf-regression gate.
+fn bench_diff(new_path: &str, base_path: &str, flags: &Flags) -> ExitCode {
+    let read_doc = |path: &str| -> Result<JsonValue, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        JsonValue::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (new_doc, base_doc) = match (read_doc(new_path), read_doc(base_path)) {
+        (Ok(n), Ok(b)) => (n, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("fv: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let tolerance = flags.tolerance_pct.unwrap_or(10.0);
+    let report = match diff_docs(&new_doc, &base_doc, tolerance, &flags.only) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fv: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if flags.json {
+        println!("{}", report.to_json().to_pretty());
+    } else {
+        print!("{}", report.render());
+    }
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

@@ -22,6 +22,11 @@ fn write_script(content: &str) -> tempfile::Scripted {
 /// A minimal self-cleaning temp file (no external crate).
 mod tempfile {
     use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Distinguishes multiple `Scripted` files alive in one test (pid and
+    /// thread id alone would collide).
+    static SEQ: AtomicU64 = AtomicU64::new(0);
 
     pub struct Scripted {
         pub path: PathBuf,
@@ -30,9 +35,10 @@ mod tempfile {
     impl Scripted {
         pub fn new(content: &str) -> Self {
             let path = std::env::temp_dir().join(format!(
-                "fv-cli-test-{}-{:?}.fv",
+                "fv-cli-test-{}-{:?}-{}.fv",
                 std::process::id(),
-                std::thread::current().id()
+                std::thread::current().id(),
+                SEQ.fetch_add(1, Ordering::Relaxed)
             ));
             std::fs::write(&path, content).expect("temp file writes");
             Scripted { path }
@@ -417,6 +423,262 @@ fn demo_json_schema_matches_golden() {
     key_paths(&doc, "", &mut paths);
     let schema: String = paths.into_iter().map(|p| p + "\n").collect();
     assert_matches_golden("demo_json_schema.txt", &schema);
+}
+
+// ---- fv profile / fv top ---------------------------------------------
+
+#[test]
+fn profile_folded_is_deterministic_and_covers_phases() {
+    let f = write_script(GOOD);
+    let run = || {
+        let out = fv()
+            .args(["profile", "--folded"])
+            .arg(&f.path)
+            .output()
+            .expect("fv runs");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(
+        first, second,
+        "folded profile must be byte-identical for the same seed"
+    );
+    let text = String::from_utf8_lossy(&first);
+    for phase in [";parse;", ";classify;", ";sched;", ";tx_enqueue;"] {
+        assert!(text.contains(phase), "missing {phase} in:\n{text}");
+    }
+    // Every line is a `frames count` pair rooted at the NIC.
+    for line in text.lines() {
+        let (stack, count) = line.rsplit_once(' ').expect("stack/count pair");
+        assert!(stack.starts_with("nic;"), "bad frame root: {line}");
+        count.parse::<u64>().expect("numeric sample count");
+    }
+}
+
+#[test]
+fn profile_json_reports_attribution() {
+    use fv_telemetry::json::JsonValue;
+
+    let f = write_script(GOOD);
+    let out = fv()
+        .args(["profile", "--json"])
+        .arg(&f.path)
+        .output()
+        .expect("fv runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = JsonValue::parse(&String::from_utf8_lossy(&out.stdout)).expect("profile json");
+    let cycles = doc.get("cycles").expect("cycles section");
+    assert!(cycles.get("total").and_then(JsonValue::as_u64).unwrap() > 0);
+    let by_phase = cycles.get("by_phase").expect("by_phase");
+    for phase in ["parse", "classify", "sched", "tx_enqueue"] {
+        assert!(
+            by_phase.get(phase).and_then(JsonValue::as_u64).unwrap() > 0,
+            "phase {phase} has no cycles"
+        );
+    }
+    let spans = doc.get("span_samples").expect("span_samples");
+    for stage in ["ingress", "classify", "sched", "tm_queue", "wire"] {
+        assert!(
+            spans.get(stage).and_then(JsonValue::as_u64).unwrap() > 0,
+            "stage {stage} has no span samples"
+        );
+    }
+    assert!(!doc.get("latency").unwrap().as_arr().unwrap().is_empty());
+    assert!(!doc.get("top_flows").unwrap().as_arr().unwrap().is_empty());
+    assert!(!doc.get("waterlines").unwrap().as_arr().unwrap().is_empty());
+}
+
+#[test]
+fn top_lists_heavy_flows_and_locks() {
+    let f = write_script(GOOD);
+    let out = fv().args(["top"]).arg(&f.path).output().expect("fv runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("wire_bits"), "stdout: {stdout}");
+    // Flows are named via the demo flow table, not just hashed.
+    assert!(stdout.contains(" -> "), "stdout: {stdout}");
+    assert!(stdout.contains("top contended locks"), "stdout: {stdout}");
+}
+
+// ---- fv bench-diff ----------------------------------------------------
+
+#[test]
+fn bench_diff_flags_regressions_and_respects_tolerance() {
+    let base =
+        write_script(r#"{"sched_function/a": {"ns_per_iter": 100.0}, "_meta": {"tag": "x"}}"#);
+    let fresh = write_script(r#"{"sched_function/a": {"ns_per_iter": 120.0}}"#);
+    let out = fv()
+        .args(["bench-diff"])
+        .arg(&fresh.path)
+        .arg(&base.path)
+        .output()
+        .expect("fv runs");
+    assert!(!out.status.success(), "20% past a 10% tolerance must fail");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSED"), "stdout: {stdout}");
+    assert!(stdout.contains("FAIL"), "stdout: {stdout}");
+
+    let out = fv()
+        .args(["bench-diff"])
+        .arg(&fresh.path)
+        .arg(&base.path)
+        .args(["--tolerance-pct", "25"])
+        .output()
+        .expect("fv runs");
+    assert!(
+        out.status.success(),
+        "20% within a 25% tolerance must pass: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("PASS"));
+}
+
+#[test]
+fn bench_diff_fails_when_baseline_entry_is_missing() {
+    let base = write_script(r#"{"a": {"ns_per_iter": 10.0}, "b": {"ns_per_iter": 10.0}}"#);
+    let fresh = write_script(r#"{"a": {"ns_per_iter": 10.0}}"#);
+    let out = fv()
+        .args(["bench-diff"])
+        .arg(&fresh.path)
+        .arg(&base.path)
+        .output()
+        .expect("fv runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("MISSING"));
+}
+
+// ---- flight recorder --------------------------------------------------
+
+const CHAOS_PLAN: &str = "\
+chaos seed 7
+chaos fault wire_flap at 2ms for 1ms permille 500
+";
+
+#[test]
+fn check_flight_dumps_profile_on_slo_violation() {
+    use fv_telemetry::json::JsonValue;
+
+    let f = write_script(OVERSUBSCRIBED);
+    let flight =
+        std::env::temp_dir().join(format!("fv-cli-flight-check-{}.json", std::process::id()));
+    let out = fv()
+        .args(["check"])
+        .arg(&f.path)
+        .arg("--flight")
+        .arg(&flight)
+        .output()
+        .expect("fv runs");
+    assert!(!out.status.success(), "oversubscribed tree must fail check");
+    let text = std::fs::read_to_string(&flight).expect("flight recorder written");
+    let _ = std::fs::remove_file(&flight);
+    let doc = JsonValue::parse(&text).expect("flight doc parses");
+    assert_eq!(
+        doc.get("trigger").and_then(|t| t.as_str()),
+        Some("slo:conformance")
+    );
+    let profile = doc.get("profile").expect("profile embedded");
+    assert!(
+        profile
+            .get("cycles")
+            .and_then(|c| c.get("total"))
+            .and_then(JsonValue::as_u64)
+            .unwrap()
+            > 0
+    );
+    assert!(!doc.get("trace").unwrap().as_arr().unwrap().is_empty());
+}
+
+#[test]
+fn chaos_flight_writes_profile_dump() {
+    use fv_telemetry::json::JsonValue;
+
+    let f = write_script(GOOD);
+    let plan = write_script(CHAOS_PLAN);
+    let flight =
+        std::env::temp_dir().join(format!("fv-cli-flight-chaos-{}.json", std::process::id()));
+    let out = fv()
+        .args(["chaos"])
+        .arg(&f.path)
+        .arg("--plan")
+        .arg(&plan.path)
+        .arg("--flight")
+        .arg(&flight)
+        .output()
+        .expect("fv runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}\nstdout: {}",
+        String::from_utf8_lossy(&out.stderr),
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = std::fs::read_to_string(&flight).expect("flight recorder written");
+    let _ = std::fs::remove_file(&flight);
+    let doc = JsonValue::parse(&text).expect("flight doc parses");
+    assert_eq!(
+        doc.get("trigger").and_then(|t| t.as_str()),
+        Some("chaos:1 fault windows")
+    );
+    assert!(
+        doc.get("profile")
+            .and_then(|p| p.get("cycles"))
+            .and_then(|c| c.get("total"))
+            .and_then(JsonValue::as_u64)
+            .unwrap()
+            > 0
+    );
+}
+
+#[test]
+fn chaos_json_schema_matches_golden() {
+    use fv_telemetry::json::JsonValue;
+
+    let f = write_script(GOOD);
+    let plan = write_script(CHAOS_PLAN);
+    let out = fv()
+        .args(["chaos", "--json"])
+        .arg(&f.path)
+        .arg("--plan")
+        .arg(&plan.path)
+        .output()
+        .expect("fv runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = JsonValue::parse(&String::from_utf8_lossy(&out.stdout)).expect("chaos json");
+    let mut paths = std::collections::BTreeSet::new();
+    key_paths(&doc, "", &mut paths);
+    let schema: String = paths.into_iter().map(|p| p + "\n").collect();
+    assert_matches_golden("chaos_json_schema.txt", &schema);
+}
+
+#[test]
+fn stats_reports_per_lock_contention() {
+    let f = write_script(GOOD);
+    let out = fv().args(["stats"]).arg(&f.path).output().expect("fv runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("locks (ranked by wait):"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("acquires"), "stdout: {stdout}");
+    assert!(stdout.contains("contention"), "stdout: {stdout}");
 }
 
 #[test]

@@ -7,6 +7,9 @@
 //! same scheduling code can be re-costed under different hardware
 //! assumptions.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use sim_core::time::Cycles;
 
 use crate::config::CycleCosts;
@@ -32,6 +35,212 @@ pub enum Op {
     ForwardBase,
 }
 
+impl Op {
+    /// Every operation, in [`Op::index`] order.
+    pub const ALL: [Op; 8] = [
+        Op::Parse,
+        Op::ClassifyHit,
+        Op::ClassifyMiss,
+        Op::AtomicOp,
+        Op::ClassUpdate,
+        Op::LockOp,
+        Op::TxEnqueue,
+        Op::ForwardBase,
+    ];
+
+    /// Stable lowercase name (the leaf frame in folded profile stacks).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Parse => "parse",
+            Op::ClassifyHit => "classify_hit",
+            Op::ClassifyMiss => "classify_miss",
+            Op::AtomicOp => "atomic_op",
+            Op::ClassUpdate => "class_update",
+            Op::LockOp => "lock_op",
+            Op::TxEnqueue => "tx_enqueue",
+            Op::ForwardBase => "forward_base",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Op::Parse => 0,
+            Op::ClassifyHit => 1,
+            Op::ClassifyMiss => 2,
+            Op::AtomicOp => 3,
+            Op::ClassUpdate => 4,
+            Op::LockOp => 5,
+            Op::TxEnqueue => 6,
+            Op::ForwardBase => 7,
+        }
+    }
+}
+
+/// The pipeline phase a charge is attributed to — the middle frame of the
+/// `nic;me<worker>;<phase>;<op>` profile stacks. Set on the meter by the
+/// component that owns the phase (the NIC for parse/fault/tx-enqueue, the
+/// egress decider for classify/sched) and sticky until the next set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrStage {
+    /// Header parse + base forwarding work.
+    Parse = 0,
+    /// The labeling function (flow classification).
+    Classify = 1,
+    /// The scheduling function (token grabs, guarded updates, locks).
+    Sched = 2,
+    /// Traffic-manager enqueue descriptor work.
+    TxEnqueue = 3,
+    /// Extra cycles charged by an injected fault (cpu_burn windows).
+    Fault = 4,
+    /// Anything charged outside an attributed phase.
+    Other = 5,
+}
+
+/// All attribution phases, in discriminant order.
+pub const ATTR_STAGES: [AttrStage; 6] = [
+    AttrStage::Parse,
+    AttrStage::Classify,
+    AttrStage::Sched,
+    AttrStage::TxEnqueue,
+    AttrStage::Fault,
+    AttrStage::Other,
+];
+
+impl AttrStage {
+    /// Stable lowercase name (the phase frame in folded stacks).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttrStage::Parse => "parse",
+            AttrStage::Classify => "classify",
+            AttrStage::Sched => "sched",
+            AttrStage::TxEnqueue => "tx_enqueue",
+            AttrStage::Fault => "fault",
+            AttrStage::Other => "other",
+        }
+    }
+}
+
+/// Raw `charge_cycles` amounts have no [`Op`]; they get this extra slot.
+const RAW_OP: usize = Op::ALL.len();
+const OP_SLOTS: usize = RAW_OP + 1;
+
+/// One non-zero cell of a [`CycleAttr`] profile: the cycles (and charge
+/// count) one worker spent in one `(phase, op)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttrCell {
+    /// Micro-engine index.
+    pub worker: usize,
+    /// Pipeline phase.
+    pub stage: AttrStage,
+    /// The charged operation, or `None` for raw `charge_cycles` amounts.
+    pub op: Option<Op>,
+    /// Total cycles charged into this cell.
+    pub cycles: u64,
+    /// Number of charge operations folded into this cell.
+    pub count: u64,
+}
+
+impl AttrCell {
+    /// The leaf frame name: the op's name, or `"raw"` for untyped charges.
+    pub fn op_name(&self) -> &'static str {
+        self.op.map(|o| o.name()).unwrap_or("raw")
+    }
+}
+
+/// A stage × op × worker cycle-attribution array: the weighted call tree
+/// behind `fv profile`.
+///
+/// Attached to a [`CostMeter`] ([`CostMeter::attach_attr`]), every charge
+/// folds into the cell addressed by the meter's current attribution
+/// context. Cells are relaxed atomics so the array can be shared
+/// (`Arc`) between the simulator and the reporting side; under the
+/// single-threaded discrete-event simulation the folding order is
+/// deterministic, so the same seed yields a byte-identical profile.
+pub struct CycleAttr {
+    workers: usize,
+    cycles: Vec<AtomicU64>,
+    counts: Vec<AtomicU64>,
+}
+
+impl CycleAttr {
+    /// Creates an attribution array for `workers` micro-engines (plus one
+    /// overflow row for charges with no worker context).
+    pub fn new(workers: usize) -> Self {
+        let slots = ATTR_STAGES.len() * OP_SLOTS * (workers + 1);
+        CycleAttr {
+            workers,
+            cycles: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+            counts: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of worker rows (excluding the overflow row).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn slot(&self, stage: usize, op: usize, worker: usize) -> usize {
+        let w = worker.min(self.workers);
+        (w * ATTR_STAGES.len() + stage) * OP_SLOTS + op
+    }
+
+    fn record(&self, stage: usize, op: usize, worker: usize, cycles: u64, n: u64) {
+        let i = self.slot(stage, op, worker);
+        self.cycles[i].fetch_add(cycles, Ordering::Relaxed);
+        self.counts[i].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total cycles attributed across all cells.
+    pub fn total_cycles(&self) -> u64 {
+        self.cycles.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Every non-zero cell, ordered by `(worker, stage, op)` — a
+    /// deterministic order so exports are byte-stable.
+    pub fn cells(&self) -> Vec<AttrCell> {
+        let mut out = Vec::new();
+        for worker in 0..=self.workers {
+            for (si, stage) in ATTR_STAGES.iter().enumerate() {
+                for op in 0..OP_SLOTS {
+                    let i = (worker * ATTR_STAGES.len() + si) * OP_SLOTS + op;
+                    let cycles = self.cycles[i].load(Ordering::Relaxed);
+                    let count = self.counts[i].load(Ordering::Relaxed);
+                    if cycles == 0 && count == 0 {
+                        continue;
+                    }
+                    out.push(AttrCell {
+                        worker,
+                        stage: *stage,
+                        op: Op::ALL.get(op).copied(),
+                        cycles,
+                        count,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Clears every cell.
+    pub fn reset(&self) {
+        for c in &self.cycles {
+            c.store(0, Ordering::Relaxed);
+        }
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl core::fmt::Debug for CycleAttr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("CycleAttr")
+            .field("workers", &self.workers)
+            .field("total_cycles", &self.total_cycles())
+            .finish_non_exhaustive()
+    }
+}
+
 /// Accumulates instruction cycles charged while processing one packet.
 ///
 /// # Example
@@ -50,6 +259,9 @@ pub struct CostMeter {
     costs: CycleCosts,
     total: Cycles,
     ops: u64,
+    attr: Option<Arc<CycleAttr>>,
+    stage: u8,
+    worker: u8,
 }
 
 impl CostMeter {
@@ -59,7 +271,30 @@ impl CostMeter {
             costs,
             total: Cycles::ZERO,
             ops: 0,
+            attr: None,
+            stage: AttrStage::Other as u8,
+            worker: u8::MAX,
         }
+    }
+
+    /// Attaches a shared attribution array; subsequent charges fold into
+    /// it under the current `(stage, worker)` context.
+    pub fn attach_attr(&mut self, attr: Arc<CycleAttr>) {
+        self.attr = Some(attr);
+    }
+
+    /// Sets the pipeline phase subsequent charges are attributed to.
+    /// A plain byte store — free enough to call per packet even when no
+    /// attribution array is attached.
+    #[inline]
+    pub fn set_stage(&mut self, stage: AttrStage) {
+        self.stage = stage as u8;
+    }
+
+    /// Sets the micro-engine subsequent charges are attributed to.
+    #[inline]
+    pub fn set_worker(&mut self, worker: usize) {
+        self.worker = worker.min(u8::MAX as usize) as u8;
     }
 
     fn cost_of(&self, op: Op) -> u64 {
@@ -82,8 +317,18 @@ impl CostMeter {
 
     /// Charges `n` repetitions of an operation.
     pub fn charge_n(&mut self, op: Op, n: u64) {
-        self.total += Cycles::new(self.cost_of(op) * n);
+        let cycles = self.cost_of(op) * n;
+        self.total += Cycles::new(cycles);
         self.ops += n;
+        if let Some(attr) = &self.attr {
+            attr.record(
+                self.stage as usize,
+                op.index(),
+                self.worker as usize,
+                cycles,
+                n,
+            );
+        }
     }
 
     /// Charges a raw cycle amount (for costs not in the table).
@@ -91,6 +336,15 @@ impl CostMeter {
         self.total += c;
         if c > Cycles::ZERO {
             self.ops += 1;
+            if let Some(attr) = &self.attr {
+                attr.record(
+                    self.stage as usize,
+                    RAW_OP,
+                    self.worker as usize,
+                    c.get(),
+                    1,
+                );
+            }
         }
     }
 
@@ -148,6 +402,49 @@ mod tests {
         let mut m = CostMeter::new(CycleCosts::agilio());
         m.charge_cycles(Cycles::ZERO);
         assert_eq!(m.op_count(), 0);
+    }
+
+    #[test]
+    fn attached_attr_folds_charges_by_stage_op_worker() {
+        let attr = Arc::new(CycleAttr::new(4));
+        let mut m = CostMeter::new(CycleCosts::agilio());
+        m.attach_attr(Arc::clone(&attr));
+        m.set_worker(2);
+        m.set_stage(AttrStage::Parse);
+        m.charge(Op::Parse);
+        m.set_stage(AttrStage::Sched);
+        m.charge_n(Op::AtomicOp, 3);
+        m.charge_cycles(Cycles::new(50));
+
+        let c = CycleCosts::agilio();
+        assert_eq!(attr.total_cycles(), c.parse + 3 * c.atomic_op + 50);
+        let cells = attr.cells();
+        assert_eq!(cells.len(), 3);
+        // Deterministic (worker, stage, op) order.
+        assert_eq!(cells[0].stage, AttrStage::Parse);
+        assert_eq!(cells[0].op, Some(Op::Parse));
+        assert_eq!(cells[0].worker, 2);
+        assert_eq!(cells[1].op, Some(Op::AtomicOp));
+        assert_eq!(cells[1].count, 3);
+        assert_eq!(cells[2].op, None);
+        assert_eq!(cells[2].op_name(), "raw");
+        assert_eq!(cells[2].cycles, 50);
+
+        attr.reset();
+        assert_eq!(attr.total_cycles(), 0);
+        assert!(attr.cells().is_empty());
+    }
+
+    #[test]
+    fn charges_without_worker_context_land_in_overflow_row() {
+        let attr = Arc::new(CycleAttr::new(2));
+        let mut m = CostMeter::new(CycleCosts::agilio());
+        m.attach_attr(Arc::clone(&attr));
+        m.charge(Op::ForwardBase);
+        let cells = attr.cells();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].worker, 2); // overflow row index == workers()
+        assert_eq!(cells[0].stage, AttrStage::Other);
     }
 
     #[test]

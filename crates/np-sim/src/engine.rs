@@ -182,6 +182,12 @@ impl WorkerPool {
         self.dispatched -= 1;
     }
 
+    /// The micro-engine index of the in-flight dispatch, if any — the
+    /// worker axis for cycle attribution.
+    pub fn pending_engine(&self) -> Option<usize> {
+        self.pending.map(|(_, engine)| engine)
+    }
+
     /// Packets dropped at ingress because no worker freed up in time.
     pub fn rx_drops(&self) -> u64 {
         self.rx_drops

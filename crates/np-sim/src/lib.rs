@@ -42,9 +42,9 @@ pub mod tm;
 pub mod tm_multi;
 
 pub use config::{CycleCosts, NicConfig};
-pub use cost::{CostMeter, Op};
+pub use cost::{AttrCell, AttrStage, CostMeter, CycleAttr, Op, ATTR_STAGES};
 pub use fault::{FaultInjector, TmFault};
-pub use lock::{LockId, LockTable};
+pub use lock::{LockId, LockTable, PerLockStats};
 pub use nic::{Decision, EgressDecider, NicStats, PassthroughDecider, RxOutcome, SmartNic};
 pub use tm::{TmDrop, TxFifo};
 pub use tm_multi::{HwQueueConfig, MultiQueueTm};

@@ -38,6 +38,22 @@ pub struct LockStats {
     pub wait_total: Nanos,
 }
 
+/// Per-lock attribution row: everything the contention profiler needs to
+/// rank locks by wait and hold pressure (`fv profile` / `fv top`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerLockStats {
+    /// Successful acquisitions (try or blocking).
+    pub acquires: u64,
+    /// Failed `try_acquire` calls (lock was held).
+    pub try_failed: u64,
+    /// Blocking acquires that had to wait.
+    pub contended: u64,
+    /// Total simulated time spent waiting in blocking acquires.
+    pub wait_total: Nanos,
+    /// Total simulated time the lock was held (critical-section time).
+    pub hold_total: Nanos,
+}
+
 /// A table of simulated locks.
 ///
 /// # Example
@@ -71,6 +87,7 @@ struct LockTelemetry {
 pub struct LockTable {
     free_at: Vec<Nanos>,
     stats: LockStats,
+    per_lock: Vec<PerLockStats>,
     telemetry: Option<LockTelemetry>,
     injector: Option<Arc<dyn FaultInjector>>,
 }
@@ -81,6 +98,7 @@ impl LockTable {
         LockTable {
             free_at: vec![Nanos::ZERO; n],
             stats: LockStats::default(),
+            per_lock: vec![PerLockStats::default(); n],
             telemetry: None,
             injector: None,
         }
@@ -135,6 +153,7 @@ impl LockTable {
     pub fn ensure(&mut self, n: usize) {
         if self.free_at.len() < n {
             self.free_at.resize(n, Nanos::ZERO);
+            self.per_lock.resize(n, PerLockStats::default());
         }
     }
 
@@ -146,16 +165,20 @@ impl LockTable {
     /// Panics if `lock` is out of range.
     pub fn try_acquire(&mut self, lock: LockId, now: Nanos, hold: Nanos) -> bool {
         let hold = self.effective_hold(now, hold);
+        let per = &mut self.per_lock[lock.0 as usize];
         let f = &mut self.free_at[lock.0 as usize];
         if *f <= now {
             *f = now + hold;
             self.stats.try_acquired += 1;
+            per.acquires += 1;
+            per.hold_total += hold;
             if let Some(t) = &self.telemetry {
                 t.try_acquired.incr(0);
             }
             true
         } else {
             self.stats.try_failed += 1;
+            per.try_failed += 1;
             if let Some(t) = &self.telemetry {
                 t.try_failed.incr(0);
             }
@@ -171,15 +194,20 @@ impl LockTable {
     /// Panics if `lock` is out of range.
     pub fn acquire(&mut self, lock: LockId, now: Nanos, hold: Nanos) -> Nanos {
         let hold = self.effective_hold(now, hold);
+        let per = &mut self.per_lock[lock.0 as usize];
         let f = &mut self.free_at[lock.0 as usize];
         let start = (*f).max(now);
         let wait = start - now;
         if start > now {
             self.stats.contended += 1;
             self.stats.wait_total += wait;
+            per.contended += 1;
+            per.wait_total += wait;
         }
         *f = start + hold;
         self.stats.try_acquired += 1;
+        per.acquires += 1;
+        per.hold_total += hold;
         if let Some(t) = &self.telemetry {
             t.try_acquired.incr(0);
             t.wait_hist.record(wait.as_nanos());
@@ -203,10 +231,16 @@ impl LockTable {
         self.stats
     }
 
+    /// Per-lock attribution rows, indexed by [`LockId`].
+    pub fn per_lock_stats(&self) -> &[PerLockStats] {
+        &self.per_lock
+    }
+
     /// Resets all locks to free and clears statistics.
     pub fn reset(&mut self) {
         self.free_at.fill(Nanos::ZERO);
         self.stats = LockStats::default();
+        self.per_lock.fill(PerLockStats::default());
     }
 }
 
@@ -289,6 +323,40 @@ mod tests {
             .any(|e| e.kind == TraceKind::LockWait && e.a == 0 && e.b == 80));
         // The plain-struct view agrees with the registry view.
         assert_eq!(t.stats().wait_total, Nanos::from_nanos(80));
+    }
+
+    #[test]
+    fn per_lock_rows_attribute_waits_and_holds() {
+        let mut t = LockTable::new(2);
+        // Lock 0: one clean try, one failed try, one contended acquire.
+        assert!(t.try_acquire(LockId(0), Nanos::ZERO, HOLD));
+        assert!(!t.try_acquire(LockId(0), Nanos::from_nanos(10), HOLD));
+        let start = t.acquire(LockId(0), Nanos::from_nanos(20), HOLD);
+        assert_eq!(start, Nanos::from_nanos(100));
+        // Lock 1: one uncontended acquire.
+        t.acquire(LockId(1), Nanos::ZERO, HOLD);
+
+        let rows = t.per_lock_stats();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].acquires, 2);
+        assert_eq!(rows[0].try_failed, 1);
+        assert_eq!(rows[0].contended, 1);
+        assert_eq!(rows[0].wait_total, Nanos::from_nanos(80));
+        assert_eq!(rows[0].hold_total, Nanos::from_nanos(200));
+        assert_eq!(rows[1].acquires, 1);
+        assert_eq!(rows[1].contended, 0);
+        assert_eq!(rows[1].hold_total, HOLD);
+
+        // Aggregate view stays consistent with the per-lock rows.
+        assert_eq!(
+            t.stats().wait_total,
+            rows.iter().map(|r| r.wait_total).sum()
+        );
+
+        t.ensure(4);
+        assert_eq!(t.per_lock_stats().len(), 4);
+        t.reset();
+        assert_eq!(t.per_lock_stats()[0], PerLockStats::default());
     }
 
     #[test]

@@ -17,7 +17,7 @@ use sim_core::time::{Cycles, Nanos};
 use sim_core::units::BitRate;
 
 use crate::config::NicConfig;
-use crate::cost::{CostMeter, Op};
+use crate::cost::{AttrStage, CostMeter, CycleAttr, Op};
 use crate::engine::{Dispatch, WorkerPool};
 use crate::fault::FaultInjector;
 use crate::lock::LockTable;
@@ -304,28 +304,37 @@ impl SmartNic {
             }
             Dispatch::Started { start } => start,
         };
-        // Ingress span: time spent waiting for a free worker. Recorded even
-        // when zero so the span count equals the dispatched-packet count.
-        self.telemetry
-            .spans
-            .record(Stage::Ingress, now, pkt.id, start - now);
 
         self.meter.reset();
+        if let Some(engine) = self.workers.pending_engine() {
+            self.meter.set_worker(engine);
+        }
+        self.meter.set_stage(AttrStage::Parse);
         self.meter.charge(Op::Parse);
         self.meter.charge(Op::ForwardBase);
         if let Some(f) = &self.fault {
             let extra = f.extra_cycles(start);
             if extra > 0 {
+                self.meter.set_stage(AttrStage::Fault);
                 self.meter.charge_cycles(Cycles::new(extra));
             }
         }
+        self.meter.set_stage(AttrStage::Other);
         let decision = self
             .decider
             .decide(pkt, start, &mut self.meter, &mut self.locks);
         if decision == Decision::Forward {
+            self.meter.set_stage(AttrStage::TxEnqueue);
             self.meter.charge(Op::TxEnqueue);
         }
         let done = self.workers.complete(start, self.meter.total());
+        // Ingress span: time spent waiting for a free worker. Recorded even
+        // when zero so the span count equals the dispatched-packet count.
+        // Stamped after the decider ran so an attribution sink has already
+        // seen this packet's classification verdict.
+        self.telemetry
+            .spans
+            .record(Stage::Ingress, now, pkt.id, start - now);
 
         match decision {
             Decision::Drop => {
@@ -402,9 +411,23 @@ impl SmartNic {
         self.fifo.backlog_bytes(t)
     }
 
+    /// Attaches a shared cycle-attribution array to the per-packet cost
+    /// meter: every subsequent charge folds into it under a
+    /// `(phase, op, worker)` context. Size it for `config.num_mes`
+    /// workers (one row per modeled micro-engine).
+    pub fn attach_probe(&mut self, attr: Arc<CycleAttr>) {
+        self.meter.attach_attr(attr);
+    }
+
     /// Lock contention statistics from the decider's lock usage.
     pub fn lock_stats(&self) -> crate::lock::LockStats {
         self.locks.stats()
+    }
+
+    /// Per-lock attribution rows from the decider's lock usage, indexed by
+    /// [`crate::lock::LockId`].
+    pub fn per_lock_stats(&self) -> &[crate::lock::PerLockStats] {
+        self.locks.per_lock_stats()
     }
 
     /// Worker-pool utilization over `[0, horizon]`.

@@ -1,0 +1,238 @@
+//! Bench-result comparator: the perf-regression gate.
+//!
+//! `scripts/bench.sh` serializes every Criterion group into a
+//! `BENCH_<tag>.json` document whose bench entries carry an `ns_per_iter`
+//! field. [`diff_docs`] compares two such documents and flags entries whose
+//! per-iteration time regressed past a tolerance — the check behind
+//! `fv bench-diff` and the opt-in `FV_BENCH_GATE` in `scripts/check.sh`
+//! (acceptance: `sched_function/instrumented_threads` and
+//! `span_stamp/record` within 10% of BENCH_pr4.json).
+
+use fv_telemetry::JsonValue;
+
+/// One compared bench entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDiff {
+    /// Bench key, e.g. `sched_function/instrumented_threads/8`.
+    pub key: String,
+    /// Baseline ns/iter.
+    pub base_ns: f64,
+    /// Fresh-run ns/iter.
+    pub new_ns: f64,
+    /// Relative change in percent (positive = slower).
+    pub delta_pct: f64,
+    /// Whether the slowdown exceeds the tolerance.
+    pub regressed: bool,
+}
+
+/// The outcome of comparing two bench documents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// Compared entries, sorted by key.
+    pub diffs: Vec<BenchDiff>,
+    /// Baseline keys with no counterpart in the fresh run.
+    pub missing: Vec<String>,
+    /// The tolerance the comparison ran with, in percent.
+    pub tolerance_pct: f64,
+}
+
+impl DiffReport {
+    /// Entries that regressed past tolerance.
+    pub fn regressions(&self) -> Vec<&BenchDiff> {
+        self.diffs.iter().filter(|d| d.regressed).collect()
+    }
+
+    /// Whether the gate passes: no regressions and nothing missing.
+    pub fn passed(&self) -> bool {
+        self.regressions().is_empty() && self.missing.is_empty()
+    }
+
+    /// Aligned table, one row per compared bench.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "bench diff (tolerance {:.1}%)\n",
+            self.tolerance_pct
+        ));
+        let width = self.diffs.iter().map(|d| d.key.len()).max().unwrap_or(4);
+        for d in &self.diffs {
+            out.push_str(&format!(
+                "  {:<width$}  {:>10.2} -> {:>10.2} ns/iter  {:>+7.2}%  {}\n",
+                d.key,
+                d.base_ns,
+                d.new_ns,
+                d.delta_pct,
+                if d.regressed { "REGRESSED" } else { "ok" },
+            ));
+        }
+        for m in &self.missing {
+            out.push_str(&format!("  {m:<width$}  MISSING from fresh run\n"));
+        }
+        out.push_str(if self.passed() {
+            "PASS: within tolerance\n"
+        } else {
+            "FAIL: perf regression\n"
+        });
+        out
+    }
+
+    /// Machine-readable form.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("tolerance_pct", JsonValue::Num(self.tolerance_pct)),
+            ("passed", JsonValue::Bool(self.passed())),
+            (
+                "diffs",
+                JsonValue::arr(self.diffs.iter().map(|d| {
+                    JsonValue::obj([
+                        ("key", JsonValue::Str(d.key.clone())),
+                        ("base_ns", JsonValue::Num(d.base_ns)),
+                        ("new_ns", JsonValue::Num(d.new_ns)),
+                        ("delta_pct", JsonValue::Num(d.delta_pct)),
+                        ("regressed", JsonValue::Bool(d.regressed)),
+                    ])
+                })),
+            ),
+            (
+                "missing",
+                JsonValue::arr(self.missing.iter().map(|m| JsonValue::Str(m.clone()))),
+            ),
+        ])
+    }
+}
+
+fn ns_per_iter(doc: &JsonValue, key: &str) -> Option<f64> {
+    doc.get(key)?.get("ns_per_iter")?.as_f64()
+}
+
+/// Compares two `BENCH_*.json` documents.
+///
+/// Bench entries are the top-level object members carrying an
+/// `ns_per_iter` field (underscore-prefixed metadata and figure tables are
+/// ignored). When `only` is non-empty, just the keys starting with one of
+/// its prefixes are compared — the CI gate pins the two acceptance benches
+/// without tripping on noisier groups.
+///
+/// # Errors
+///
+/// Returns a message when either document is not a JSON object or no keys
+/// survive the filter.
+pub fn diff_docs(
+    new: &JsonValue,
+    base: &JsonValue,
+    tolerance_pct: f64,
+    only: &[String],
+) -> Result<DiffReport, String> {
+    let JsonValue::Obj(base_entries) = base else {
+        return Err("baseline is not a JSON object".to_string());
+    };
+    if !matches!(new, JsonValue::Obj(_)) {
+        return Err("fresh run is not a JSON object".to_string());
+    }
+    let mut diffs = Vec::new();
+    let mut missing = Vec::new();
+    for (key, value) in base_entries {
+        if key.starts_with('_') {
+            continue;
+        }
+        let Some(base_ns) = value.get("ns_per_iter").and_then(JsonValue::as_f64) else {
+            continue;
+        };
+        if !only.is_empty() && !only.iter().any(|p| key.starts_with(p.as_str())) {
+            continue;
+        }
+        match ns_per_iter(new, key) {
+            Some(new_ns) if base_ns > 0.0 => {
+                let delta_pct = (new_ns - base_ns) / base_ns * 100.0;
+                diffs.push(BenchDiff {
+                    key: key.clone(),
+                    base_ns,
+                    new_ns,
+                    delta_pct,
+                    regressed: delta_pct > tolerance_pct,
+                });
+            }
+            Some(_) => missing.push(key.clone()),
+            None => missing.push(key.clone()),
+        }
+    }
+    if diffs.is_empty() && missing.is_empty() {
+        return Err("no comparable bench entries (wrong files or over-narrow --only?)".to_string());
+    }
+    diffs.sort_by(|a, b| a.key.cmp(&b.key));
+    missing.sort();
+    Ok(DiffReport {
+        diffs,
+        missing,
+        tolerance_pct,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(pairs: &[(&str, f64)]) -> JsonValue {
+        JsonValue::obj(pairs.iter().map(|(k, v)| {
+            (
+                k.to_string(),
+                JsonValue::obj([("ns_per_iter", JsonValue::Num(*v))]),
+            )
+        }))
+    }
+
+    #[test]
+    fn flags_regressions_past_tolerance() {
+        let base = doc(&[("a/1", 100.0), ("b/1", 100.0), ("c/1", 100.0)]);
+        let new = doc(&[("a/1", 105.0), ("b/1", 125.0), ("c/1", 80.0)]);
+        let report = diff_docs(&new, &base, 10.0, &[]).unwrap();
+        assert_eq!(report.diffs.len(), 3);
+        assert!(!report.passed());
+        let regs = report.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].key, "b/1");
+        assert!((regs[0].delta_pct - 25.0).abs() < 1e-9);
+        assert!(report.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn only_prefix_narrows_the_gate() {
+        let base = doc(&[("a/1", 100.0), ("b/1", 100.0)]);
+        let new = doc(&[("a/1", 101.0), ("b/1", 900.0)]);
+        let report = diff_docs(&new, &base, 10.0, &["a/".to_string()]).unwrap();
+        assert_eq!(report.diffs.len(), 1);
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn missing_entries_fail_the_gate() {
+        let base = doc(&[("a/1", 100.0)]);
+        let new = doc(&[("other", 1.0)]);
+        let report = diff_docs(&new, &base, 10.0, &[]).unwrap();
+        assert!(!report.passed());
+        assert_eq!(report.missing, vec!["a/1".to_string()]);
+    }
+
+    #[test]
+    fn metadata_and_tables_are_ignored() {
+        let mut base = doc(&[("a/1", 100.0)]);
+        if let JsonValue::Obj(o) = &mut base {
+            o.push((
+                "_meta".to_string(),
+                JsonValue::obj([("tag", JsonValue::Str("pr4".into()))]),
+            ));
+            o.push(("fig13".to_string(), JsonValue::arr([])));
+        }
+        let report = diff_docs(&doc(&[("a/1", 100.0)]), &base, 10.0, &[]).unwrap();
+        assert_eq!(report.diffs.len(), 1);
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn rejects_non_objects_and_empty_filters() {
+        assert!(diff_docs(&JsonValue::Null, &JsonValue::Null, 10.0, &[]).is_err());
+        let base = doc(&[("a/1", 100.0)]);
+        let new = doc(&[("a/1", 100.0)]);
+        assert!(diff_docs(&new, &base, 10.0, &["zzz".to_string()]).is_err());
+    }
+}

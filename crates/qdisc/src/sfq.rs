@@ -8,6 +8,10 @@
 //! collisions and no hierarchy or guarantees (which is why the paper's
 //! policies need classful scheduling).
 
+use std::sync::Arc;
+
+use fv_telemetry::metrics::Gauge;
+use fv_telemetry::Registry;
 use netstack::packet::Packet;
 use sim_core::time::Nanos;
 
@@ -63,6 +67,7 @@ pub struct Sfq {
     next_perturb: Nanos,
     enqueued: u64,
     dequeued: u64,
+    backlog_gauge: Option<Arc<Gauge>>,
 }
 
 impl Sfq {
@@ -88,8 +93,15 @@ impl Sfq {
             },
             enqueued: 0,
             dequeued: 0,
+            backlog_gauge: None,
             cfg,
         }
+    }
+
+    /// Mirrors the total backlog into a `sfq.backlog_pkts` gauge; its
+    /// high-water mark is the waterline `fv profile` reports.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.backlog_gauge = Some(registry.gauge("sfq.backlog_pkts"));
     }
 
     fn bucket_of(&self, pkt: &Packet) -> usize {
@@ -118,6 +130,9 @@ impl Sfq {
         let r = self.buckets[b].push(pkt);
         if r.is_ok() {
             self.enqueued += 1;
+            if let Some(g) = &self.backlog_gauge {
+                g.set(self.backlog_pkts() as u64);
+            }
         }
         r
     }
@@ -139,7 +154,11 @@ impl Sfq {
                     self.deficits[i] -= head_len;
                     self.rr_cursor = i;
                     self.dequeued += 1;
-                    return self.buckets[i].pop();
+                    let p = self.buckets[i].pop();
+                    if let Some(g) = &self.backlog_gauge {
+                        g.set(self.backlog_pkts() as u64);
+                    }
+                    return p;
                 }
                 if pass == 0 {
                     self.deficits[i] += self.cfg.quantum as i64;
@@ -253,6 +272,20 @@ mod tests {
         let mut q = Sfq::new(SfqConfig::default());
         assert!(q.dequeue(Nanos::ZERO).is_none());
         assert_eq!(q.dequeued(), 0);
+    }
+
+    #[test]
+    fn backlog_gauge_tracks_waterline() {
+        let reg = Registry::new();
+        let mut q = Sfq::new(SfqConfig::default());
+        q.attach_telemetry(&reg);
+        for i in 0..5 {
+            q.enqueue(pkt(i, (i % 3) as u16 + 1), Nanos::ZERO).unwrap();
+        }
+        while q.dequeue(Nanos::ZERO).is_some() {}
+        let g = reg.gauge("sfq.backlog_pkts");
+        assert_eq!(g.get(), 0);
+        assert_eq!(g.max(), 5);
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //!
 //! Timestamps in the Trace Event Format are **microseconds**; virtual
 //! nanoseconds are emitted as fractional µs to keep full precision.
+//!
+//! The document opens with `"M"` metadata records — a `process_name` for
+//! the NIC and one `thread_name` per lane — so viewers label the lanes
+//! (`ingress`, `classify`, …, `lock_wait`) instead of showing bare tids.
 
 use fv_telemetry::json::JsonValue;
 use fv_telemetry::span::{Stage, STAGES};
@@ -19,6 +23,10 @@ use fv_telemetry::Snapshot;
 
 /// The lane (`tid`) lock-wait events render on: one past the last stage.
 const LOCK_LANE: u64 = STAGES.len() as u64;
+
+/// Leading `"M"` metadata records: one `process_name` plus a
+/// `thread_name` per stage lane and the lock lane.
+pub const METADATA_RECORDS: usize = 1 + STAGES.len() + 1;
 
 fn us(nanos: u64) -> JsonValue {
     JsonValue::Num(nanos as f64 / 1_000.0)
@@ -40,11 +48,41 @@ fn us(nanos: u64) -> JsonValue {
 /// spans.record(Stage::Wire, Nanos::from_nanos(100), 7, Nanos::from_nanos(1_230));
 /// let doc = chrome_trace(&reg.ring().recent(16));
 /// let events = doc.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
-/// assert_eq!(events.len(), 1);
-/// assert_eq!(events[0].get("ph").and_then(|p| p.as_str()), Some("X"));
+/// let spans: Vec<_> = events
+///     .iter()
+///     .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+///     .collect();
+/// assert_eq!(spans.len(), 1);
+/// // Lane-naming metadata precedes the span records.
+/// assert_eq!(events[0].get("ph").and_then(|p| p.as_str()), Some("M"));
 /// ```
 pub fn chrome_trace(events: &[TraceEvent]) -> JsonValue {
-    let mut out = Vec::with_capacity(events.len());
+    let mut out = Vec::with_capacity(events.len() + METADATA_RECORDS);
+    out.push(JsonValue::obj([
+        ("name", JsonValue::Str("process_name".to_owned())),
+        ("ph", JsonValue::Str("M".to_owned())),
+        ("pid", JsonValue::UInt(0)),
+        (
+            "args",
+            JsonValue::obj([("name", JsonValue::Str("flowvalve-nic".to_owned()))]),
+        ),
+    ]));
+    let lane_name = |tid: u64, name: &str| {
+        JsonValue::obj([
+            ("name", JsonValue::Str("thread_name".to_owned())),
+            ("ph", JsonValue::Str("M".to_owned())),
+            ("pid", JsonValue::UInt(0)),
+            ("tid", JsonValue::UInt(tid)),
+            (
+                "args",
+                JsonValue::obj([("name", JsonValue::Str(name.to_owned()))]),
+            ),
+        ])
+    };
+    for stage in STAGES {
+        out.push(lane_name(stage as u64, stage.name()));
+    }
+    out.push(lane_name(LOCK_LANE, "lock_wait"));
     for e in events {
         let json = match Stage::from_kind(e.kind) {
             Some(stage) => JsonValue::obj([
@@ -137,8 +175,8 @@ mod tests {
         );
         let doc = chrome_trace(&reg.ring().recent(16));
         let events = doc.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
-        assert_eq!(events.len(), 2);
-        let sched = &events[1];
+        assert_eq!(events.len(), METADATA_RECORDS + 2);
+        let sched = &events[METADATA_RECORDS + 1];
         assert_eq!(sched.get("name").and_then(|v| v.as_str()), Some("sched"));
         assert_eq!(sched.get("ph").and_then(|v| v.as_str()), Some("X"));
         assert_eq!(
@@ -162,7 +200,7 @@ mod tests {
         reg.ring()
             .record(Nanos::from_nanos(5), TraceKind::LockWait, 3, 250);
         let doc = chrome_trace(&reg.ring().recent(4));
-        let e = &doc.get("traceEvents").and_then(|e| e.as_arr()).unwrap()[0];
+        let e = &doc.get("traceEvents").and_then(|e| e.as_arr()).unwrap()[METADATA_RECORDS];
         assert_eq!(e.get("name").and_then(|v| v.as_str()), Some("lock_wait"));
         assert_eq!(e.get("tid").and_then(JsonValue::as_u64), Some(LOCK_LANE));
         assert_eq!(e.get("dur").and_then(|v| v.as_f64()), Some(0.25));
@@ -174,7 +212,7 @@ mod tests {
         reg.ring()
             .record(Nanos::from_nanos(9), TraceKind::TailDrop, 2, 64);
         let doc = chrome_trace(&reg.ring().recent(4));
-        let e = &doc.get("traceEvents").and_then(|e| e.as_arr()).unwrap()[0];
+        let e = &doc.get("traceEvents").and_then(|e| e.as_arr()).unwrap()[METADATA_RECORDS];
         assert_eq!(e.get("ph").and_then(|v| v.as_str()), Some("i"));
         assert_eq!(e.get("name").and_then(|v| v.as_str()), Some("tail_drop"));
     }
@@ -199,12 +237,46 @@ mod tests {
                 .get("traceEvents")
                 .and_then(|e| e.as_arr())
                 .map(|a| a.len()),
-            Some(10)
+            Some(METADATA_RECORDS + 10)
         );
         assert_eq!(
             parsed.get("displayTimeUnit").and_then(|v| v.as_str()),
             Some("ns")
         );
+    }
+
+    #[test]
+    fn metadata_names_every_lane() {
+        let doc = chrome_trace(&[]);
+        let events = doc.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
+        assert_eq!(events.len(), METADATA_RECORDS);
+        assert_eq!(
+            events[0].get("name").and_then(|v| v.as_str()),
+            Some("process_name")
+        );
+        assert_eq!(
+            events[0]
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(|v| v.as_str()),
+            Some("flowvalve-nic")
+        );
+        for (i, stage) in STAGES.iter().enumerate() {
+            let e = &events[1 + i];
+            assert_eq!(e.get("ph").and_then(|v| v.as_str()), Some("M"));
+            assert_eq!(
+                e.get("tid").and_then(JsonValue::as_u64),
+                Some(*stage as u64)
+            );
+            assert_eq!(
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(|v| v.as_str()),
+                Some(stage.name())
+            );
+        }
+        let lock = &events[METADATA_RECORDS - 1];
+        assert_eq!(lock.get("tid").and_then(JsonValue::as_u64), Some(LOCK_LANE));
     }
 
     #[test]

@@ -62,5 +62,5 @@ pub mod trace;
 pub use json::{JsonValue, ToJson};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, RateWindow};
 pub use registry::{MetricEntry, MetricValue, Registry, RegistryError, Snapshot};
-pub use span::{SpanRecorder, Stage, STAGES};
+pub use span::{SpanRecorder, SpanSink, Stage, STAGES};
 pub use trace::{EventRing, TraceEvent, TraceKind};

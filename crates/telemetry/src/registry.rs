@@ -17,6 +17,7 @@ use sim_core::time::Nanos;
 
 use crate::json::{JsonValue, ToJson};
 use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot, RateWindow};
+use crate::span::{SinkCell, SpanSink};
 use crate::trace::{EventRing, TraceEvent};
 
 #[derive(Clone)]
@@ -73,6 +74,9 @@ impl std::error::Error for RegistryError {}
 struct Inner {
     metrics: Mutex<BTreeMap<String, Metric>>,
     ring: Arc<EventRing>,
+    /// Install-once span-sink cell shared with every [`crate::span::SpanRecorder`]
+    /// bound to this registry (see [`Registry::install_span_sink`]).
+    span_sink: SinkCell,
 }
 
 /// A shared, clonable handle to a metric namespace.
@@ -103,6 +107,7 @@ impl Registry {
             inner: Arc::new(Inner {
                 metrics: Mutex::new(BTreeMap::new()),
                 ring: Arc::new(EventRing::new(capacity)),
+                span_sink: SinkCell::default(),
             }),
         }
     }
@@ -217,6 +222,25 @@ impl Registry {
     /// The shared event-trace ring.
     pub fn ring(&self) -> Arc<EventRing> {
         Arc::clone(&self.inner.ring)
+    }
+
+    /// Installs the registry's one [`SpanSink`]: every
+    /// [`crate::span::SpanRecorder`] bound to this registry — including
+    /// ones constructed *before* the install — starts forwarding spans to
+    /// it. Returns `false` (and keeps the existing sink) if one is already
+    /// installed. Cold path; install before the run starts.
+    pub fn install_span_sink(&self, sink: Arc<dyn SpanSink>) -> bool {
+        self.inner.span_sink.set(sink).is_ok()
+    }
+
+    /// The installed span sink, if any.
+    pub fn span_sink(&self) -> Option<Arc<dyn SpanSink>> {
+        self.inner.span_sink.get().cloned()
+    }
+
+    /// The install-once cell recorders poll on the hot path.
+    pub(crate) fn sink_cell(&self) -> SinkCell {
+        Arc::clone(&self.inner.span_sink)
     }
 
     /// Thins the event trace to 1 in `2^shift` events (0 = record all).

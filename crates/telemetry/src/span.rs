@@ -17,13 +17,37 @@
 //! multi-threaded wall-clock benchmarks (the `span_stamp` bench in the
 //! `bench` crate keeps this honest: ≈ tens of nanoseconds per stamp).
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use sim_core::time::Nanos;
 
 use crate::metrics::Histogram;
 use crate::registry::Registry;
 use crate::trace::{EventRing, TraceKind};
+
+/// An observer of span stamps and classification verdicts, for attribution
+/// profilers (the `fv-probe` crate) that need more context than the
+/// per-stage histograms keep — e.g. per-flow-class latency decomposition.
+///
+/// A sink is installed at most once per registry
+/// ([`Registry::install_span_sink`]), *before* the run starts; every
+/// [`SpanRecorder`] bound to that registry forwards to it. When no sink is
+/// installed the hot path pays one atomic load and a branch, which the
+/// `span_stamp` bench keeps honest.
+pub trait SpanSink: Send + Sync {
+    /// A packet spent `dur` in `stage` starting at `start`.
+    fn span(&self, stage: Stage, start: Nanos, pkt_id: u64, dur: Nanos);
+
+    /// The labeling function resolved `pkt_id` to a flow class. `class` is
+    /// the leaf class minor number (or [`u64::MAX`] for unlabeled bypass
+    /// traffic), `flow_hash` a stable per-flow hash, and `wire_bits` the
+    /// packet's on-wire size — enough to attribute later spans of the same
+    /// packet to its class and to feed heavy-hitter tracking.
+    fn classify(&self, _pkt_id: u64, _class: u64, _flow_hash: u64, _wire_bits: u64) {}
+}
+
+/// The install-once cell a registry hands to its recorders.
+pub(crate) type SinkCell = Arc<OnceLock<Arc<dyn SpanSink>>>;
 
 /// Pipeline stages a packet is stamped at. The discriminants index
 /// [`SpanRecorder`]'s histogram array and the Chrome-trace thread lanes.
@@ -134,6 +158,7 @@ impl core::fmt::Display for Stage {
 pub struct SpanRecorder {
     ring: Arc<EventRing>,
     hists: [Arc<Histogram>; STAGES.len()],
+    sink: SinkCell,
 }
 
 impl SpanRecorder {
@@ -143,17 +168,29 @@ impl SpanRecorder {
         SpanRecorder {
             ring: registry.ring(),
             hists: STAGES.map(|s| registry.histogram(s.metric())),
+            sink: registry.sink_cell(),
         }
     }
 
     /// Records that a packet spent `dur` in `stage` starting at `start`.
     /// Wait-free: one histogram record plus one (possibly sampled) ring
-    /// record, all relaxed atomics.
+    /// record, all relaxed atomics; an installed [`SpanSink`] adds one
+    /// virtual call.
     #[inline]
     pub fn record(&self, stage: Stage, start: Nanos, pkt_id: u64, dur: Nanos) {
         self.hists[stage as usize].record(dur.as_nanos());
         self.ring
             .record(start, stage.kind(), pkt_id, dur.as_nanos());
+        if let Some(s) = self.sink.get() {
+            s.span(stage, start, pkt_id, dur);
+        }
+    }
+
+    /// The registry's installed [`SpanSink`], if any — components with
+    /// sink-relevant context beyond spans (e.g. the labeling function's
+    /// classification verdicts) feed it through here.
+    pub fn sink(&self) -> Option<&Arc<dyn SpanSink>> {
+        self.sink.get()
     }
 }
 
@@ -214,6 +251,43 @@ mod tests {
         let spans_in_ring: Vec<_> = snap.events.iter().filter(|e| e.kind.is_span()).collect();
         assert_eq!(spans_in_ring.len(), 3);
         assert_eq!(spans_in_ring[0].b, 40);
+    }
+
+    #[test]
+    fn installed_sink_observes_spans_even_from_earlier_recorders() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        #[derive(Default)]
+        struct CountSink {
+            spans: AtomicU64,
+            classified: AtomicU64,
+        }
+        impl SpanSink for CountSink {
+            fn span(&self, _stage: Stage, _start: Nanos, _pkt_id: u64, _dur: Nanos) {
+                self.spans.fetch_add(1, Ordering::Relaxed);
+            }
+            fn classify(&self, _pkt: u64, _class: u64, _hash: u64, _bits: u64) {
+                self.classified.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let reg = Registry::new();
+        // Recorder wired *before* the sink exists — the install-once cell
+        // still reaches it.
+        let spans = SpanRecorder::new(&reg);
+        spans.record(Stage::Sched, Nanos::ZERO, 1, Nanos::from_nanos(10));
+        let sink = Arc::new(CountSink::default());
+        assert!(reg.install_span_sink(sink.clone()));
+        // Second install is refused; the first sink stays.
+        assert!(!reg.install_span_sink(Arc::new(CountSink::default())));
+        spans.record(Stage::Sched, Nanos::ZERO, 2, Nanos::from_nanos(10));
+        spans.record(Stage::Wire, Nanos::ZERO, 2, Nanos::from_nanos(10));
+        assert_eq!(sink.spans.load(Ordering::Relaxed), 2);
+        spans
+            .sink()
+            .expect("sink visible")
+            .classify(2, 7, 0xdead, 512);
+        assert_eq!(sink.classified.load(Ordering::Relaxed), 1);
     }
 
     #[test]

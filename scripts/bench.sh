@@ -5,12 +5,12 @@
 # ns/op (and Melem/s where the bench declares throughput) or Mpps.
 #
 # Usage:
-#   scripts/bench.sh [tag]       # default tag: pr4 -> BENCH_pr4.json
+#   scripts/bench.sh [tag]       # default tag: pr7 -> BENCH_pr7.json
 #   FV_BENCH_FULL=1 scripts/bench.sh   # full measurement times, not quick
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-TAG="${1:-pr4}"
+TAG="${1:-pr7}"
 OUT="BENCH_${TAG}.json"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT

@@ -63,4 +63,46 @@ assert any(e["dur"] > 0 for e in spans), "all spans have zero duration"
 print(f"trace ok: {len(spans)} spans, stages {sorted(cats)}")
 PY
 
+echo "==> fv profile smoke (attribution + determinism)"
+PROF_A="$(mktemp --suffix=.json)"
+PROF_B="$(mktemp --suffix=.txt)"
+PROF_C="$(mktemp --suffix=.txt)"
+trap 'rm -f "$TRACE" "$CHAOS_A" "$CHAOS_B" "$PROF_A" "$PROF_B" "$PROF_C"' EXIT
+cargo run --release -q -p fv-cli -- profile scripts/motivation.fv \
+    --json --out "$PROF_A"
+cargo run --release -q -p fv-cli -- profile scripts/motivation.fv \
+    --folded --out "$PROF_B"
+cargo run --release -q -p fv-cli -- profile scripts/motivation.fv \
+    --folded --out "$PROF_C"
+cmp "$PROF_B" "$PROF_C" \
+    || { echo "folded profile is not byte-identical"; exit 1; }
+python3 - "$PROF_A" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+phases = doc["cycles"]["by_phase"]
+for phase in ("parse", "classify", "sched", "tx_enqueue"):
+    assert phases[phase] > 0, f"no cycles attributed to {phase}: {phases}"
+spans = doc["span_samples"]
+# Queue spans only fire on deferred qdisc dequeues, not in the NIC demo.
+for stage in ("ingress", "classify", "sched", "tm_queue", "wire"):
+    assert spans[stage] > 0, f"no span samples in {stage}: {spans}"
+assert doc["locks"], "no per-lock contention rows"
+assert doc["top_flows"], "no heavy-hitter flows"
+print(f"profile ok: {doc['cycles']['total']} cycles attributed, "
+      f"{len(doc['locks'])} locks ranked, folded export deterministic")
+PY
+
+# Opt-in perf-regression gate: fresh bench snapshot diffed against the
+# newest committed baseline on the two hot-path acceptance benches.
+# Baselines are machine-specific — if this fires on new hardware while
+# the code is unchanged, re-baseline with scripts/bench.sh first.
+if [[ "${FV_BENCH_GATE:-0}" == "1" ]]; then
+    echo "==> bench regression gate (<=10% vs BENCH_pr7.json)"
+    scripts/bench.sh gate
+    cargo run --release -q -p fv-cli -- bench-diff BENCH_gate.json BENCH_pr7.json \
+        --tolerance-pct 10 \
+        --only sched_function/instrumented_threads --only span_stamp/record
+    rm -f BENCH_gate.json
+fi
+
 echo "All checks passed."
