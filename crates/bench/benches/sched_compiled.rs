@@ -1,0 +1,149 @@
+//! Criterion: the compiled scheduling program against the interpreted
+//! walker — the before/after pair behind DESIGN.md §11's tables — plus the
+//! isolated cost of a decision-cache resolution.
+//!
+//! `decision_interpreted` is the old per-packet cost (hash-resolving every
+//! class of the label through the id → node index); `decision_compiled`
+//! runs the same admission through a flattened chain fronted by the
+//! direct-mapped decision cache, the way the pipeline's per-class arm does.
+//! Both sides step virtual time (100 ns/packet) exactly as the NIC model
+//! does, so refill epochs roll at the realistic cadence and no wall-clock
+//! reads pollute the measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use flowvalve::label::ClassId;
+use flowvalve::program::{CompiledProgram, DecisionCache};
+use flowvalve::sched::RealExec;
+use flowvalve::tree::{ClassSpec, SchedulingTree, TreeParams};
+use sim_core::time::Nanos;
+use sim_core::units::BitRate;
+
+/// The 3-class tree every `flowvalve_decision`-style bench uses.
+fn shallow_tree() -> SchedulingTree {
+    SchedulingTree::build(
+        vec![
+            ClassSpec::new(ClassId(1), "root", None).rate(BitRate::from_gbps(100.0)),
+            ClassSpec::new(ClassId(10), "a", Some(ClassId(1))),
+            ClassSpec::new(ClassId(20), "b", Some(ClassId(1))),
+        ],
+        TreeParams::default(),
+    )
+    .expect("tree builds")
+}
+
+/// A 4-level path with a ceiling and three lenders: the worst case the
+/// interpreted walker hash-resolves per packet.
+fn deep_tree() -> SchedulingTree {
+    SchedulingTree::build(
+        vec![
+            ClassSpec::new(ClassId(1), "root", None).rate(BitRate::from_gbps(100.0)),
+            ClassSpec::new(ClassId(2), "agg", Some(ClassId(1))),
+            ClassSpec::new(ClassId(3), "tenant", Some(ClassId(2))),
+            ClassSpec::new(ClassId(10), "app", Some(ClassId(3))).ceil(BitRate::from_gbps(60.0)),
+            ClassSpec::new(ClassId(20), "l1", Some(ClassId(3))),
+            ClassSpec::new(ClassId(21), "l2", Some(ClassId(3))),
+            ClassSpec::new(ClassId(22), "l3", Some(ClassId(3))),
+        ],
+        TreeParams::default(),
+    )
+    .expect("tree builds")
+}
+
+fn bench_sched_compiled(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched_compiled");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("decision_interpreted", |b| {
+        let tree = shallow_tree();
+        let label = tree
+            .label(ClassId(10), &[ClassId(20)])
+            .expect("leaf exists");
+        let mut now = Nanos::ZERO;
+        let mut exec = RealExec;
+        b.iter(|| {
+            now += Nanos::from_nanos(100);
+            std::hint::black_box(tree.schedule(&label, 12_144, now, &mut exec))
+        });
+    });
+
+    g.bench_function("decision_compiled", |b| {
+        let tree = shallow_tree();
+        let label = tree
+            .label(ClassId(10), &[ClassId(20)])
+            .expect("leaf exists");
+        let prog = CompiledProgram::compile(&tree, [&label]);
+        let mut cache = DecisionCache::new(64);
+        let mut now = Nanos::ZERO;
+        let mut exec = RealExec;
+        b.iter(|| {
+            now += Nanos::from_nanos(100);
+            let gen = tree.epoch();
+            let chain = cache.lookup(&label, gen).unwrap_or_else(|| {
+                let c = prog.resolve(&label).expect("label compiled");
+                cache.insert(label, c, gen);
+                c
+            });
+            std::hint::black_box(tree.schedule_compiled(&prog, chain, 12_144, now, &mut exec))
+        });
+    });
+
+    g.bench_function("deep_interpreted", |b| {
+        let tree = deep_tree();
+        let label = tree
+            .label(ClassId(10), &[ClassId(20), ClassId(21), ClassId(22)])
+            .expect("leaf exists");
+        let mut now = Nanos::ZERO;
+        let mut exec = RealExec;
+        b.iter(|| {
+            now += Nanos::from_nanos(100);
+            std::hint::black_box(tree.schedule(&label, 12_144, now, &mut exec))
+        });
+    });
+
+    g.bench_function("deep_compiled", |b| {
+        let tree = deep_tree();
+        let label = tree
+            .label(ClassId(10), &[ClassId(20), ClassId(21), ClassId(22)])
+            .expect("leaf exists");
+        let prog = CompiledProgram::compile(&tree, [&label]);
+        let mut cache = DecisionCache::new(64);
+        let mut now = Nanos::ZERO;
+        let mut exec = RealExec;
+        b.iter(|| {
+            now += Nanos::from_nanos(100);
+            let gen = tree.epoch();
+            let chain = cache.lookup(&label, gen).unwrap_or_else(|| {
+                let c = prog.resolve(&label).expect("label compiled");
+                cache.insert(label, c, gen);
+                c
+            });
+            std::hint::black_box(tree.schedule_compiled(&prog, chain, 12_144, now, &mut exec))
+        });
+    });
+
+    g.bench_function("resolve_cached", |b| {
+        // The pure per-packet overhead the cache adds on a hit: one
+        // direct-mapped slot probe and a generation compare.
+        let tree = shallow_tree();
+        let label = tree
+            .label(ClassId(10), &[ClassId(20)])
+            .expect("leaf exists");
+        let prog = CompiledProgram::compile(&tree, [&label]);
+        let chain = prog.resolve(&label).expect("label compiled");
+        let mut cache = DecisionCache::new(64);
+        cache.insert(label, chain, 0);
+        b.iter(|| std::hint::black_box(cache.lookup(&label, 0)));
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(20);
+    targets = bench_sched_compiled
+}
+criterion_main!(benches);

@@ -1,16 +1,147 @@
 //! The ordered filter table: the slow path behind the flow cache.
 //!
-//! Rules are walked in `(priority, -specificity, insertion)` order, the
-//! same first-match discipline as kernel `tc filter` chains. The table walk
-//! is deliberately linear — on real hardware this is the expensive path
-//! that the exact-match flow cache exists to avoid, and the cost model
-//! charges it accordingly (`CycleCosts::classify_miss` in the NIC
-//! profile).
+//! Rules match in `(priority, -specificity, insertion)` order, the same
+//! first-match discipline as kernel `tc filter` chains. The walk is no
+//! longer a bare linear scan: rules whose every set field is exactly
+//! keyable (host /32 prefixes, ports, protocol, VF) are grouped by their
+//! *mask signature* into hash pre-filters, so a miss-path lookup does one
+//! hash probe per distinct signature plus a short, early-terminating scan
+//! of the residue (rules with partial /1–/31 prefixes). First-match
+//! semantics are preserved exactly: every candidate carries its table
+//! position and the lowest position wins. The cost model still charges the
+//! miss path as the expensive one (`CycleCosts::classify_miss`) — the
+//! pre-filter narrows the *software* gap, not the modeled silicon.
 
-use netstack::flow::FlowKey;
+use std::collections::HashMap;
+
+use netstack::flow::{FlowKey, IpProto};
 use netstack::packet::VfPort;
 
-use crate::rule::FilterRule;
+use crate::rule::{FilterRule, FlowMatch};
+
+const SIG_SRC: u8 = 1 << 0;
+const SIG_DST: u8 = 1 << 1;
+const SIG_SPORT: u8 = 1 << 2;
+const SIG_DPORT: u8 = 1 << 3;
+const SIG_PROTO: u8 = 1 << 4;
+const SIG_VF: u8 = 1 << 5;
+
+/// Which fields of a [`FlowMatch`] participate in the exact-match key —
+/// the rule's *mask signature*. Rules sharing a signature land in one hash
+/// group keyed by the fields the signature names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct MaskSig(u8);
+
+/// Keys [`IpProto`] faithfully to its `PartialEq`: `Other(6)` and `Tcp`
+/// must key differently because `FlowMatch::matches` distinguishes them.
+fn proto_key(p: IpProto) -> u16 {
+    match p {
+        IpProto::Tcp => 1,
+        IpProto::Udp => 2,
+        IpProto::Other(n) => 0x100 | u16::from(n),
+    }
+}
+
+/// The exact-match key extracted under one signature; fields outside the
+/// signature read as zero on both the rule and the flow side.
+type ExactKey = (u32, u32, u16, u16, u16, u8);
+
+impl MaskSig {
+    /// The signature of `m`, or `None` if `m` needs the residue scan (a
+    /// partial /1–/31 prefix cannot be hash-keyed). A /0 prefix is a
+    /// wildcard and simply stays out of the key.
+    fn of(m: &FlowMatch) -> Option<MaskSig> {
+        let mut bits = 0u8;
+        for (cidr, bit) in [(m.src, SIG_SRC), (m.dst, SIG_DST)] {
+            match cidr {
+                None => {}
+                Some(c) if c.prefix == 0 => {}
+                Some(c) if c.prefix == 32 => bits |= bit,
+                Some(_) => return None,
+            }
+        }
+        if m.src_port.is_some() {
+            bits |= SIG_SPORT;
+        }
+        if m.dst_port.is_some() {
+            bits |= SIG_DPORT;
+        }
+        if m.proto.is_some() {
+            bits |= SIG_PROTO;
+        }
+        if m.vf.is_some() {
+            bits |= SIG_VF;
+        }
+        Some(MaskSig(bits))
+    }
+
+    fn has(self, bit: u8) -> bool {
+        self.0 & bit != 0
+    }
+
+    fn key_of_rule(self, m: &FlowMatch) -> ExactKey {
+        (
+            if self.has(SIG_SRC) {
+                u32::from(m.src.expect("signature names src").addr)
+            } else {
+                0
+            },
+            if self.has(SIG_DST) {
+                u32::from(m.dst.expect("signature names dst").addr)
+            } else {
+                0
+            },
+            m.src_port.filter(|_| self.has(SIG_SPORT)).unwrap_or(0),
+            m.dst_port.filter(|_| self.has(SIG_DPORT)).unwrap_or(0),
+            if self.has(SIG_PROTO) {
+                proto_key(m.proto.expect("signature names proto"))
+            } else {
+                0
+            },
+            m.vf.filter(|_| self.has(SIG_VF)).map(|v| v.0).unwrap_or(0),
+        )
+    }
+
+    fn key_of_flow(self, flow: &FlowKey, vf: VfPort) -> ExactKey {
+        (
+            if self.has(SIG_SRC) {
+                u32::from(flow.src_ip)
+            } else {
+                0
+            },
+            if self.has(SIG_DST) {
+                u32::from(flow.dst_ip)
+            } else {
+                0
+            },
+            if self.has(SIG_SPORT) {
+                flow.src_port
+            } else {
+                0
+            },
+            if self.has(SIG_DPORT) {
+                flow.dst_port
+            } else {
+                0
+            },
+            if self.has(SIG_PROTO) {
+                proto_key(flow.proto)
+            } else {
+                0
+            },
+            if self.has(SIG_VF) { vf.0 } else { 0 },
+        )
+    }
+}
+
+/// One signature's hash group: extracted key → lowest table position of a
+/// rule carrying that key. A hit needs no re-verification — every keyed
+/// field matched exactly and every other field is a wildcard.
+#[derive(Debug, Clone)]
+struct SigGroup {
+    sig: MaskSig,
+    map: HashMap<ExactKey, usize>,
+}
 
 /// An ordered first-match filter table.
 ///
@@ -35,6 +166,11 @@ use crate::rule::FilterRule;
 pub struct FilterTable<V> {
     rules: Vec<FilterRule<V>>,
     default: V,
+    /// Hash pre-filters, one per distinct mask signature present.
+    groups: Vec<SigGroup>,
+    /// Ascending table positions of rules that need the linear residue
+    /// scan (partial prefixes).
+    residue: Vec<usize>,
 }
 
 impl<V> FilterTable<V> {
@@ -43,6 +179,8 @@ impl<V> FilterTable<V> {
         FilterTable {
             rules: Vec::new(),
             default,
+            groups: Vec::new(),
+            residue: Vec::new(),
         }
     }
 
@@ -55,6 +193,37 @@ impl<V> FilterTable<V> {
             .rules
             .partition_point(|r| (r.priority, u32::MAX - r.matcher.specificity()) <= key);
         self.rules.insert(pos, rule);
+        // Insertion shifts every later position; rebuild the pre-filter.
+        // Tables mutate at configuration time only, so O(n) here is free.
+        self.reindex();
+    }
+
+    /// Rebuilds the signature groups and the residue list from scratch.
+    fn reindex(&mut self) {
+        let mut groups: Vec<SigGroup> = Vec::new();
+        let mut residue = Vec::new();
+        for (pos, r) in self.rules.iter().enumerate() {
+            match MaskSig::of(&r.matcher) {
+                Some(sig) => {
+                    let group = match groups.iter_mut().find(|g| g.sig == sig) {
+                        Some(g) => g,
+                        None => {
+                            groups.push(SigGroup {
+                                sig,
+                                map: HashMap::new(),
+                            });
+                            groups.last_mut().expect("just pushed")
+                        }
+                    };
+                    // First writer wins: positions ascend, so the entry
+                    // already holds the lowest (first-match) position.
+                    group.map.entry(sig.key_of_rule(&r.matcher)).or_insert(pos);
+                }
+                None => residue.push(pos),
+            }
+        }
+        self.groups = groups;
+        self.residue = residue;
     }
 
     /// Number of rules.
@@ -73,10 +242,31 @@ impl<V> FilterTable<V> {
     }
 
     /// First-match lookup; falls back to the default verdict.
+    ///
+    /// Cost is one hash probe per distinct mask signature plus however
+    /// much of the residue list sits *before* the best hash candidate —
+    /// sub-linear in the rule count for exact-keyable rule sets, and never
+    /// worse than the old full walk.
     pub fn lookup(&self, flow: &FlowKey, vf: VfPort) -> &V {
+        let mut best = usize::MAX;
+        for g in &self.groups {
+            if let Some(&pos) = g.map.get(&g.sig.key_of_flow(flow, vf)) {
+                best = best.min(pos);
+            }
+        }
+        for &pos in &self.residue {
+            // Residue positions ascend; anything at or past the best hash
+            // candidate can no longer win first-match.
+            if pos >= best {
+                break;
+            }
+            if self.rules[pos].matcher.matches(flow, vf) {
+                best = pos;
+                break;
+            }
+        }
         self.rules
-            .iter()
-            .find(|r| r.matcher.matches(flow, vf))
+            .get(best)
             .map(|r| &r.verdict)
             .unwrap_or(&self.default)
     }
@@ -89,6 +279,8 @@ impl<V> FilterTable<V> {
     /// Removes all rules.
     pub fn clear(&mut self) {
         self.rules.clear();
+        self.groups.clear();
+        self.residue.clear();
     }
 }
 
@@ -149,6 +341,91 @@ mod tests {
         assert_eq!(t.len(), 1);
         t.clear();
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn prefilter_matches_linear_walk_on_mixed_rule_soup() {
+        use netstack::flow::IpProto;
+        // A deliberately adversarial mix: exact hosts, partial prefixes,
+        // wildcards, ports, protocols, VFs, colliding priorities — then
+        // every lookup is checked against the reference linear walk.
+        let mut t = FilterTable::new(u32::MAX);
+        let mut salt = 0x9e37u32;
+        for i in 0..256u32 {
+            salt = salt.wrapping_mul(0x0100_0193) ^ i;
+            let mut m = FlowMatch::any();
+            if salt & 1 != 0 {
+                let prefix = match salt & 0b110 {
+                    0 => 32,
+                    2 => 0,
+                    _ => 8 + (salt % 24) as u8, // partial: residue path
+                };
+                m = m.dst(Cidr::new([10, 0, 0, (i % 8) as u8], prefix));
+            }
+            if salt & 8 != 0 {
+                m = m.dst_port(5_000 + (i % 16) as u16);
+            }
+            if salt & 16 != 0 {
+                m = m.src_port(40_000 + (i % 4) as u16);
+            }
+            if salt & 32 != 0 {
+                m = m.proto(if salt & 64 != 0 {
+                    IpProto::Tcp
+                } else {
+                    IpProto::Udp
+                });
+            }
+            if salt & 128 != 0 {
+                m = m.vf(VfPort((i % 4) as u8));
+            }
+            t.add(FilterRule::new((i % 7) as u16, m, i));
+        }
+        for j in 0..2_000u32 {
+            let f = FlowKey::tcp(
+                [10, 0, 0, (j % 11) as u8],
+                40_000 + (j % 6) as u16,
+                [10, 0, 0, (j % 9) as u8],
+                5_000 + (j % 20) as u16,
+            );
+            let vf = VfPort((j % 5) as u8);
+            let expect = t
+                .iter()
+                .find(|r| r.matcher.matches(&f, vf))
+                .map(|r| r.verdict)
+                .unwrap_or(u32::MAX);
+            assert_eq!(*t.lookup(&f, vf), expect, "flow {j} diverged from walk");
+        }
+    }
+
+    #[test]
+    fn proto_prefilter_distinguishes_other_from_tcp() {
+        use netstack::flow::IpProto;
+        // IpProto::Other(6) and IpProto::Tcp are unequal under matches();
+        // the hash key must not conflate their wire numbers.
+        let mut t = FilterTable::new("none");
+        t.add(FilterRule::new(
+            10,
+            FlowMatch::any().proto(IpProto::Other(6)),
+            "other6",
+        ));
+        let f = FlowKey::tcp([10, 0, 0, 1], 40_000, [10, 0, 0, 2], 80);
+        assert_eq!(*t.lookup(&f, VfPort(0)), "none");
+    }
+
+    #[test]
+    fn zero_prefix_rule_keys_as_wildcard() {
+        // A /0 CIDR matches everything; the pre-filter must treat it as an
+        // unkeyed field, not an exact key of its (irrelevant) address.
+        let mut t = FilterTable::new(0u8);
+        t.add(FilterRule::new(
+            10,
+            FlowMatch::any()
+                .dst(Cidr::new([99, 99, 99, 99], 0))
+                .dst_port(80),
+            7,
+        ));
+        let f = FlowKey::tcp([10, 0, 0, 1], 40_000, [10, 0, 0, 2], 80);
+        assert_eq!(*t.lookup(&f, VfPort(0)), 7);
     }
 
     #[test]

@@ -104,6 +104,13 @@ impl TokenBucket {
     ///
     /// This is the test-and-add fast path: a green verdict costs exactly
     /// one atomic instruction, a red costs two (subtract + restore).
+    ///
+    /// A test-and-test-and-set variant (plain read first, RMW only when
+    /// the read says green) was benchmarked and rejected: it makes red a
+    /// single load, but serializes a load + branch in front of the RMW on
+    /// every *green* packet and doubles the coherence transactions under
+    /// contention (`meter_green` and `meter_contended/*` regressed ~15%).
+    /// Steady traffic is green-dominated, so the unconditional RMW wins.
     #[inline]
     pub fn meter(&self, need: Tokens) -> Color {
         let need = need.raw() as i64;

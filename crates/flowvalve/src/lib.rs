@@ -18,6 +18,7 @@
 //! | [`tree`] — scheduling trees, token rates θ, measured rates Γ | §IV-B, §IV-C |
 //! | [`bucket`] — lock-free token & shadow buckets | §IV-C, Figure 8 |
 //! | [`sched`] — the parallel scheduling function | Algorithm 1 |
+//! | [`program`] — compiled admission chains + per-flow decision cache | Algorithm 1, flattened |
 //! | [`frontend`] — the `fv` command language | §III-E |
 //! | [`pipeline`] — labeling + scheduling on the NIC model | Figure 5 |
 //!
@@ -55,16 +56,18 @@ pub mod error;
 pub mod frontend;
 pub mod label;
 pub mod pipeline;
+pub mod program;
 pub mod sched;
 pub mod snapshot;
 pub mod tree;
 
 pub use bucket::{Color, TokenBucket};
-pub use chain::{ChainLabel, QdiscChain};
+pub use chain::{ChainLabel, CompiledChain, QdiscChain};
 pub use error::{BuildTreeError, ParseFvError};
 pub use frontend::{FilterSpec, Policy};
 pub use label::{ClassId, QosLabel};
 pub use pipeline::{FlowValvePipeline, LockDiscipline};
+pub use program::{ChainId, CompiledProgram, DecisionCache};
 pub use sched::{Exec, GlobalLockExec, RealExec, SchedVerdict, SimExec};
 pub use snapshot::{ClassSnapshot, TreeSnapshot};
 pub use tree::{ClassCounters, ClassSpec, SchedulingTree, TreeParams};

@@ -19,6 +19,7 @@ use sim_core::time::{Cycles, Nanos};
 use crate::error::ParseFvError;
 use crate::frontend::Policy;
 use crate::label::{ClassId, QosLabel};
+use crate::program::{CompiledProgram, DecisionCache};
 use crate::sched::{GlobalLockExec, SchedVerdict, SimExec};
 use crate::tree::{SchedulingTree, TreeParams};
 
@@ -151,6 +152,24 @@ impl PipelineTelemetry {
 pub struct FlowValvePipeline {
     tree: Arc<SchedulingTree>,
     classifier: Classifier<Option<QosLabel>>,
+    /// The scheduling tree flattened into admission chains, rebuilt on
+    /// every reload. Labels the policy never emitted (none, in practice)
+    /// fall back to the interpreted walker.
+    program: CompiledProgram,
+    /// Direct-mapped label → chain cache fronting `program`, validated by
+    /// `reload_gen` + the tree's epoch counter.
+    cache: DecisionCache,
+    /// Bumped on every hot reload; folded into the cache generation so
+    /// chain ids never survive a recompile.
+    reload_gen: u64,
+    /// Compile work (chain steps) of the last hot reload, charged as
+    /// `Op::ProgramCompile` on the next decision. The initial compile is
+    /// configuration-time work (the NIC is not processing packets yet) and
+    /// charges nothing.
+    pending_compile_ops: u64,
+    /// When false, the per-class arm runs the interpreted walker instead
+    /// of the compiled fast path — the differential-testing oracle.
+    use_program: bool,
     update_hold: Nanos,
     discipline: LockDiscipline,
     freq: sim_core::time::Freq,
@@ -199,9 +218,16 @@ impl FlowValvePipeline {
         nic: &NicConfig,
     ) -> Self {
         let update_hold = nic.freq.duration_of(Cycles::new(nic.costs.class_update));
+        let program = Self::build_program(&tree, &classifier);
+        let cache = DecisionCache::new(tree.len().max(64));
         FlowValvePipeline {
             tree,
             classifier,
+            program,
+            cache,
+            reload_gen: 0,
+            pending_compile_ops: 0,
+            use_program: true,
             update_hold,
             discipline: LockDiscipline::PerClass,
             freq: nic.freq,
@@ -226,9 +252,16 @@ impl FlowValvePipeline {
         // The guarded update section holds its lock for the class_update
         // cycle cost at the configured clock.
         let update_hold = nic.freq.duration_of(Cycles::new(nic.costs.class_update));
+        let program = Self::build_program(&tree, &classifier);
+        let cache = DecisionCache::new(tree.len().max(64));
         FlowValvePipeline {
             tree,
             classifier,
+            program,
+            cache,
+            reload_gen: 0,
+            pending_compile_ops: 0,
+            use_program: true,
             update_hold,
             discipline: LockDiscipline::PerClass,
             freq: nic.freq,
@@ -237,6 +270,20 @@ impl FlowValvePipeline {
             chaos: None,
             sched_floor: Nanos::ZERO,
         }
+    }
+
+    /// Flattens `tree` into admission chains for every label the
+    /// classifier can emit: each filter verdict plus the default class.
+    fn build_program(
+        tree: &SchedulingTree,
+        classifier: &Classifier<Option<QosLabel>>,
+    ) -> CompiledProgram {
+        let table = classifier.table();
+        let labels = table
+            .iter()
+            .filter_map(|r| r.verdict.as_ref())
+            .chain(table.default_verdict().iter());
+        CompiledProgram::compile(tree, labels)
     }
 
     /// Installs a chaos hook consulted on every scheduling decision (the
@@ -287,6 +334,17 @@ impl FlowValvePipeline {
         self
     }
 
+    /// Disables the compiled fast path: every decision runs the
+    /// interpreted tree walker (builder-style). This is the differential
+    /// oracle for the compiled scheduling program — verdicts, counters and
+    /// modeled charges must be identical either way, and
+    /// `tests/compiled_oracle.rs` drives both configurations on the same
+    /// traffic to prove it.
+    pub fn with_interpreted_scheduler(mut self) -> Self {
+        self.use_program = false;
+        self
+    }
+
     /// The shared scheduling tree (for experiment-side telemetry).
     pub fn tree(&self) -> &Arc<SchedulingTree> {
         &self.tree
@@ -316,6 +374,15 @@ impl FlowValvePipeline {
         }
         self.tree = Arc::new(tree);
         self.classifier = classifier;
+        // Recompile the scheduling program against the new tree and
+        // invalidate every cached resolution: the generation bump keeps
+        // any straggler lookups from resolving against pre-reload state,
+        // and the compile work is charged (Op::ProgramCompile) on the next
+        // decision — paid at reconfiguration time, not per packet.
+        self.program = Self::build_program(&self.tree, &self.classifier);
+        self.cache.clear();
+        self.reload_gen = self.reload_gen.wrapping_add(1);
+        self.pending_compile_ops += self.program.compile_ops();
         self.update_hold = nic.freq.duration_of(Cycles::new(nic.costs.class_update));
         self.freq = nic.freq;
         self.framing = nic.framing;
@@ -334,6 +401,18 @@ impl FlowValvePipeline {
     pub fn cache_stats(&self) -> classifier::CacheStats {
         self.classifier.cache_stats()
     }
+
+    /// The compiled scheduling program currently installed.
+    pub fn program(&self) -> &CompiledProgram {
+        &self.program
+    }
+
+    /// (hits, misses) of the per-flow decision cache. Misses cover cold
+    /// flows *and* generation invalidations (reload, epoch roll,
+    /// borrowing-state change).
+    pub fn decision_cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
 }
 
 impl EgressDecider for FlowValvePipeline {
@@ -344,6 +423,15 @@ impl EgressDecider for FlowValvePipeline {
         meter: &mut CostMeter,
         locks: &mut LockTable,
     ) -> Decision {
+        // Deferred reconfiguration charge: the hot reload recompiled the
+        // scheduling program, and the control-plane work lands on the first
+        // decision after it (figure drivers never reload, so their cost
+        // streams are untouched).
+        if self.pending_compile_ops > 0 {
+            meter.set_stage(AttrStage::Sched);
+            meter.charge_n(Op::ProgramCompile, self.pending_compile_ops);
+            self.pending_compile_ops = 0;
+        }
         // Labeling function: exact-match cache with table-walk fill.
         let classify_t0 = meter.total();
         meter.set_stage(AttrStage::Classify);
@@ -392,12 +480,43 @@ impl EgressDecider for FlowValvePipeline {
                 let sched_t0 = meter.total();
                 let verdict = match self.discipline {
                     LockDiscipline::PerClass => {
+                        // Per-flow fast path: resolve the label to its
+                        // compiled admission chain through the decision
+                        // cache. Any reload, rate-estimation epoch roll or
+                        // borrowing-state change moves the generation, so
+                        // the stale entry misses and the resolution redoes
+                        // one hash probe — there is no stale-verdict
+                        // window. Under SimExec the chain charges exactly
+                        // what the interpreted walker would.
+                        let chain = if self.use_program {
+                            let gen = self.reload_gen.wrapping_add(self.tree.epoch());
+                            self.cache.lookup(&label, gen).or_else(|| {
+                                let resolved = self.program.resolve(&label);
+                                if let Some(c) = resolved {
+                                    self.cache.insert(label, c, gen);
+                                }
+                                resolved
+                            })
+                        } else {
+                            None
+                        };
                         let mut exec = SimExec {
                             meter,
                             locks,
                             update_hold: self.update_hold,
                         };
-                        self.tree.schedule(&label, wire_bits, sched_now, &mut exec)
+                        match chain {
+                            Some(c) => self.tree.schedule_compiled(
+                                &self.program,
+                                c,
+                                wire_bits,
+                                sched_now,
+                                &mut exec,
+                            ),
+                            // Oracle fallback for labels the program has
+                            // no chain for (never emitted by the policy).
+                            None => self.tree.schedule(&label, wire_bits, sched_now, &mut exec),
+                        }
                     }
                     LockDiscipline::Global => {
                         let mut exec = GlobalLockExec {

@@ -70,6 +70,16 @@ pub trait Exec {
         kind: LockKind,
         now: Nanos,
     ) -> bool;
+
+    /// Whether the compiled fast path may skip the guarded-update attempt
+    /// for a class still inside its minimum update interval. Within the
+    /// interval the update is a guaranteed no-op, so eliding it cannot
+    /// change verdicts or tree state — but modeled environments keep the
+    /// attempt because its try-lock and charge *are* the hardware cost
+    /// model, and eliding them would change every virtual-time figure.
+    fn elide_idle_updates(&self) -> bool {
+        false
+    }
 }
 
 /// Simulation execution: modeled locks + cycle accounting.
@@ -127,6 +137,10 @@ pub struct RealExec;
 
 impl Exec for RealExec {
     fn charge(&mut self, _op: Op) {}
+
+    fn elide_idle_updates(&self) -> bool {
+        true
+    }
 
     fn locked_update(
         &mut self,
@@ -226,12 +240,12 @@ impl SchedulingTree {
         let leaf_idx = self.node_index(label.leaf()).expect("leaf in tree");
         let leaf = self.node(leaf_idx);
         exec.charge(Op::AtomicOp);
-        if leaf.bucket.meter(need) == Color::Green {
+        if self.slab_bucket(leaf.bucket).meter(need) == Color::Green {
             // A configured ceiling bounds the class including borrowing,
             // so every forwarded packet is also charged against it.
-            if let Some(cb) = &leaf.ceil_bucket {
+            if let Some(ci) = leaf.ceil_bucket {
                 exec.charge(Op::AtomicOp);
-                if cb.meter(need) == Color::Red {
+                if self.slab_bucket(ci).meter(need) == Color::Red {
                     leaf.dropped.fetch_add(1, Ordering::AcqRel);
                     return SchedVerdict::Drop;
                 }
@@ -246,9 +260,9 @@ impl SchedulingTree {
         // shadow bucket in label order. A borrowed packet must still
         // conform to the leaf's own ceiling (HTB semantics: `ceil` bounds
         // the class with borrowing included).
-        if let Some(cb) = &leaf.ceil_bucket {
+        if let Some(ci) = leaf.ceil_bucket {
             exec.charge(Op::AtomicOp);
-            if cb.meter(need) == Color::Red {
+            if self.slab_bucket(ci).meter(need) == Color::Red {
                 leaf.dropped.fetch_add(1, Ordering::AcqRel);
                 return SchedVerdict::Drop;
             }
@@ -259,7 +273,7 @@ impl SchedulingTree {
             exec.locked_update(self, lidx, LockKind::Shadow, now);
             exec.charge(Op::AtomicOp);
             let lnode = self.node(lidx);
-            if lnode.shadow.meter(need) == Color::Green {
+            if self.slab_bucket(lnode.shadow).meter(need) == Color::Green {
                 self.count_path(label, bits);
                 exec.charge_path(label);
                 lnode.lent.fetch_add(1, Ordering::AcqRel);
@@ -337,14 +351,15 @@ impl SchedulingTree {
 
         // Leaf budget: one grab covers what consecutive meters would pass.
         exec.charge(Op::AtomicOp);
-        let own = grab_pkts(&leaf.bucket, need_raw, count);
+        let own = grab_pkts(self.slab_bucket(leaf.bucket), need_raw, count);
 
         // The ceiling bounds the class with borrowing included, so every
         // candidate (own-budget or borrowed) is charged against it; like
         // the per-packet path, ceiling-refused packets do not restore
         // already-consumed leaf tokens.
-        let (own_pass, mut borrow_budget) = match &leaf.ceil_bucket {
-            Some(cb) => {
+        let (own_pass, mut borrow_budget) = match leaf.ceil_bucket {
+            Some(ci) => {
+                let cb = self.slab_bucket(ci);
                 exec.charge(Op::AtomicOp);
                 let own_pass = grab_pkts(cb, need_raw, own);
                 exec.charge(Op::AtomicOp);
@@ -366,7 +381,7 @@ impl SchedulingTree {
             exec.locked_update(self, lidx, LockKind::Shadow, now);
             exec.charge(Op::AtomicOp);
             let lnode = self.node(lidx);
-            let got = grab_pkts(&lnode.shadow, need_raw, borrow_budget);
+            let got = grab_pkts(self.slab_bucket(lnode.shadow), need_raw, borrow_budget);
             if got > 0 {
                 lnode.lent.fetch_add(got, Ordering::AcqRel);
                 out.borrowed.push((lender, got));
@@ -409,7 +424,7 @@ impl BatchOutcome {
 }
 
 /// Blanket helper: charging the per-class consumption counters.
-trait ExecExt {
+pub(crate) trait ExecExt {
     fn charge_path(&mut self, label: &QosLabel);
 }
 
@@ -776,7 +791,7 @@ mod tests {
         );
         let ceil_pkts = {
             let idx = tree.node_index(ClassId(20)).unwrap();
-            let cb = tree.node(idx).ceil_bucket.as_ref().unwrap();
+            let cb = tree.slab_bucket(tree.node(idx).ceil_bucket.unwrap());
             // Whatever the ceiling accrued, passes cannot exceed it (the
             // bucket is empty or holds only the sub-packet remainder now).
             assert!(cb.level() < Tokens::from_bits(12_000));

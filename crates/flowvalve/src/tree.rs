@@ -162,12 +162,15 @@ pub(crate) struct Node {
     // --- runtime state (all atomics; data-path methods take &self) ---
     pub(crate) theta: AtomicU64,
     pub(crate) gamma: AtomicRate,
-    pub(crate) bucket: TokenBucket,
-    pub(crate) shadow: TokenBucket,
-    /// Present iff the class has a configured ceiling: every forwarded
-    /// packet — borrowed ones included — must also conform here, which is
-    /// what makes `ceil` bound borrowing (HTB semantics).
-    pub(crate) ceil_bucket: Option<TokenBucket>,
+    /// Index of the class token bucket in the tree's flat bucket slab.
+    pub(crate) bucket: u32,
+    /// Index of the shadow (lendable-token) bucket in the slab.
+    pub(crate) shadow: u32,
+    /// Slab index of the ceiling bucket, present iff the class has a
+    /// configured ceiling: every forwarded packet — borrowed ones included —
+    /// must also conform here, which is what makes `ceil` bound borrowing
+    /// (HTB semantics).
+    pub(crate) ceil_bucket: Option<u32>,
     pub(crate) consumed_bits: AtomicU64,
     pub(crate) last_update: AtomicU64,
     pub(crate) shadow_last_update: AtomicU64,
@@ -242,10 +245,23 @@ pub(crate) struct TreeTelemetry {
 
 pub struct SchedulingTree {
     nodes: Vec<Node>,
-    index: HashMap<ClassId, usize>,
+    /// Every token bucket of the tree — class, shadow and ceiling — in one
+    /// contiguous slab. Nodes and compiled admission chains reference
+    /// buckets by slab index, so the per-packet token tests walk a flat
+    /// array instead of pointer-chasing through `Node`.
+    slab: Vec<TokenBucket>,
+    /// Direct-indexed class lookup: `index[id.0]` is the node index, or
+    /// `u32::MAX` for an absent id. Class ids are `u16`, so the table is at
+    /// most 64 Ki entries and the per-packet id → node resolution is one
+    /// bounds-checked array load instead of a SipHash `HashMap` probe.
+    index: Vec<u32>,
     params: TreeParams,
     root: usize,
     root_rate_raw: u64,
+    /// Decision-cache generation: bumped on every completed update epoch
+    /// (rate-estimation roll) and every shadow epoch (borrowing-state
+    /// change). See [`SchedulingTree::epoch`].
+    epoch: AtomicU64,
     telemetry: OnceLock<TreeTelemetry>,
 }
 
@@ -344,6 +360,7 @@ impl SchedulingTree {
             .max(Tokens::from_bytes(2 * 1518));
 
         let mut nodes = Vec::with_capacity(specs.len());
+        let mut slab: Vec<TokenBucket> = Vec::with_capacity(specs.len() * 3);
         for (i, s) in specs.iter().enumerate() {
             let siblings: Vec<usize> = match s.parent {
                 Some(p) => children[index[&p]].clone(),
@@ -388,9 +405,18 @@ impl SchedulingTree {
                 },
                 theta: AtomicU64::new(0),
                 gamma: AtomicRate::new(),
-                bucket: TokenBucket::new(burst),
-                shadow: TokenBucket::new(shadow_burst),
-                ceil_bucket: s.ceil.map(|_| TokenBucket::new(burst)),
+                bucket: {
+                    slab.push(TokenBucket::new(burst));
+                    (slab.len() - 1) as u32
+                },
+                shadow: {
+                    slab.push(TokenBucket::new(shadow_burst));
+                    (slab.len() - 1) as u32
+                },
+                ceil_bucket: s.ceil.map(|_| {
+                    slab.push(TokenBucket::new(burst));
+                    (slab.len() - 1) as u32
+                }),
                 consumed_bits: AtomicU64::new(0),
                 last_update: AtomicU64::new(0),
                 shadow_last_update: AtomicU64::new(0),
@@ -405,12 +431,23 @@ impl SchedulingTree {
             });
         }
 
+        // Flatten the build-time id map into the direct-index table the
+        // data path reads (class ids are u16, so this is small and dense
+        // enough for policy-sized id spaces).
+        let max_id = specs.iter().map(|s| s.id.0 as usize).max().unwrap_or(0);
+        let mut flat = vec![u32::MAX; max_id + 1];
+        for (id, i) in index {
+            flat[id.0 as usize] = i as u32;
+        }
+
         let tree = SchedulingTree {
             nodes,
-            index,
+            slab,
+            index: flat,
             params,
             root,
             root_rate_raw,
+            epoch: AtomicU64::new(0),
             telemetry: OnceLock::new(),
         };
         tree.initialize_rates();
@@ -447,8 +484,10 @@ impl SchedulingTree {
                 }
             };
             n.theta.store(theta, Ordering::Release);
-            n.bucket.set_level(n.bucket.burst());
-            if let Some(cb) = &n.ceil_bucket {
+            let b = &self.slab[n.bucket as usize];
+            b.set_level(b.burst());
+            if let Some(ci) = n.ceil_bucket {
+                let cb = &self.slab[ci as usize];
                 cb.set_level(cb.burst());
             }
         }
@@ -478,15 +517,56 @@ impl SchedulingTree {
 
     /// The class specification for `id`.
     pub fn spec(&self, id: ClassId) -> Option<&ClassSpec> {
-        self.index.get(&id).map(|&i| &self.nodes[i].spec)
+        self.node_index(id).map(|i| &self.nodes[i].spec)
     }
 
+    #[inline]
     pub(crate) fn node_index(&self, id: ClassId) -> Option<usize> {
-        self.index.get(&id).copied()
+        match self.index.get(id.0 as usize) {
+            Some(&i) if i != u32::MAX => Some(i as usize),
+            _ => None,
+        }
     }
 
     pub(crate) fn node(&self, idx: usize) -> &Node {
         &self.nodes[idx]
+    }
+
+    /// One bucket of the flat slab (class, shadow and ceiling buckets of
+    /// every node live here; nodes and compiled chains hold slab indices).
+    pub(crate) fn slab_bucket(&self, i: u32) -> &TokenBucket {
+        &self.slab[i as usize]
+    }
+
+    /// Monotonic decision-cache generation: incremented on every completed
+    /// rate-estimation epoch ([`Self::update_node`] past the interval
+    /// floor) and every shadow epoch (borrowing-state change). The
+    /// pipeline's per-flow admission cache folds this into its validity
+    /// token, so a cached chain resolution never outlives the state it was
+    /// made against.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Whether a guarded update of `idx` would run a full epoch at `now`
+    /// (pure read, no side effect). Inside the minimum interval,
+    /// `update_node`/`update_shadow` return without touching any state, so
+    /// an execution environment that does not model lock costs (RealExec)
+    /// may elide the whole lock attempt when this is false — the resulting
+    /// verdicts and tree state are bit-identical to attempting it.
+    pub(crate) fn update_due(&self, idx: usize, shadow: bool, now: Nanos) -> bool {
+        let n = &self.nodes[idx];
+        let ts = if shadow {
+            &n.shadow_last_update
+        } else {
+            &n.last_update
+        };
+        let prev = Nanos::from_nanos(ts.load(Ordering::Acquire));
+        now.saturating_sub(prev) >= self.params.min_update_interval
     }
 
     /// Builds a [`QosLabel`] for traffic of leaf class `leaf`, permitted to
@@ -497,9 +577,8 @@ impl SchedulingTree {
     /// Returns [`BuildTreeError::UnknownBorrowClass`] if `leaf` or any
     /// lender is not in the tree.
     pub fn label(&self, leaf: ClassId, borrow: &[ClassId]) -> Result<QosLabel, BuildTreeError> {
-        let mut idx = *self
-            .index
-            .get(&leaf)
+        let mut idx = self
+            .node_index(leaf)
             .ok_or(BuildTreeError::UnknownBorrowClass(leaf))?;
         let mut path = vec![self.nodes[idx].spec.id];
         while let Some(p) = self.nodes[idx].parent {
@@ -508,7 +587,7 @@ impl SchedulingTree {
         }
         path.reverse();
         for b in borrow {
-            if !self.index.contains_key(b) {
+            if self.node_index(*b).is_none() {
                 return Err(BuildTreeError::UnknownBorrowClass(*b));
             }
         }
@@ -601,11 +680,11 @@ impl SchedulingTree {
 
         // Refill the class bucket at the new rate, and the ceiling bucket
         // at the configured ceiling.
-        n.bucket
-            .refill(TokenRate::from_raw(theta).accrued(dt_capped));
-        if let Some(cb) = &n.ceil_bucket {
-            cb.refill(TokenRate::from_raw(n.ceil_raw).accrued(dt_capped));
+        self.slab[n.bucket as usize].refill(TokenRate::from_raw(theta).accrued(dt_capped));
+        if let Some(ci) = n.ceil_bucket {
+            self.slab[ci as usize].refill(TokenRate::from_raw(n.ceil_raw).accrued(dt_capped));
         }
+        self.bump_epoch();
         if let Some(t) = self.telemetry.get() {
             t.updates.incr(0);
             t.ring.record(
@@ -636,6 +715,7 @@ impl SchedulingTree {
         // bandwidth and overdrive the FIFO. A leaf that never expired but
         // underuses its share lends exactly the unused part (Equation 6).
         if !self.is_active(idx, now) {
+            self.bump_epoch();
             return true;
         }
         // A class with lower-priority siblings lends nothing either: its
@@ -643,6 +723,7 @@ impl SchedulingTree {
         // again through the shadow bucket would hand the same bandwidth
         // out twice and push the FIFO past the wire.
         if !n.lower.is_empty() {
+            self.bump_epoch();
             return true;
         }
         let theta = n.theta.load(Ordering::Acquire);
@@ -651,8 +732,9 @@ impl SchedulingTree {
         // into its own share instead of being locked out by its own loan.
         let gamma = self.gamma_raw(idx, now);
         let lendable = theta.saturating_sub(gamma.saturating_add(gamma / 4));
-        n.shadow
+        self.slab[n.shadow as usize]
             .refill(TokenRate::from_raw(lendable).accrued(dt.min(self.params.expiry)));
+        self.bump_epoch();
         if let Some(t) = self.telemetry.get() {
             t.shadow_updates.incr(0);
             t.ring.record(
@@ -671,7 +753,7 @@ impl SchedulingTree {
     /// overloaded class's drops poison its siblings' residual rates).
     pub(crate) fn count_path(&self, label: &QosLabel, bits: u64) {
         for cid in label.path() {
-            if let Some(&i) = self.index.get(cid) {
+            if let Some(i) = self.node_index(*cid) {
                 self.nodes[i]
                     .consumed_bits
                     .fetch_add(bits, Ordering::AcqRel);
@@ -686,7 +768,7 @@ impl SchedulingTree {
         // Every uncount refunds a prior count of the same bits, so a plain
         // subtract is exact — no compare-exchange loop on the packet path.
         for cid in label.path() {
-            if let Some(&i) = self.index.get(cid) {
+            if let Some(i) = self.node_index(*cid) {
                 debug_assert!(
                     self.nodes[i].consumed_bits.load(Ordering::Acquire) >= bits,
                     "uncount without a matching count"
@@ -701,7 +783,7 @@ impl SchedulingTree {
     /// Marks every class on the path as recently touched (drives expiry).
     pub(crate) fn touch_path(&self, label: &QosLabel, now: Nanos) {
         for cid in label.path() {
-            if let Some(&i) = self.index.get(cid) {
+            if let Some(i) = self.node_index(*cid) {
                 self.nodes[i]
                     .last_packet
                     .fetch_max(now.as_nanos(), Ordering::AcqRel);
@@ -711,19 +793,19 @@ impl SchedulingTree {
 
     /// The published token rate θ of a class, as a bandwidth.
     pub fn theta(&self, id: ClassId) -> Option<BitRate> {
-        let &i = self.index.get(&id)?;
+        let i = self.node_index(id)?;
         Some(TokenRate::from_raw(self.nodes[i].theta.load(Ordering::Acquire)).to_bit_rate())
     }
 
     /// The measured consumption rate Γ of a class at `now`.
     pub fn gamma(&self, id: ClassId, now: Nanos) -> Option<BitRate> {
-        let &i = self.index.get(&id)?;
+        let i = self.node_index(id)?;
         Some(TokenRate::from_raw(self.gamma_raw(i, now)).to_bit_rate())
     }
 
     /// Data-path counters for a class.
     pub fn counters(&self, id: ClassId) -> Option<ClassCounters> {
-        let &i = self.index.get(&id)?;
+        let i = self.node_index(id)?;
         let n = &self.nodes[i];
         Some(ClassCounters {
             forwarded: n.forwarded.load(Ordering::Acquire),
@@ -1037,7 +1119,8 @@ mod tests {
             tree.update_node(a, now);
             tree.update_shadow(a, now);
         }
-        assert!(tree.node(a).shadow.level() > Tokens::ZERO, "shadow empty");
+        let shadow = tree.slab_bucket(tree.node(a).shadow);
+        assert!(shadow.level() > Tokens::ZERO, "shadow empty");
     }
 
     #[test]
@@ -1053,7 +1136,7 @@ mod tests {
             tree.touch_path(&label_hi, now);
             tree.update_shadow(hi, now);
         }
-        assert_eq!(tree.node(hi).shadow.level(), Tokens::ZERO);
+        assert_eq!(tree.slab_bucket(tree.node(hi).shadow).level(), Tokens::ZERO);
     }
 
     #[test]

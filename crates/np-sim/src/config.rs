@@ -65,6 +65,10 @@ pub struct CycleCosts {
     /// Baseline forwarding work outside FlowValve (buffer management,
     /// reorder bookkeeping, MAC egress prep).
     pub forward_base: u64,
+    /// Flattening one admission-chain step when the scheduling program is
+    /// (re)compiled: resolving the class, emitting the step and writing it
+    /// to shared memory. Paid per reconfiguration, never per packet.
+    pub program_compile: u64,
 }
 
 impl CycleCosts {
@@ -79,6 +83,7 @@ impl CycleCosts {
             lock_op: 60,
             tx_enqueue: 220,
             forward_base: 940,
+            program_compile: 1_200,
         }
     }
 }

@@ -33,11 +33,15 @@ pub enum Op {
     TxEnqueue,
     /// Base forwarding work common to every packet.
     ForwardBase,
+    /// Flattening one admission-chain step at policy (re)compile time —
+    /// the control-plane work the compiled scheduling program pays so the
+    /// per-packet path does not walk the tree.
+    ProgramCompile,
 }
 
 impl Op {
     /// Every operation, in [`Op::index`] order.
-    pub const ALL: [Op; 8] = [
+    pub const ALL: [Op; 9] = [
         Op::Parse,
         Op::ClassifyHit,
         Op::ClassifyMiss,
@@ -46,6 +50,7 @@ impl Op {
         Op::LockOp,
         Op::TxEnqueue,
         Op::ForwardBase,
+        Op::ProgramCompile,
     ];
 
     /// Stable lowercase name (the leaf frame in folded profile stacks).
@@ -59,6 +64,7 @@ impl Op {
             Op::LockOp => "lock_op",
             Op::TxEnqueue => "tx_enqueue",
             Op::ForwardBase => "forward_base",
+            Op::ProgramCompile => "program_compile",
         }
     }
 
@@ -72,6 +78,7 @@ impl Op {
             Op::LockOp => 5,
             Op::TxEnqueue => 6,
             Op::ForwardBase => 7,
+            Op::ProgramCompile => 8,
         }
     }
 }
@@ -307,6 +314,7 @@ impl CostMeter {
             Op::LockOp => self.costs.lock_op,
             Op::TxEnqueue => self.costs.tx_enqueue,
             Op::ForwardBase => self.costs.forward_base,
+            Op::ProgramCompile => self.costs.program_compile,
         }
     }
 

@@ -101,16 +101,33 @@ const RADIX_BUCKETS: usize = 64;
 ///   bucket, appended in `seq` order and respilled in iteration order, so
 ///   same-timestamp events pop in exactly insertion order.
 ///
-/// `min` caches the earliest pending timestamp so [`peek_time`] stays a
-/// borrow-only O(1) read; it is refreshed on push (cheap compare) and on
-/// pop (a scan of the lowest non-empty bucket when the ready lane drains —
-/// the same entries the next pop's redistribution walks anyway).
+/// Two caches keep the per-pop bookkeeping O(1) instead of O(64 + bucket):
+///
+/// * `bucket_min[b]` is the exact minimum key in `buckets[b]` (`u64::MAX`
+///   when empty). It is exact because buckets only ever gain entries one at
+///   a time and lose them all at once (the spill), so a running `min` on
+///   insert never goes stale. `min`-refresh on pop and the epoch advance in
+///   [`CalendarQueue::redistribute`] become array reads rather than scans
+///   of the bucket's entries.
+/// * `cursor` is a lazy lane-sweep position: every bucket below it is
+///   empty. Finding the lowest non-empty bucket resumes from the cursor
+///   instead of lane 0; pushes into a lower lane simply pull the cursor
+///   back down. Sweep steps are amortized against the pushes that lowered
+///   the cursor, so the small-N churn pattern (push one, pop one) no
+///   longer pays a 64-lane header walk per pop.
+///
+/// `min` caches the earliest pending timestamp overall so
+/// [`peek_time`] stays a borrow-only O(1) read.
 ///
 /// [`peek_time`]: CalendarQueue::peek_time
 #[derive(Debug)]
 struct CalendarQueue<E> {
     ready: VecDeque<Scheduled<E>>,
     buckets: Vec<Vec<Scheduled<E>>>,
+    /// Exact minimum key per bucket; `u64::MAX` for empty buckets.
+    bucket_min: [u64; RADIX_BUCKETS],
+    /// Lane-sweep cursor: `buckets[i]` is empty for all `i < cursor`.
+    cursor: usize,
     /// Timestamp of the most recently popped entry.
     epoch: u64,
     /// Cached earliest pending timestamp; `None` iff the queue is empty.
@@ -124,6 +141,8 @@ impl<E> CalendarQueue<E> {
         CalendarQueue {
             ready: VecDeque::with_capacity(cap),
             buckets: (0..RADIX_BUCKETS).map(|_| Vec::new()).collect(),
+            bucket_min: [u64::MAX; RADIX_BUCKETS],
+            cursor: 0,
             epoch: 0,
             min: None,
             deferred: 0,
@@ -158,9 +177,28 @@ impl<E> CalendarQueue<E> {
         if lane == 0 {
             self.ready.push_back(Scheduled { time, seq, event });
         } else {
-            self.buckets[lane - 1].push(Scheduled { time, seq, event });
-            self.deferred += 1;
+            self.defer(lane - 1, Scheduled { time, seq, event });
         }
+    }
+
+    /// Appends an entry to bucket `b`, maintaining the cached bucket
+    /// minimum and pulling the lane-sweep cursor down if needed.
+    #[inline]
+    fn defer(&mut self, b: usize, s: Scheduled<E>) {
+        self.bucket_min[b] = self.bucket_min[b].min(s.time.as_nanos());
+        self.buckets[b].push(s);
+        self.deferred += 1;
+        self.cursor = self.cursor.min(b);
+    }
+
+    /// The lowest non-empty bucket, resuming the sweep from the cursor.
+    /// Callers must hold `deferred > 0`.
+    #[inline]
+    fn first_bucket(&mut self) -> usize {
+        while self.buckets[self.cursor].is_empty() {
+            self.cursor += 1;
+        }
+        self.cursor
     }
 
     /// Spills the lowest non-empty bucket into lower lanes, advancing the
@@ -169,26 +207,18 @@ impl<E> CalendarQueue<E> {
     /// insertion order.
     fn redistribute(&mut self) {
         debug_assert!(self.ready.is_empty() && self.deferred > 0);
-        let b = self
-            .buckets
-            .iter()
-            .position(|v| !v.is_empty())
-            .expect("deferred > 0 with all buckets empty");
+        let b = self.first_bucket();
         let spill = std::mem::take(&mut self.buckets[b]);
         self.deferred -= spill.len();
-        self.epoch = spill
-            .iter()
-            .map(|s| s.time.as_nanos())
-            .min()
-            .expect("spill bucket is non-empty");
+        self.epoch = self.bucket_min[b];
+        self.bucket_min[b] = u64::MAX;
         for s in spill {
             let lane = self.lane_of(s.time.as_nanos());
             debug_assert!(lane <= b, "entry failed to migrate downward");
             if lane == 0 {
                 self.ready.push_back(s);
             } else {
-                self.buckets[lane - 1].push(s);
-                self.deferred += 1;
+                self.defer(lane - 1, s);
             }
         }
         debug_assert!(!self.ready.is_empty(), "spill minimum must become ready");
@@ -203,14 +233,14 @@ impl<E> CalendarQueue<E> {
         }
         let s = self.ready.pop_front().expect("ready lane refilled");
         // Refresh the cached minimum: the remaining ready entries share the
-        // epoch key; otherwise the minimum sits in the lowest bucket.
+        // epoch key; otherwise the lowest bucket's cached minimum is exact.
         self.min = if !self.ready.is_empty() {
             Some(Nanos::from_nanos(self.epoch))
+        } else if self.deferred == 0 {
+            None
         } else {
-            self.buckets
-                .iter()
-                .find(|v| !v.is_empty())
-                .map(|v| v.iter().map(|s| s.time).min().expect("non-empty bucket"))
+            let b = self.first_bucket();
+            Some(Nanos::from_nanos(self.bucket_min[b]))
         };
         Some((s.time, s.event))
     }
@@ -224,6 +254,8 @@ impl<E> CalendarQueue<E> {
         for b in &mut self.buckets {
             b.clear();
         }
+        self.bucket_min = [u64::MAX; RADIX_BUCKETS];
+        self.cursor = 0;
         self.epoch = 0;
         self.min = None;
         self.deferred = 0;
@@ -232,7 +264,9 @@ impl<E> CalendarQueue<E> {
 
 #[derive(Debug)]
 enum Backend<E> {
-    Calendar(CalendarQueue<E>),
+    // Boxed: the calendar's per-bucket min cache is a 64-entry inline
+    // array, and the queue should not bloat every `EventQueue` embedder.
+    Calendar(Box<CalendarQueue<E>>),
     Heap(BinaryHeap<Scheduled<E>>),
 }
 
@@ -273,7 +307,7 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue with pre-allocated capacity.
     pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
-            backend: Backend::Calendar(CalendarQueue::with_capacity(cap)),
+            backend: Backend::Calendar(Box::new(CalendarQueue::with_capacity(cap))),
             seq: 0,
             popped: 0,
         }
@@ -283,7 +317,7 @@ impl<E> EventQueue<E> {
     /// the differential-testing oracle; prefer [`EventQueue::new`].
     pub fn with_backend(backend: QueueBackend) -> Self {
         let backend = match backend {
-            QueueBackend::Calendar => Backend::Calendar(CalendarQueue::with_capacity(0)),
+            QueueBackend::Calendar => Backend::Calendar(Box::new(CalendarQueue::with_capacity(0))),
             QueueBackend::BinaryHeap => Backend::Heap(BinaryHeap::new()),
         };
         EventQueue {
@@ -536,5 +570,48 @@ mod tests {
                 break;
             }
         }
+    }
+
+    #[test]
+    fn calendar_matches_heap_across_bursty_spills() {
+        // Large time jumps land entries in high radix lanes; near-epoch
+        // pushes immediately refill low lanes afterwards, forcing the
+        // lane-sweep cursor to rewind. Every pop is checked pop-for-pop
+        // against the heap oracle.
+        let mut cal = EventQueue::with_backend(QueueBackend::Calendar);
+        let mut heap = EventQueue::with_backend(QueueBackend::BinaryHeap);
+        let mut x = 0xdeadbeefcafef00du64;
+        let mut now = 0u64;
+        for i in 0..3_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            // Mix tiny offsets with jumps spanning up to 2^40 ns.
+            let jump = if x.is_multiple_of(5) {
+                x % (1u64 << 40)
+            } else {
+                x % 32
+            };
+            let t = Nanos::from_nanos(now + jump);
+            cal.schedule(t, i);
+            heap.schedule(t, i);
+            assert_eq!(cal.peek_time(), heap.peek_time());
+            if x.is_multiple_of(2) {
+                let (a, b) = (cal.pop(), heap.pop());
+                assert_eq!(a, b);
+                if let Some((t, _)) = a {
+                    now = t.as_nanos();
+                }
+            }
+        }
+        loop {
+            assert_eq!(cal.peek_time(), heap.peek_time());
+            let (a, b) = (cal.pop(), heap.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(cal.dispatched(), 3_000);
     }
 }

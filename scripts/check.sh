@@ -92,6 +92,14 @@ print(f"profile ok: {doc['cycles']['total']} cycles attributed, "
       f"{len(doc['locks'])} locks ranked, folded export deterministic")
 PY
 
+echo "==> bench-diff: committed pr8 snapshot vs pr7 baseline (sched hot path)"
+# Both snapshots are committed, so this is a cheap static gate: it proves
+# the recorded compiled-scheduler numbers never regressed more than 10%
+# against the pre-compilation baseline on any sched_* bench (the diff
+# walks baseline keys, so sched_compiled/* entries new in pr8 are free).
+cargo run --release -q -p fv-cli -- bench-diff BENCH_pr8.json BENCH_pr7.json \
+    --tolerance-pct 10 --only sched
+
 # Opt-in perf-regression gate: fresh bench snapshot diffed against the
 # newest committed baseline on the two hot-path acceptance benches.
 # Baselines are machine-specific — if this fires on new hardware while
