@@ -1,0 +1,560 @@
+//! The token-conservation auditor.
+//!
+//! Folds sampled [`ProvenanceRecord`]s plus a bucket-slab snapshot into a
+//! per-bucket ledger and checks the conservation identities the scheduler
+//! must uphold:
+//!
+//! 1. **Charge exactness** — a green meter step moved exactly `need`
+//!    tokens (`after == before − need`); anything else is a *mischarge*.
+//! 2. **Restore exactness** — a red meter step restored the bucket
+//!    (`after == before`); anything else is a *leak*.
+//! 3. **Refund completeness** — a chain drop at stage *i* refunds every
+//!    already-admitted stage `0..i` exactly once, each for the packet's
+//!    full wire bits; and non-drop verdicts refund nothing.
+//! 4. **No overfill** — no bucket's level exceeds its burst capacity in
+//!    the slab snapshot.
+//!
+//! Violations surface as the `audit.*` counter family; borrowing flows
+//! are attributed lender→borrower. The per-step reads are exact under the
+//! virtual clock (decisions are serialized by the event loop); under real
+//! threads a concurrent refill between the before/after reads could
+//! produce false positives, so the auditor is wired to the deterministic
+//! demo/chaos harnesses only.
+
+use std::collections::BTreeMap;
+
+use fv_telemetry::{JsonValue, Registry, ToJson};
+
+use crate::provenance::{AuditVerdict, ProvenanceRecord, StepKind};
+
+/// One bucket of the scheduling tree's flat slab at snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketSnapshot {
+    /// Slab index.
+    pub index: u32,
+    /// Raw class id of the owning node.
+    pub class: u16,
+    /// `"class"`, `"shadow"` or `"ceil"`.
+    pub role: &'static str,
+    /// Raw (signed) token level.
+    pub raw: i64,
+    /// Burst capacity in tokens.
+    pub burst: u64,
+}
+
+/// What kind of conservation break was found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Green meter step whose token delta is not exactly `need`.
+    Mischarge,
+    /// Red meter step that did not restore the bucket.
+    Leak,
+    /// Chain-drop refunds missing, duplicated, or with wrong bits.
+    RefundMismatch,
+    /// A bucket level above its burst capacity.
+    Overfill,
+}
+
+impl ViolationKind {
+    /// Stable snake_case name, used as the counter-name suffix.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ViolationKind::Mischarge => "mischarge",
+            ViolationKind::Leak => "leak",
+            ViolationKind::RefundMismatch => "refund_mismatch",
+            ViolationKind::Overfill => "overfill",
+        }
+    }
+}
+
+/// One conservation break.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The identity that broke.
+    pub kind: ViolationKind,
+    /// Packet whose record exposed it (None for snapshot checks).
+    pub pkt_id: Option<u64>,
+    /// Bucket involved, when one is.
+    pub bucket: Option<u32>,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl ToJson for Violation {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("kind", JsonValue::Str(self.kind.name().to_string())),
+            (
+                "pkt_id",
+                match self.pkt_id {
+                    Some(p) => JsonValue::UInt(p),
+                    None => JsonValue::Null,
+                },
+            ),
+            (
+                "bucket",
+                match self.bucket {
+                    Some(b) => JsonValue::UInt(b as u64),
+                    None => JsonValue::Null,
+                },
+            ),
+            ("detail", JsonValue::Str(self.detail.clone())),
+        ])
+    }
+}
+
+/// Sampled-window accounting for one slab bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketLedger {
+    /// Slab index.
+    pub index: u32,
+    /// Raw class id of the owning node.
+    pub class: u16,
+    /// `"class"`, `"shadow"` or `"ceil"`.
+    pub role: &'static str,
+    /// Tokens consumed by green meter steps in the sampled window.
+    pub charged: u64,
+    /// Tokens test-and-restored by red meter steps.
+    pub restored: u64,
+    /// Meter attempts observed.
+    pub attempts: u64,
+    /// Meter refusals observed.
+    pub refusals: u64,
+    /// Raw level at snapshot time (the residual of the identity).
+    pub residual: i64,
+    /// Burst capacity.
+    pub burst: u64,
+}
+
+impl ToJson for BucketLedger {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("bucket", JsonValue::UInt(self.index as u64)),
+            ("class", JsonValue::UInt(self.class as u64)),
+            ("role", JsonValue::Str(self.role.to_string())),
+            ("charged", JsonValue::UInt(self.charged)),
+            ("restored", JsonValue::UInt(self.restored)),
+            ("attempts", JsonValue::UInt(self.attempts)),
+            ("refusals", JsonValue::UInt(self.refusals)),
+            ("residual", JsonValue::Int(self.residual)),
+            ("burst", JsonValue::UInt(self.burst)),
+        ])
+    }
+}
+
+/// One lender→borrower attribution edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BorrowEdge {
+    /// Raw class id tokens were drawn from.
+    pub lender: u16,
+    /// Raw leaf class id that spent them.
+    pub borrower: u16,
+    /// Sampled packets admitted over this edge.
+    pub pkts: u64,
+    /// Sampled wire bits admitted over this edge.
+    pub bits: u64,
+}
+
+/// The auditor's output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditReport {
+    /// Provenance records folded in.
+    pub records: u64,
+    /// Meter steps whose conservation identities were checked.
+    pub steps_checked: u64,
+    /// Per-bucket ledgers, slab order.
+    pub ledgers: Vec<BucketLedger>,
+    /// Borrow attribution, (lender, borrower) order.
+    pub borrows: Vec<BorrowEdge>,
+    /// Every conservation break found.
+    pub violations: Vec<Violation>,
+}
+
+impl AuditReport {
+    /// Whether every identity held.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Publishes the `audit.*` counter family on `registry`:
+    /// `audit.records`, `audit.steps_checked` and `audit.violations`
+    /// always (so clean snapshots have a stable schema), plus a lazy
+    /// `audit.violation.<kind>` per kind actually seen — the fv-chaos
+    /// convention for fault-only counters.
+    pub fn install_counters(&self, registry: &Registry, worker: usize) {
+        registry.counter("audit.records").add(worker, self.records);
+        registry
+            .counter("audit.steps_checked")
+            .add(worker, self.steps_checked);
+        registry
+            .counter("audit.violations")
+            .add(worker, self.violations.len() as u64);
+        let mut by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for v in &self.violations {
+            *by_kind.entry(v.kind.name()).or_insert(0) += 1;
+        }
+        for (kind, n) in by_kind {
+            registry
+                .counter(&format!("audit.violation.{kind}"))
+                .add(worker, n);
+        }
+    }
+
+    /// Renders the human-readable audit summary printed by `fv audit`.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "audit: {} records, {} meter steps checked, {} violations",
+            self.records,
+            self.steps_checked,
+            self.violations.len()
+        );
+        let _ = writeln!(
+            out,
+            "{:>6} {:>6} {:<6} {:>12} {:>12} {:>8} {:>8} {:>12}",
+            "bucket", "class", "role", "charged", "restored", "meters", "red", "residual"
+        );
+        for l in &self.ledgers {
+            let _ = writeln!(
+                out,
+                "{:>6} {:>6} {:<6} {:>12} {:>12} {:>8} {:>8} {:>12}",
+                l.index,
+                format!("1:{}", l.class),
+                l.role,
+                l.charged,
+                l.restored,
+                l.attempts,
+                l.refusals,
+                l.residual
+            );
+        }
+        if !self.borrows.is_empty() {
+            let _ = writeln!(out, "borrowing (lender -> borrower):");
+            for b in &self.borrows {
+                let _ = writeln!(
+                    out,
+                    "  1:{} -> 1:{}  {} pkts  {} bits",
+                    b.lender, b.borrower, b.pkts, b.bits
+                );
+            }
+        }
+        for v in &self.violations {
+            let _ = writeln!(
+                out,
+                "VIOLATION [{}] pkt {} bucket {}: {}",
+                v.kind.name(),
+                v.pkt_id
+                    .map(|p| p.to_string())
+                    .unwrap_or_else(|| "-".into()),
+                v.bucket
+                    .map(|b| b.to_string())
+                    .unwrap_or_else(|| "-".into()),
+                v.detail
+            );
+        }
+        out
+    }
+}
+
+impl ToJson for AuditReport {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("records", JsonValue::UInt(self.records)),
+            ("steps_checked", JsonValue::UInt(self.steps_checked)),
+            ("ok", JsonValue::Bool(self.ok())),
+            (
+                "ledgers",
+                JsonValue::arr(self.ledgers.iter().map(|l| l.to_json())),
+            ),
+            (
+                "borrows",
+                JsonValue::arr(self.borrows.iter().map(|b| {
+                    JsonValue::obj([
+                        ("lender", JsonValue::UInt(b.lender as u64)),
+                        ("borrower", JsonValue::UInt(b.borrower as u64)),
+                        ("pkts", JsonValue::UInt(b.pkts)),
+                        ("bits", JsonValue::UInt(b.bits)),
+                    ])
+                })),
+            ),
+            (
+                "violations",
+                JsonValue::arr(self.violations.iter().map(|v| v.to_json())),
+            ),
+        ])
+    }
+}
+
+/// The token-conservation auditor.
+#[derive(Debug, Default)]
+pub struct Ledger;
+
+impl Ledger {
+    /// Folds `records` and the slab `snapshot` into an [`AuditReport`].
+    pub fn audit(records: &[ProvenanceRecord], snapshot: &[BucketSnapshot]) -> AuditReport {
+        let mut violations = Vec::new();
+        let mut steps_checked = 0u64;
+
+        // Per-bucket accumulation, seeded from the snapshot so idle
+        // buckets still show their residual.
+        let mut ledgers: BTreeMap<u32, BucketLedger> = snapshot
+            .iter()
+            .map(|b| {
+                (
+                    b.index,
+                    BucketLedger {
+                        index: b.index,
+                        class: b.class,
+                        role: b.role,
+                        charged: 0,
+                        restored: 0,
+                        attempts: 0,
+                        refusals: 0,
+                        residual: b.raw,
+                        burst: b.burst,
+                    },
+                )
+            })
+            .collect();
+        let mut borrows: BTreeMap<(u16, u16), (u64, u64)> = BTreeMap::new();
+
+        for rec in records {
+            for s in &rec.steps {
+                if s.kind == StepKind::Update {
+                    continue;
+                }
+                steps_checked += 1;
+                if let Some(l) = ledgers.get_mut(&s.bucket) {
+                    l.attempts += 1;
+                    if s.green {
+                        l.charged += s.need.max(0) as u64;
+                    } else {
+                        l.refusals += 1;
+                        l.restored += s.need.max(0) as u64;
+                    }
+                }
+                if s.green && s.after != s.before - s.need {
+                    violations.push(Violation {
+                        kind: ViolationKind::Mischarge,
+                        pkt_id: Some(rec.pkt_id),
+                        bucket: Some(s.bucket),
+                        detail: format!(
+                            "{} charged {} but moved {} ({} -> {})",
+                            s.kind.name(),
+                            s.need,
+                            s.before - s.after,
+                            s.before,
+                            s.after
+                        ),
+                    });
+                } else if !s.green && s.after != s.before {
+                    violations.push(Violation {
+                        kind: ViolationKind::Leak,
+                        pkt_id: Some(rec.pkt_id),
+                        bucket: Some(s.bucket),
+                        detail: format!(
+                            "red {} leaked {} tokens ({} -> {})",
+                            s.kind.name(),
+                            s.before - s.after,
+                            s.before,
+                            s.after
+                        ),
+                    });
+                }
+            }
+
+            // Refund completeness: a drop at chain stage i refunds each
+            // admitted stage 0..i exactly once, full wire bits each.
+            if rec.verdict == AuditVerdict::Drop {
+                let drop_stage = rec.deciding_step().map(|i| rec.steps[i].stage).unwrap_or(0);
+                let mut expected: Vec<u8> = (0..drop_stage).collect();
+                for r in &rec.refunds {
+                    if r.bits != rec.wire_bits {
+                        violations.push(Violation {
+                            kind: ViolationKind::RefundMismatch,
+                            pkt_id: Some(rec.pkt_id),
+                            bucket: None,
+                            detail: format!(
+                                "refund to stage {} was {} bits, packet is {}",
+                                r.stage, r.bits, rec.wire_bits
+                            ),
+                        });
+                    }
+                    match expected.iter().position(|&s| s == r.stage) {
+                        Some(i) => {
+                            expected.remove(i);
+                        }
+                        None => violations.push(Violation {
+                            kind: ViolationKind::RefundMismatch,
+                            pkt_id: Some(rec.pkt_id),
+                            bucket: None,
+                            detail: format!("unexpected refund to stage {}", r.stage),
+                        }),
+                    }
+                }
+                for s in expected {
+                    violations.push(Violation {
+                        kind: ViolationKind::RefundMismatch,
+                        pkt_id: Some(rec.pkt_id),
+                        bucket: None,
+                        detail: format!("missing refund to admitted stage {s}"),
+                    });
+                }
+            } else if !rec.refunds.is_empty() {
+                violations.push(Violation {
+                    kind: ViolationKind::RefundMismatch,
+                    pkt_id: Some(rec.pkt_id),
+                    bucket: None,
+                    detail: format!("{} verdict carries refunds", rec.verdict.name()),
+                });
+            }
+
+            if let AuditVerdict::Borrowed(lender) = rec.verdict {
+                let e = borrows.entry((lender, rec.leaf)).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += rec.wire_bits;
+            }
+        }
+
+        for b in snapshot {
+            if b.raw > b.burst as i64 {
+                violations.push(Violation {
+                    kind: ViolationKind::Overfill,
+                    pkt_id: None,
+                    bucket: Some(b.index),
+                    detail: format!(
+                        "bucket 1:{} ({}) holds {} tokens, burst is {}",
+                        b.class, b.role, b.raw, b.burst
+                    ),
+                });
+            }
+        }
+
+        AuditReport {
+            records: records.len() as u64,
+            steps_checked,
+            ledgers: ledgers.into_values().collect(),
+            borrows: borrows
+                .into_iter()
+                .map(|((lender, borrower), (pkts, bits))| BorrowEdge {
+                    lender,
+                    borrower,
+                    pkts,
+                    bits,
+                })
+                .collect(),
+            violations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provenance::StepRecord;
+    use sim_core::time::Nanos;
+
+    fn clean_record(pkt_id: u64) -> ProvenanceRecord {
+        ProvenanceRecord {
+            pkt_id,
+            at: Nanos::from_nanos(10),
+            leaf: 10,
+            wire_bits: 12_000,
+            verdict: AuditVerdict::Forward,
+            cause: None,
+            cache_hit: true,
+            generation: 0,
+            reload_gen: 0,
+            epoch: 0,
+            chain: 0,
+            steps: vec![StepRecord {
+                stage: 0,
+                kind: StepKind::MeterLeaf,
+                class: 10,
+                bucket: 1,
+                need: 12_000,
+                before: 50_000,
+                after: 38_000,
+                green: true,
+            }],
+            refunds: vec![],
+        }
+    }
+
+    fn slab() -> Vec<BucketSnapshot> {
+        vec![BucketSnapshot {
+            index: 1,
+            class: 10,
+            role: "class",
+            raw: 38_000,
+            burst: 100_000,
+        }]
+    }
+
+    #[test]
+    fn clean_records_pass() {
+        let report = Ledger::audit(&[clean_record(0), clean_record(8)], &slab());
+        assert!(report.ok(), "{:?}", report.violations);
+        assert_eq!(report.records, 2);
+        assert_eq!(report.steps_checked, 2);
+        assert_eq!(report.ledgers[0].charged, 24_000);
+    }
+
+    #[test]
+    fn mischarge_is_flagged() {
+        let mut r = clean_record(0);
+        r.steps[0].after += 1;
+        let report = Ledger::audit(&[r], &slab());
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].kind, ViolationKind::Mischarge);
+    }
+
+    #[test]
+    fn red_leak_is_flagged() {
+        let mut r = clean_record(0);
+        r.steps[0].green = false;
+        r.steps[0].after = r.steps[0].before - 5;
+        r.verdict = AuditVerdict::Drop;
+        let report = Ledger::audit(&[r], &slab());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::Leak));
+    }
+
+    #[test]
+    fn missing_refund_is_flagged() {
+        let mut r = clean_record(0);
+        // Drop at stage 1 with stage 0 already admitted, but no refund.
+        r.verdict = AuditVerdict::Drop;
+        r.steps[0].green = false;
+        r.steps[0].after = r.steps[0].before;
+        r.steps[0].stage = 1;
+        let report = Ledger::audit(&[r], &slab());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::RefundMismatch));
+    }
+
+    #[test]
+    fn overfill_is_flagged() {
+        let mut s = slab();
+        s[0].raw = s[0].burst as i64 + 7;
+        let report = Ledger::audit(&[], &s);
+        assert_eq!(report.violations[0].kind, ViolationKind::Overfill);
+    }
+
+    #[test]
+    fn borrow_edges_attributed() {
+        let mut r = clean_record(0);
+        r.verdict = AuditVerdict::Borrowed(1);
+        let report = Ledger::audit(&[r], &slab());
+        assert_eq!(report.borrows.len(), 1);
+        assert_eq!(report.borrows[0].lender, 1);
+        assert_eq!(report.borrows[0].borrower, 10);
+        assert_eq!(report.borrows[0].bits, 12_000);
+    }
+}

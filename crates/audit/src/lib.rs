@@ -1,0 +1,37 @@
+//! fv-audit — decision provenance, token-conservation auditing, and the
+//! unified drop-cause taxonomy.
+//!
+//! Since the scheduler moved to a compiled decision program fronted by a
+//! per-flow cache, nothing upstream could say *why* a given packet was
+//! admitted, deferred, or dropped, or prove that token charges and chain
+//! refunds still conserve across hot reloads, epoch rolls and borrow
+//! flips. This crate supplies that layer in three parts:
+//!
+//! * [`cause`] — one [`DropCause`] enum shared by flowvalve, the qdisc
+//!   baselines (PRIO/TBF/HTB/SFQ) and the np-sim traffic manager,
+//!   replacing the previous per-crate ad-hoc drop enums.
+//! * [`provenance`] — the [`StepObserver`] hook the schedulers thread
+//!   through their admission walks, the [`ProvenanceRecord`] it produces
+//!   (every executed chain step with bucket tokens before/after), the
+//!   1-in-2^n [`Sampler`], and the lock-free [`ProvenanceRing`] keyed by
+//!   packet id.
+//! * [`ledger`] — the token-conservation auditor: folds sampled records
+//!   plus a bucket-slab snapshot into a per-bucket ledger
+//!   (charged = consumed + refunded + residual, borrowing attributed
+//!   lender→borrower) and flags violations as the `audit.*` counter
+//!   family.
+//!
+//! The crate deliberately depends only on `sim-core` and `fv-telemetry`
+//! so that np-sim, qdisc and flowvalve can all adopt the taxonomy and the
+//! observer hook without a dependency cycle.
+
+pub mod cause;
+pub mod ledger;
+pub mod provenance;
+
+pub use cause::{CauseCounters, DropCause};
+pub use ledger::{AuditReport, BucketLedger, BucketSnapshot, Ledger, Violation, ViolationKind};
+pub use provenance::{
+    AuditVerdict, NoObserver, ProvenanceRecord, ProvenanceRing, Recorder, RefundRecord, Sampler,
+    StepKind, StepObserver, StepRecord,
+};

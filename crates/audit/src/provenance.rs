@@ -1,0 +1,574 @@
+//! Decision provenance: what the admission walk actually did, per packet.
+//!
+//! The schedulers (interpreted walker, compiled program, qdisc chain) are
+//! generic over a [`StepObserver`]. The production path instantiates them
+//! with [`NoObserver`], whose `ENABLED: bool = false` constant lets the
+//! compiler erase every capture branch — the unsampled fast path pays one
+//! well-predicted branch per decision, nothing more. When the 1-in-2^n
+//! [`Sampler`] selects a packet, the pipeline re-runs nothing: the same
+//! single walk executes with a [`Recorder`] threaded through it, and the
+//! finished [`ProvenanceRecord`] — every executed chain step with bucket
+//! tokens before/after, the deciding step on a refusal, cache and
+//! generation state at decision time — lands in the [`ProvenanceRing`],
+//! a try-lock slot array keyed by packet id that never blocks the
+//! data path.
+
+use std::sync::Mutex;
+
+use fv_telemetry::{JsonValue, ToJson};
+use sim_core::time::Nanos;
+
+use crate::cause::DropCause;
+
+/// What kind of chain step executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepKind {
+    /// A guarded rate-estimation update of a path node.
+    Update,
+    /// The leaf class token-bucket meter.
+    MeterLeaf,
+    /// The ceiling-bucket meter bounding borrowing.
+    MeterCeil,
+    /// A lender shadow-bucket meter.
+    Borrow,
+}
+
+impl StepKind {
+    /// Stable lowercase name used in rendered walks and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StepKind::Update => "update",
+            StepKind::MeterLeaf => "meter_leaf",
+            StepKind::MeterCeil => "meter_ceil",
+            StepKind::Borrow => "borrow",
+        }
+    }
+}
+
+/// One executed admission-chain step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepRecord {
+    /// Qdisc-chain stage index (0 for a single-tree walk).
+    pub stage: u8,
+    /// What the step did.
+    pub kind: StepKind,
+    /// Raw class id of the node the step touched.
+    pub class: u16,
+    /// Slab index of the bucket the step touched.
+    pub bucket: u32,
+    /// Tokens requested by a meter step (0 for updates).
+    pub need: i64,
+    /// Raw bucket level immediately before the step.
+    pub before: i64,
+    /// Raw bucket level immediately after the step.
+    pub after: i64,
+    /// Whether the step passed (meters: token test green; updates: always).
+    pub green: bool,
+}
+
+/// A Γ-refund issued to an earlier chain stage when a later stage drops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefundRecord {
+    /// Stage that receives the refund.
+    pub stage: u8,
+    /// Leaf class of the refunded label on that stage.
+    pub class: u16,
+    /// Wire bits uncounted.
+    pub bits: u64,
+}
+
+/// The verdict, mirrored here so the auditor does not depend on flowvalve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditVerdict {
+    /// Admitted on the leaf's own tokens.
+    Forward,
+    /// Admitted by borrowing from the lender class (raw id).
+    Borrowed(u16),
+    /// Refused.
+    Drop,
+}
+
+impl AuditVerdict {
+    /// Stable lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AuditVerdict::Forward => "forward",
+            AuditVerdict::Borrowed(_) => "borrowed",
+            AuditVerdict::Drop => "drop",
+        }
+    }
+}
+
+/// The full provenance of one sampled scheduling decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvenanceRecord {
+    /// Packet id the decision was made for.
+    pub pkt_id: u64,
+    /// Virtual time of the decision.
+    pub at: Nanos,
+    /// Raw leaf class id the packet classified into.
+    pub leaf: u16,
+    /// Wire bits charged for the packet.
+    pub wire_bits: u64,
+    /// The verdict.
+    pub verdict: AuditVerdict,
+    /// Why the packet was refused, when it was.
+    pub cause: Option<DropCause>,
+    /// Whether the per-flow admission cache resolved the chain.
+    pub cache_hit: bool,
+    /// Cache generation (`reload_gen + tree epoch`) at decision time.
+    pub generation: u64,
+    /// Pipeline hot-reload generation at decision time.
+    pub reload_gen: u64,
+    /// Tree update epoch at decision time.
+    pub epoch: u64,
+    /// Compiled chain index (`u32::MAX` for the interpreted walker).
+    pub chain: u32,
+    /// Every executed step, in execution order.
+    pub steps: Vec<StepRecord>,
+    /// Γ-refunds to earlier stages (qdisc chains only).
+    pub refunds: Vec<RefundRecord>,
+}
+
+impl ProvenanceRecord {
+    /// Index of the step that decided a refusal: the last non-green step.
+    pub fn deciding_step(&self) -> Option<usize> {
+        self.steps.iter().rposition(|s| !s.green)
+    }
+
+    /// The canonical walk text: everything the *scheduling semantics*
+    /// produced — steps, verdict, cause, refunds — excluding cache/chain
+    /// bookkeeping that legitimately differs between the compiled program
+    /// and the interpreted walker. The compiled-vs-interpreted oracle
+    /// compares this byte-for-byte.
+    pub fn canonical(&self) -> String {
+        let mut out = String::new();
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            out,
+            "pkt {} at {}ns leaf 1:{} bits {}",
+            self.pkt_id,
+            self.at.as_nanos(),
+            self.leaf,
+            self.wire_bits
+        );
+        for (i, s) in self.steps.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  [{i}] s{} {} 1:{} bucket {} need {} tokens {} -> {} {}",
+                s.stage,
+                s.kind.name(),
+                s.class,
+                s.bucket,
+                s.need,
+                s.before,
+                s.after,
+                if s.green { "green" } else { "red" }
+            );
+        }
+        for r in &self.refunds {
+            let _ = writeln!(out, "  refund s{} 1:{} bits {}", r.stage, r.class, r.bits);
+        }
+        match self.verdict {
+            AuditVerdict::Borrowed(l) => {
+                let _ = writeln!(out, "verdict borrowed from 1:{l}");
+            }
+            v => {
+                let _ = write!(out, "verdict {}", v.name());
+                if let Some(c) = self.cause {
+                    let _ = write!(out, " ({c})");
+                }
+                let _ = writeln!(out);
+            }
+        }
+        out
+    }
+
+    /// The full human-readable explanation printed by `fv why`.
+    pub fn render(&self) -> String {
+        let mut out = self.canonical();
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            out,
+            "cache {} gen {} (reload {} epoch {}) chain {}",
+            if self.cache_hit { "hit" } else { "miss" },
+            self.generation,
+            self.reload_gen,
+            self.epoch,
+            if self.chain == u32::MAX {
+                "interpreted".to_string()
+            } else {
+                self.chain.to_string()
+            }
+        );
+        if let Some(i) = self.deciding_step() {
+            let _ = writeln!(out, "deciding step [{i}]");
+        }
+        out
+    }
+}
+
+impl ToJson for StepRecord {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("stage", JsonValue::UInt(self.stage as u64)),
+            ("kind", JsonValue::Str(self.kind.name().to_string())),
+            ("class", JsonValue::UInt(self.class as u64)),
+            ("bucket", JsonValue::UInt(self.bucket as u64)),
+            ("need", JsonValue::Int(self.need)),
+            ("before", JsonValue::Int(self.before)),
+            ("after", JsonValue::Int(self.after)),
+            ("green", JsonValue::Bool(self.green)),
+        ])
+    }
+}
+
+impl ToJson for ProvenanceRecord {
+    fn to_json(&self) -> JsonValue {
+        let mut pairs = vec![
+            ("pkt_id", JsonValue::UInt(self.pkt_id)),
+            ("at_ns", JsonValue::UInt(self.at.as_nanos())),
+            ("leaf", JsonValue::UInt(self.leaf as u64)),
+            ("wire_bits", JsonValue::UInt(self.wire_bits)),
+            ("verdict", JsonValue::Str(self.verdict.name().to_string())),
+        ];
+        if let AuditVerdict::Borrowed(l) = self.verdict {
+            pairs.push(("lender", JsonValue::UInt(l as u64)));
+        }
+        pairs.push((
+            "cause",
+            match self.cause {
+                Some(c) => JsonValue::Str(c.name().to_string()),
+                None => JsonValue::Null,
+            },
+        ));
+        pairs.push(("cache_hit", JsonValue::Bool(self.cache_hit)));
+        pairs.push(("generation", JsonValue::UInt(self.generation)));
+        pairs.push(("reload_gen", JsonValue::UInt(self.reload_gen)));
+        pairs.push(("epoch", JsonValue::UInt(self.epoch)));
+        pairs.push((
+            "chain",
+            if self.chain == u32::MAX {
+                JsonValue::Null
+            } else {
+                JsonValue::UInt(self.chain as u64)
+            },
+        ));
+        pairs.push((
+            "deciding_step",
+            match self.deciding_step() {
+                Some(i) => JsonValue::UInt(i as u64),
+                None => JsonValue::Null,
+            },
+        ));
+        pairs.push((
+            "steps",
+            JsonValue::arr(self.steps.iter().map(|s| s.to_json())),
+        ));
+        pairs.push((
+            "refunds",
+            JsonValue::arr(self.refunds.iter().map(|r| {
+                JsonValue::obj([
+                    ("stage", JsonValue::UInt(r.stage as u64)),
+                    ("class", JsonValue::UInt(r.class as u64)),
+                    ("bits", JsonValue::UInt(r.bits)),
+                ])
+            })),
+        ));
+        JsonValue::obj(pairs)
+    }
+}
+
+/// The capture hook the schedulers are generic over.
+///
+/// `ENABLED` is an associated *constant*: with [`NoObserver`] every
+/// capture site folds to dead code at monomorphization, so the production
+/// instantiation is bit-identical in cost to the pre-audit scheduler.
+pub trait StepObserver {
+    /// Whether this observer captures anything.
+    const ENABLED: bool;
+
+    /// Called after each executed chain step.
+    fn on_step(&mut self, rec: StepRecord);
+
+    /// Called for each Γ-refund a chain drop issues to an earlier stage.
+    fn on_refund(&mut self, stage: u8, class: u16, bits: u64);
+
+    /// Called by a qdisc chain as it enters stage `stage`; subsequent
+    /// steps belong to that stage. Single-tree walks never call this.
+    fn on_stage(&mut self, stage: u8) {
+        let _ = stage;
+    }
+}
+
+/// The erased observer for the production path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoObserver;
+
+impl StepObserver for NoObserver {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn on_step(&mut self, _rec: StepRecord) {}
+
+    #[inline(always)]
+    fn on_refund(&mut self, _stage: u8, _class: u16, _bits: u64) {}
+}
+
+/// The collecting observer used for sampled packets.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    /// Chain stage the next steps belong to (set by the qdisc chain).
+    pub stage: u8,
+    /// Steps collected so far.
+    pub steps: Vec<StepRecord>,
+    /// Refunds collected so far.
+    pub refunds: Vec<RefundRecord>,
+}
+
+impl Recorder {
+    /// A fresh empty recorder at stage 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl StepObserver for Recorder {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn on_step(&mut self, mut rec: StepRecord) {
+        rec.stage = self.stage;
+        self.steps.push(rec);
+    }
+
+    #[inline]
+    fn on_refund(&mut self, stage: u8, class: u16, bits: u64) {
+        self.refunds.push(RefundRecord { stage, class, bits });
+    }
+
+    #[inline]
+    fn on_stage(&mut self, stage: u8) {
+        self.stage = stage;
+    }
+}
+
+/// 1-in-2^n packet sampler: a packet is captured iff its low `shift` id
+/// bits are zero. `shift == 0` samples everything.
+#[derive(Debug, Clone, Copy)]
+pub struct Sampler {
+    shift: u32,
+}
+
+impl Sampler {
+    /// Samples one packet in `2^shift` (`shift` clamped to 63).
+    pub fn one_in_pow2(shift: u32) -> Self {
+        Sampler {
+            shift: shift.min(63),
+        }
+    }
+
+    /// Whether `pkt_id` is selected.
+    #[inline]
+    pub fn hit(&self, pkt_id: u64) -> bool {
+        pkt_id & ((1u64 << self.shift) - 1) == 0
+    }
+
+    /// The sampling shift.
+    pub fn shift(&self) -> u32 {
+        self.shift
+    }
+}
+
+/// Lock-free-enough provenance store: a power-of-two slot array indexed
+/// by packet id. Writers `try_lock` their slot and drop the record on
+/// contention (never block the data path). When built with
+/// [`Self::sampled`], the id is shifted right by the sampler's shift
+/// before the modulo, so consecutive *sampled* ids (which are multiples
+/// of `2^shift`) land in consecutive slots and a capture window of
+/// `capacity × 2^shift` packet ids is retained losslessly.
+#[derive(Debug)]
+pub struct ProvenanceRing {
+    slots: Vec<Mutex<Option<ProvenanceRecord>>>,
+    mask: u64,
+    shift: u32,
+}
+
+impl ProvenanceRing {
+    /// A ring with `capacity` slots (rounded up to a power of two),
+    /// indexed by raw packet id — pair it with a `shift == 0` sampler.
+    pub fn new(capacity: usize) -> Self {
+        Self::sampled(capacity, 0)
+    }
+
+    /// A ring laid out for a 1-in-`2^shift` sampler: slots are indexed by
+    /// `pkt_id >> shift`, so the sampled ids fill every slot before any
+    /// eviction happens.
+    pub fn sampled(capacity: usize, shift: u32) -> Self {
+        let cap = capacity.next_power_of_two().max(1);
+        ProvenanceRing {
+            slots: (0..cap).map(|_| Mutex::new(None)).collect(),
+            mask: cap as u64 - 1,
+            shift: shift.min(63),
+        }
+    }
+
+    #[inline]
+    fn slot_of(&self, pkt_id: u64) -> usize {
+        ((pkt_id >> self.shift) & self.mask) as usize
+    }
+
+    /// Slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Stores `rec`, overwriting any older record in its slot. Silently
+    /// drops the record if the slot is contended.
+    pub fn record(&self, rec: ProvenanceRecord) {
+        let slot = &self.slots[self.slot_of(rec.pkt_id)];
+        if let Ok(mut s) = slot.try_lock() {
+            *s = Some(rec);
+        }
+    }
+
+    /// The record for `pkt_id`, if it is still resident.
+    pub fn get(&self, pkt_id: u64) -> Option<ProvenanceRecord> {
+        let slot = self.slots[self.slot_of(pkt_id)].lock().ok()?;
+        slot.as_ref().filter(|r| r.pkt_id == pkt_id).cloned()
+    }
+
+    /// Every resident record, ordered by packet id.
+    pub fn records(&self) -> Vec<ProvenanceRecord> {
+        let mut out: Vec<ProvenanceRecord> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.lock().ok().and_then(|g| g.clone()))
+            .collect();
+        out.sort_by_key(|r| r.pkt_id);
+        out
+    }
+
+    /// Number of resident records.
+    pub fn len(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.lock().map(|g| g.is_some()).unwrap_or(false))
+            .count()
+    }
+
+    /// Whether no record is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(pkt_id: u64) -> ProvenanceRecord {
+        ProvenanceRecord {
+            pkt_id,
+            at: Nanos::from_nanos(42),
+            leaf: 10,
+            wire_bits: 12_000,
+            verdict: AuditVerdict::Forward,
+            cause: None,
+            cache_hit: true,
+            generation: 7,
+            reload_gen: 1,
+            epoch: 6,
+            chain: 2,
+            steps: vec![StepRecord {
+                stage: 0,
+                kind: StepKind::MeterLeaf,
+                class: 10,
+                bucket: 3,
+                need: 12_000,
+                before: 50_000,
+                after: 38_000,
+                green: true,
+            }],
+            refunds: vec![],
+        }
+    }
+
+    #[test]
+    fn sampler_is_one_in_pow2() {
+        let s = Sampler::one_in_pow2(3);
+        let hits = (0..64).filter(|&i| s.hit(i)).count();
+        assert_eq!(hits, 8);
+        assert!(s.hit(0));
+        assert!(!s.hit(1));
+        assert!(Sampler::one_in_pow2(0).hit(12345));
+    }
+
+    #[test]
+    fn ring_stores_and_resolves_by_pkt_id() {
+        let ring = ProvenanceRing::new(8);
+        ring.record(rec(5));
+        ring.record(rec(13)); // same slot (13 & 7 == 5): overwrites.
+        assert_eq!(ring.get(5), None);
+        assert_eq!(ring.get(13).map(|r| r.pkt_id), Some(13));
+        assert_eq!(ring.len(), 1);
+    }
+
+    #[test]
+    fn sampled_ring_fills_every_slot_before_evicting() {
+        // With a 1-in-8 sampler the sampled ids are multiples of 8; a
+        // shift-aware ring places them in consecutive slots so the
+        // lossless window is capacity × 2^shift ids, not capacity ids.
+        let ring = ProvenanceRing::sampled(4, 3);
+        for id in [0u64, 8, 16, 24] {
+            ring.record(rec(id));
+        }
+        assert_eq!(ring.len(), 4);
+        for id in [0u64, 8, 16, 24] {
+            assert_eq!(ring.get(id).map(|r| r.pkt_id), Some(id));
+        }
+        // The next sampled id wraps and evicts the oldest.
+        ring.record(rec(32));
+        assert_eq!(ring.get(0), None);
+        assert_eq!(ring.get(32).map(|r| r.pkt_id), Some(32));
+    }
+
+    #[test]
+    fn canonical_excludes_cache_state() {
+        let a = rec(9);
+        let mut b = rec(9);
+        b.cache_hit = false;
+        b.generation = 99;
+        b.chain = u32::MAX;
+        assert_eq!(a.canonical(), b.canonical());
+        assert_ne!(a.render(), b.render());
+    }
+
+    #[test]
+    fn deciding_step_is_last_red() {
+        let mut r = rec(1);
+        r.steps.push(StepRecord {
+            stage: 0,
+            kind: StepKind::Borrow,
+            class: 1,
+            bucket: 1,
+            need: 12_000,
+            before: 100,
+            after: 100,
+            green: false,
+        });
+        assert_eq!(r.deciding_step(), Some(1));
+        assert_eq!(rec(1).deciding_step(), None);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let j = rec(3).to_json();
+        assert_eq!(j.get("pkt_id").and_then(|v| v.as_u64()), Some(3));
+        assert_eq!(j.get("verdict").and_then(|v| v.as_str()), Some("forward"));
+        assert_eq!(
+            j.get("steps").and_then(|v| v.as_arr()).map(|a| a.len()),
+            Some(1)
+        );
+    }
+}

@@ -19,6 +19,7 @@ use std::sync::Arc;
 use flowvalve::frontend::Policy;
 use flowvalve::pipeline::FlowValvePipeline;
 use flowvalve::tree::TreeParams;
+use fv_audit::{BucketSnapshot, ProvenanceRing, Sampler};
 use fv_scope::{evaluate, CheckReport, SamplerConfig, Slo, TimeSampler};
 use fv_telemetry::json::{JsonValue, ToJson};
 use fv_telemetry::SpanSink;
@@ -63,6 +64,9 @@ pub struct ChaosReport {
     /// Per-lock attribution rows from the run, for contention profiling
     /// (not serialized — `fv-probe` folds them into its own report).
     pub per_lock: Vec<PerLockStats>,
+    /// End-of-run bucket-slab snapshot, for the fv-audit conservation
+    /// ledger (not serialized — `fv audit` folds it into its own report).
+    pub slab: Vec<BucketSnapshot>,
 }
 
 impl ChaosReport {
@@ -172,6 +176,21 @@ pub fn run_chaos(policy: &Policy, plan: &FaultPlan) -> Result<ChaosReport, Strin
     run_chaos_probed(policy, plan, None, None)
 }
 
+/// [`run_chaos_probed`] with sampled provenance capture attached: the
+/// pipeline records every sampler-selected decision into `ring`, and the
+/// report carries the end-of-run bucket-slab snapshot so `fv audit
+/// --plan` can run the conservation ledger over a faulted run. The
+/// capture is an observer — the packet-level outcome is unchanged.
+pub fn run_chaos_audited(
+    policy: &Policy,
+    plan: &FaultPlan,
+    attr: Option<Arc<CycleAttr>>,
+    sink: Option<Arc<dyn SpanSink>>,
+    audit: Option<(Arc<ProvenanceRing>, Sampler)>,
+) -> Result<ChaosReport, String> {
+    run_chaos_inner(policy, plan, attr, sink, audit)
+}
+
 /// [`run_chaos`] with attribution probes attached: `attr` receives every
 /// cycle charge (stage × op × worker) and `sink` every span stamp and
 /// classification verdict. Both are observers — the packet-level outcome
@@ -182,6 +201,16 @@ pub fn run_chaos_probed(
     plan: &FaultPlan,
     attr: Option<Arc<CycleAttr>>,
     sink: Option<Arc<dyn SpanSink>>,
+) -> Result<ChaosReport, String> {
+    run_chaos_inner(policy, plan, attr, sink, None)
+}
+
+fn run_chaos_inner(
+    policy: &Policy,
+    plan: &FaultPlan,
+    attr: Option<Arc<CycleAttr>>,
+    sink: Option<Arc<dyn SpanSink>>,
+    audit: Option<(Arc<ProvenanceRing>, Sampler)>,
 ) -> Result<ChaosReport, String> {
     let cfg = NicConfig::agilio_cx_40g();
     let mut pipeline = FlowValvePipeline::compile(policy, TreeParams::default(), &cfg)
@@ -203,6 +232,9 @@ pub fn run_chaos_probed(
     }
     if let Some(p) = nic.decider_as::<FlowValvePipeline>() {
         p.attach_telemetry(&registry);
+        if let Some((ring, sampler)) = &audit {
+            p.attach_auditor(ring.clone(), *sampler);
+        }
     }
     nic.install_fault_injector(controller.clone());
     let mut sampler = TimeSampler::new(
@@ -332,6 +364,10 @@ pub fn run_chaos_probed(
         }
     }
 
+    let slab = nic
+        .decider_as::<FlowValvePipeline>()
+        .map(|p| p.tree().slab_snapshot())
+        .unwrap_or_default();
     let snapshot = registry.snapshot(horizon);
     let recovery = evaluate(&slos, &sampler, &snapshot, (Nanos::ZERO, horizon));
     Ok(ChaosReport {
@@ -343,6 +379,7 @@ pub fn run_chaos_probed(
         recovery,
         unchecked,
         per_lock: nic.per_lock_stats().to_vec(),
+        slab,
     })
 }
 

@@ -48,6 +48,6 @@ pub mod harness;
 pub mod inject;
 pub mod plan;
 
-pub use harness::{run_chaos, run_chaos_probed, ChaosReport, SETTLE};
+pub use harness::{run_chaos, run_chaos_audited, run_chaos_probed, ChaosReport, SETTLE};
 pub use inject::ChaosController;
 pub use plan::{FaultKind, FaultPlan, FaultSpec, ParsePlanError};

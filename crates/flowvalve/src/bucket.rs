@@ -98,6 +98,14 @@ impl TokenBucket {
         Tokens::from_raw(self.tokens.load(Ordering::Acquire).max(0) as u64)
     }
 
+    /// Raw signed token level, transient debt included. The provenance
+    /// capture reads this around meter calls so the conservation auditor
+    /// can check exact deltas — [`TokenBucket::level`] clamps debt to
+    /// zero, which would hide a mischarge.
+    pub fn raw(&self) -> i64 {
+        self.tokens.load(Ordering::Acquire)
+    }
+
     /// Atomically meters a packet needing `need` tokens: on green the
     /// tokens are consumed, on red the bucket is left as found (Figure 8
     /// steps 2 and 5).

@@ -18,6 +18,8 @@
 
 use std::sync::Arc;
 
+use fv_audit::{NoObserver, StepObserver};
+
 use crate::label::QosLabel;
 use crate::program::CompiledProgram;
 use crate::sched::{Exec, SchedVerdict};
@@ -139,17 +141,38 @@ impl QdiscChain {
         now: Nanos,
         exec: &mut E,
     ) -> SchedVerdict {
+        self.schedule_observed(label, bits, now, exec, &mut NoObserver)
+    }
+
+    /// [`QdiscChain::schedule`] with provenance capture: `obs` is told
+    /// which stage each step belongs to and sees every Γ-refund a
+    /// later-stage drop issues to the stages that had already admitted
+    /// the packet.
+    pub fn schedule_observed<E: Exec, O: StepObserver>(
+        &self,
+        label: &ChainLabel,
+        bits: u64,
+        now: Nanos,
+        exec: &mut E,
+        obs: &mut O,
+    ) -> SchedVerdict {
         assert_eq!(
             label.stages().len(),
             self.stages.len(),
             "label/chain stage count mismatch"
         );
         for (i, (tree, l)) in self.stages.iter().zip(label.stages()).enumerate() {
-            let verdict = tree.schedule(l, bits, now, exec);
+            if O::ENABLED {
+                obs.on_stage(i as u8);
+            }
+            let verdict = tree.schedule_observed(l, bits, now, exec, obs);
             if !verdict.passes() {
                 // Refund the stages that already admitted the packet.
-                for (tree, l) in self.stages.iter().zip(label.stages()).take(i) {
+                for (j, (tree, l)) in self.stages.iter().zip(label.stages()).take(i).enumerate() {
                     tree.uncount_path(l, bits);
+                    if O::ENABLED {
+                        obs.on_refund(j as u8, l.leaf().0, bits);
+                    }
                 }
                 return SchedVerdict::Drop;
             }
@@ -200,6 +223,21 @@ impl QdiscChain {
         now: Nanos,
         exec: &mut E,
     ) -> SchedVerdict {
+        self.schedule_compiled_observed(compiled, label, bits, now, exec, &mut NoObserver)
+    }
+
+    /// [`QdiscChain::schedule_compiled`] with provenance capture — the
+    /// compiled counterpart of [`QdiscChain::schedule_observed`], stage
+    /// attribution and refund capture included.
+    pub fn schedule_compiled_observed<E: Exec, O: StepObserver>(
+        &self,
+        compiled: &CompiledChain,
+        label: &ChainLabel,
+        bits: u64,
+        now: Nanos,
+        exec: &mut E,
+        obs: &mut O,
+    ) -> SchedVerdict {
         assert_eq!(
             label.stages().len(),
             self.stages.len(),
@@ -217,13 +255,19 @@ impl QdiscChain {
             .zip(&compiled.programs)
             .enumerate()
         {
+            if O::ENABLED {
+                obs.on_stage(i as u8);
+            }
             let verdict = match prog.resolve(l) {
-                Some(chain) => tree.schedule_compiled(prog, chain, bits, now, exec),
-                None => tree.schedule(l, bits, now, exec),
+                Some(chain) => tree.schedule_compiled_observed(prog, chain, bits, now, exec, obs),
+                None => tree.schedule_observed(l, bits, now, exec, obs),
             };
             if !verdict.passes() {
-                for (tree, l) in self.stages.iter().zip(label.stages()).take(i) {
+                for (j, (tree, l)) in self.stages.iter().zip(label.stages()).take(i).enumerate() {
                     tree.uncount_path(l, bits);
+                    if O::ENABLED {
+                        obs.on_refund(j as u8, l.leaf().0, bits);
+                    }
                 }
                 return SchedVerdict::Drop;
             }

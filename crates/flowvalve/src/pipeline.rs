@@ -5,6 +5,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use classifier::{CacheResult, Classifier, FilterRule};
+use fv_audit::{
+    AuditVerdict, DropCause, ProvenanceRecord, ProvenanceRing, Recorder, Sampler, StepKind,
+};
 use fv_telemetry::metrics::Counter;
 use fv_telemetry::span::{SpanRecorder, Stage};
 use fv_telemetry::trace::{EventRing, TraceKind};
@@ -149,6 +152,14 @@ impl PipelineTelemetry {
     }
 }
 
+/// The pipeline's provenance-capture attachment: where sampled records
+/// go and which packets are sampled.
+#[derive(Debug, Clone)]
+struct AuditHook {
+    ring: Arc<ProvenanceRing>,
+    sampler: Sampler,
+}
+
 pub struct FlowValvePipeline {
     tree: Arc<SchedulingTree>,
     classifier: Classifier<Option<QosLabel>>,
@@ -175,6 +186,10 @@ pub struct FlowValvePipeline {
     freq: sim_core::time::Freq,
     framing: sim_core::units::WireFraming,
     telemetry: Option<PipelineTelemetry>,
+    /// Provenance capture: sampled decisions re-run nothing — the single
+    /// walk executes with a recorder threaded through it and the finished
+    /// record lands in the ring. `None` (the default) costs one branch.
+    audit: Option<AuditHook>,
     chaos: Option<Arc<dyn SchedChaosHook>>,
     /// High-water mark of the (possibly skewed) scheduler clock, keeping
     /// it monotonic across fault windows.
@@ -233,6 +248,7 @@ impl FlowValvePipeline {
             freq: nic.freq,
             framing: nic.framing,
             telemetry: None,
+            audit: None,
             chaos: None,
             sched_floor: Nanos::ZERO,
         }
@@ -267,6 +283,7 @@ impl FlowValvePipeline {
             freq: nic.freq,
             framing: nic.framing,
             telemetry: None,
+            audit: None,
             chaos: None,
             sched_floor: Nanos::ZERO,
         }
@@ -291,6 +308,21 @@ impl FlowValvePipeline {
     /// far ahead the scheduler's clock runs.
     pub fn install_chaos_hook(&mut self, hook: Arc<dyn SchedChaosHook>) {
         self.chaos = Some(hook);
+    }
+
+    /// Attaches sampled provenance capture. Decisions whose packet id the
+    /// sampler selects run their one and only admission walk with a
+    /// recorder threaded through it — nothing is re-executed — and the
+    /// finished [`ProvenanceRecord`] lands in `ring`, resolvable by
+    /// `fv why --pkt <id>`. Unsampled decisions pay a single predictable
+    /// branch; without this call the capture code is erased entirely.
+    pub fn attach_auditor(&mut self, ring: Arc<ProvenanceRing>, sampler: Sampler) {
+        self.audit = Some(AuditHook { ring, sampler });
+    }
+
+    /// The attached provenance ring, if any.
+    pub fn provenance_ring(&self) -> Option<&Arc<ProvenanceRing>> {
+        self.audit.as_ref().map(|a| &a.ring)
     }
 
     /// Wires per-class verdict counters (`fv.class.<id>.*`), scheduler
@@ -488,15 +520,22 @@ impl EgressDecider for FlowValvePipeline {
                         // one hash probe — there is no stale-verdict
                         // window. Under SimExec the chain charges exactly
                         // what the interpreted walker would.
+                        let mut cache_hit = false;
                         let chain = if self.use_program {
                             let gen = self.reload_gen.wrapping_add(self.tree.epoch());
-                            self.cache.lookup(&label, gen).or_else(|| {
-                                let resolved = self.program.resolve(&label);
-                                if let Some(c) = resolved {
-                                    self.cache.insert(label, c, gen);
+                            match self.cache.lookup(&label, gen) {
+                                Some(c) => {
+                                    cache_hit = true;
+                                    Some(c)
                                 }
-                                resolved
-                            })
+                                None => {
+                                    let resolved = self.program.resolve(&label);
+                                    if let Some(c) = resolved {
+                                        self.cache.insert(label, c, gen);
+                                    }
+                                    resolved
+                                }
+                            }
                         } else {
                             None
                         };
@@ -505,17 +544,74 @@ impl EgressDecider for FlowValvePipeline {
                             locks,
                             update_hold: self.update_hold,
                         };
-                        match chain {
-                            Some(c) => self.tree.schedule_compiled(
-                                &self.program,
-                                c,
+                        let sampled = self.audit.as_ref().is_some_and(|a| a.sampler.hit(pkt.id));
+                        if sampled {
+                            // Sampled: the same single walk runs with a
+                            // recorder threaded through it; charges and
+                            // verdict are identical to the unsampled path.
+                            let mut rec = Recorder::new();
+                            let verdict = match chain {
+                                Some(c) => self.tree.schedule_compiled_observed(
+                                    &self.program,
+                                    c,
+                                    wire_bits,
+                                    sched_now,
+                                    &mut exec,
+                                    &mut rec,
+                                ),
+                                None => self.tree.schedule_observed(
+                                    &label, wire_bits, sched_now, &mut exec, &mut rec,
+                                ),
+                            };
+                            let cause = if verdict == SchedVerdict::Drop {
+                                // The deciding step names the refusal: a
+                                // red ceiling meter is an OverCeil, any
+                                // other red meter is the leaf (and its
+                                // lenders) out of tokens.
+                                let deciding =
+                                    rec.steps.iter().rev().find(|s| !s.green).map(|s| s.kind);
+                                Some(match deciding {
+                                    Some(StepKind::MeterCeil) => DropCause::OverCeil,
+                                    _ => DropCause::NoTokens,
+                                })
+                            } else {
+                                None
+                            };
+                            let audit = self.audit.as_ref().expect("sampled implies hook");
+                            audit.ring.record(ProvenanceRecord {
+                                pkt_id: pkt.id,
+                                at: sched_now,
+                                leaf: label.leaf().0,
                                 wire_bits,
-                                sched_now,
-                                &mut exec,
-                            ),
-                            // Oracle fallback for labels the program has
-                            // no chain for (never emitted by the policy).
-                            None => self.tree.schedule(&label, wire_bits, sched_now, &mut exec),
+                                verdict: match verdict {
+                                    SchedVerdict::Forward => AuditVerdict::Forward,
+                                    SchedVerdict::Borrowed(l) => AuditVerdict::Borrowed(l.0),
+                                    SchedVerdict::Drop => AuditVerdict::Drop,
+                                },
+                                cause,
+                                cache_hit,
+                                generation: self.reload_gen.wrapping_add(self.tree.epoch()),
+                                reload_gen: self.reload_gen,
+                                epoch: self.tree.epoch(),
+                                chain: chain.map(|c| c.index()).unwrap_or(u32::MAX),
+                                steps: rec.steps,
+                                refunds: rec.refunds,
+                            });
+                            verdict
+                        } else {
+                            match chain {
+                                Some(c) => self.tree.schedule_compiled(
+                                    &self.program,
+                                    c,
+                                    wire_bits,
+                                    sched_now,
+                                    &mut exec,
+                                ),
+                                // Oracle fallback for labels the program
+                                // has no chain for (never emitted by the
+                                // policy).
+                                None => self.tree.schedule(&label, wire_bits, sched_now, &mut exec),
+                            }
                         }
                     }
                     LockDiscipline::Global => {

@@ -27,6 +27,7 @@
 
 use std::collections::HashMap;
 
+use fv_audit::{NoObserver, StepKind, StepObserver, StepRecord};
 use np_sim::cost::Op;
 use sim_core::fixed::Tokens;
 use sim_core::time::Nanos;
@@ -40,6 +41,13 @@ use crate::tree::SchedulingTree;
 /// Identifier of one compiled admission chain within a [`CompiledProgram`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ChainId(u32);
+
+impl ChainId {
+    /// The chain's index within its program (provenance records).
+    pub fn index(&self) -> u32 {
+        self.0
+    }
+}
 
 /// Condition template of one [`ChainStep`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -240,18 +248,55 @@ impl SchedulingTree {
         now: Nanos,
         exec: &mut E,
     ) -> SchedVerdict {
+        self.schedule_compiled_observed(prog, chain, bits, now, exec, &mut NoObserver)
+    }
+
+    /// [`SchedulingTree::schedule_compiled`] with provenance capture: the
+    /// same single walk, with `obs` told about every executed chain step
+    /// (bucket tokens before/after, token test color) and the verdict's
+    /// deciding step derivable from the step list. With
+    /// [`NoObserver`] (`O::ENABLED == false`) every capture branch is
+    /// erased at monomorphization, which is how the production
+    /// `schedule_compiled` wrapper keeps its cost.
+    pub fn schedule_compiled_observed<E: Exec, O: StepObserver>(
+        &self,
+        prog: &CompiledProgram,
+        chain: ChainId,
+        bits: u64,
+        now: Nanos,
+        exec: &mut E,
+        obs: &mut O,
+    ) -> SchedVerdict {
         let (updates, ceil, borrows) = prog.parts(chain);
         let need = Tokens::from_bits(bits);
+        let need_raw = need.raw() as i64;
         let elide = exec.elide_idle_updates();
 
         // Lines 1-5: refresh token buckets root→leaf, then mark every
         // class on the path touched (drives expiry).
         for s in updates {
+            let before = if O::ENABLED {
+                self.slab_bucket(s.bucket).raw()
+            } else {
+                0
+            };
             if !elide || self.update_due(s.node as usize, false, now) {
                 exec.charge(Op::LockOp);
                 exec.locked_update(self, s.node as usize, LockKind::Class, now);
             }
             exec.charge(Op::AtomicOp);
+            if O::ENABLED {
+                obs.on_step(StepRecord {
+                    stage: 0,
+                    kind: StepKind::Update,
+                    class: self.node(s.node as usize).spec.id.0,
+                    bucket: s.bucket,
+                    need: 0,
+                    before,
+                    after: self.slab_bucket(s.bucket).raw(),
+                    green: true,
+                });
+            }
         }
         for s in updates {
             self.node(s.node as usize)
@@ -263,10 +308,40 @@ impl SchedulingTree {
         let leaf_step = updates.last().expect("chains have a path");
         let leaf = self.node(leaf_step.node as usize);
         exec.charge(Op::AtomicOp);
-        if self.slab_bucket(leaf_step.bucket).meter(need) == Color::Green {
+        let lb = self.slab_bucket(leaf_step.bucket);
+        let leaf_before = if O::ENABLED { lb.raw() } else { 0 };
+        let leaf_green = lb.meter(need) == Color::Green;
+        if O::ENABLED {
+            obs.on_step(StepRecord {
+                stage: 0,
+                kind: StepKind::MeterLeaf,
+                class: leaf.spec.id.0,
+                bucket: leaf_step.bucket,
+                need: need_raw,
+                before: leaf_before,
+                after: lb.raw(),
+                green: leaf_green,
+            });
+        }
+        if leaf_green {
             if let Some(cs) = ceil {
                 exec.charge(Op::AtomicOp);
-                if self.slab_bucket(cs.bucket).meter(need) == Color::Red {
+                let cb = self.slab_bucket(cs.bucket);
+                let before = if O::ENABLED { cb.raw() } else { 0 };
+                let green = cb.meter(need) == Color::Green;
+                if O::ENABLED {
+                    obs.on_step(StepRecord {
+                        stage: 0,
+                        kind: StepKind::MeterCeil,
+                        class: leaf.spec.id.0,
+                        bucket: cs.bucket,
+                        need: need_raw,
+                        before,
+                        after: cb.raw(),
+                        green,
+                    });
+                }
+                if !green {
                     leaf.dropped.fetch_add(1, Ordering::AcqRel);
                     return SchedVerdict::Drop;
                 }
@@ -279,7 +354,22 @@ impl SchedulingTree {
         // Lines 9-15: borrowing, still bounded by the leaf's own ceiling.
         if let Some(cs) = ceil {
             exec.charge(Op::AtomicOp);
-            if self.slab_bucket(cs.bucket).meter(need) == Color::Red {
+            let cb = self.slab_bucket(cs.bucket);
+            let before = if O::ENABLED { cb.raw() } else { 0 };
+            let green = cb.meter(need) == Color::Green;
+            if O::ENABLED {
+                obs.on_step(StepRecord {
+                    stage: 0,
+                    kind: StepKind::MeterCeil,
+                    class: leaf.spec.id.0,
+                    bucket: cs.bucket,
+                    need: need_raw,
+                    before,
+                    after: cb.raw(),
+                    green,
+                });
+            }
+            if !green {
                 leaf.dropped.fetch_add(1, Ordering::AcqRel);
                 return SchedVerdict::Drop;
             }
@@ -290,7 +380,22 @@ impl SchedulingTree {
                 exec.locked_update(self, s.node as usize, LockKind::Shadow, now);
             }
             exec.charge(Op::AtomicOp);
-            if self.slab_bucket(s.bucket).meter(need) == Color::Green {
+            let sb = self.slab_bucket(s.bucket);
+            let before = if O::ENABLED { sb.raw() } else { 0 };
+            let green = sb.meter(need) == Color::Green;
+            if O::ENABLED {
+                obs.on_step(StepRecord {
+                    stage: 0,
+                    kind: StepKind::Borrow,
+                    class: self.node(s.node as usize).spec.id.0,
+                    bucket: s.bucket,
+                    need: need_raw,
+                    before,
+                    after: sb.raw(),
+                    green,
+                });
+            }
+            if green {
                 let lnode = self.node(s.node as usize);
                 self.count_steps(updates, bits, exec);
                 lnode.lent.fetch_add(1, Ordering::AcqRel);

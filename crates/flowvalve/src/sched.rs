@@ -18,6 +18,7 @@
 //!   the nodes' actual `std::sync` mutexes, and no costs are charged
 //!   because the hardware is doing the timing.
 
+use fv_audit::{NoObserver, StepKind, StepObserver, StepRecord};
 use np_sim::cost::{CostMeter, Op};
 use np_sim::lock::{LockId, LockTable};
 use sim_core::fixed::Tokens;
@@ -224,15 +225,53 @@ impl SchedulingTree {
         now: Nanos,
         exec: &mut E,
     ) -> SchedVerdict {
+        self.schedule_observed(label, bits, now, exec, &mut NoObserver)
+    }
+
+    /// [`SchedulingTree::schedule`] with provenance capture: the same
+    /// single walk, reporting every executed step (bucket tokens
+    /// before/after, token test color) to `obs`. Capture points mirror
+    /// [`SchedulingTree::schedule_compiled_observed`] exactly, so a
+    /// record taken here is byte-identical (in its canonical form) to one
+    /// taken on the compiled path for the same traffic — the
+    /// compiled-provenance oracle relies on that. With [`NoObserver`] all
+    /// capture branches compile away.
+    pub fn schedule_observed<E: Exec, O: StepObserver>(
+        &self,
+        label: &QosLabel,
+        bits: u64,
+        now: Nanos,
+        exec: &mut E,
+        obs: &mut O,
+    ) -> SchedVerdict {
         let need = Tokens::from_bits(bits);
+        let need_raw = need.raw() as i64;
 
         // Lines 1-5: refresh token buckets root→leaf; every class on the
         // path is marked as touched (drives expiry).
         for &cid in label.path() {
             let idx = self.node_index(cid).expect("label class in tree");
+            let bucket = self.node(idx).bucket;
+            let before = if O::ENABLED {
+                self.slab_bucket(bucket).raw()
+            } else {
+                0
+            };
             exec.charge(Op::LockOp);
             exec.locked_update(self, idx, LockKind::Class, now);
             exec.charge(Op::AtomicOp);
+            if O::ENABLED {
+                obs.on_step(StepRecord {
+                    stage: 0,
+                    kind: StepKind::Update,
+                    class: cid.0,
+                    bucket,
+                    need: 0,
+                    before,
+                    after: self.slab_bucket(bucket).raw(),
+                    green: true,
+                });
+            }
         }
         self.touch_path(label, now);
 
@@ -240,12 +279,42 @@ impl SchedulingTree {
         let leaf_idx = self.node_index(label.leaf()).expect("leaf in tree");
         let leaf = self.node(leaf_idx);
         exec.charge(Op::AtomicOp);
-        if self.slab_bucket(leaf.bucket).meter(need) == Color::Green {
+        let lb = self.slab_bucket(leaf.bucket);
+        let leaf_before = if O::ENABLED { lb.raw() } else { 0 };
+        let leaf_green = lb.meter(need) == Color::Green;
+        if O::ENABLED {
+            obs.on_step(StepRecord {
+                stage: 0,
+                kind: StepKind::MeterLeaf,
+                class: leaf.spec.id.0,
+                bucket: leaf.bucket,
+                need: need_raw,
+                before: leaf_before,
+                after: lb.raw(),
+                green: leaf_green,
+            });
+        }
+        if leaf_green {
             // A configured ceiling bounds the class including borrowing,
             // so every forwarded packet is also charged against it.
             if let Some(ci) = leaf.ceil_bucket {
                 exec.charge(Op::AtomicOp);
-                if self.slab_bucket(ci).meter(need) == Color::Red {
+                let cb = self.slab_bucket(ci);
+                let before = if O::ENABLED { cb.raw() } else { 0 };
+                let green = cb.meter(need) == Color::Green;
+                if O::ENABLED {
+                    obs.on_step(StepRecord {
+                        stage: 0,
+                        kind: StepKind::MeterCeil,
+                        class: leaf.spec.id.0,
+                        bucket: ci,
+                        need: need_raw,
+                        before,
+                        after: cb.raw(),
+                        green,
+                    });
+                }
+                if !green {
                     leaf.dropped.fetch_add(1, Ordering::AcqRel);
                     return SchedVerdict::Drop;
                 }
@@ -262,7 +331,22 @@ impl SchedulingTree {
         // the class with borrowing included).
         if let Some(ci) = leaf.ceil_bucket {
             exec.charge(Op::AtomicOp);
-            if self.slab_bucket(ci).meter(need) == Color::Red {
+            let cb = self.slab_bucket(ci);
+            let before = if O::ENABLED { cb.raw() } else { 0 };
+            let green = cb.meter(need) == Color::Green;
+            if O::ENABLED {
+                obs.on_step(StepRecord {
+                    stage: 0,
+                    kind: StepKind::MeterCeil,
+                    class: leaf.spec.id.0,
+                    bucket: ci,
+                    need: need_raw,
+                    before,
+                    after: cb.raw(),
+                    green,
+                });
+            }
+            if !green {
                 leaf.dropped.fetch_add(1, Ordering::AcqRel);
                 return SchedVerdict::Drop;
             }
@@ -273,7 +357,22 @@ impl SchedulingTree {
             exec.locked_update(self, lidx, LockKind::Shadow, now);
             exec.charge(Op::AtomicOp);
             let lnode = self.node(lidx);
-            if self.slab_bucket(lnode.shadow).meter(need) == Color::Green {
+            let sb = self.slab_bucket(lnode.shadow);
+            let before = if O::ENABLED { sb.raw() } else { 0 };
+            let green = sb.meter(need) == Color::Green;
+            if O::ENABLED {
+                obs.on_step(StepRecord {
+                    stage: 0,
+                    kind: StepKind::Borrow,
+                    class: lender.0,
+                    bucket: lnode.shadow,
+                    need: need_raw,
+                    before,
+                    after: sb.raw(),
+                    green,
+                });
+            }
+            if green {
                 self.count_path(label, bits);
                 exec.charge_path(label);
                 lnode.lent.fetch_add(1, Ordering::AcqRel);

@@ -538,6 +538,35 @@ impl SchedulingTree {
         &self.slab[i as usize]
     }
 
+    /// A point-in-time snapshot of the whole bucket slab, attributed to
+    /// owning classes, for the fv-audit conservation ledger. Raw levels
+    /// (debt included) rather than clamped ones: an overfilled or leaking
+    /// bucket must show as it is.
+    pub fn slab_snapshot(&self) -> Vec<fv_audit::BucketSnapshot> {
+        let mut out = Vec::with_capacity(self.slab.len());
+        for n in &self.nodes {
+            let roles = [
+                (Some(n.bucket), "class"),
+                (Some(n.shadow), "shadow"),
+                (n.ceil_bucket, "ceil"),
+            ];
+            for (idx, role) in roles {
+                if let Some(i) = idx {
+                    let b = &self.slab[i as usize];
+                    out.push(fv_audit::BucketSnapshot {
+                        index: i,
+                        class: n.spec.id.0,
+                        role,
+                        raw: b.raw(),
+                        burst: b.burst().raw(),
+                    });
+                }
+            }
+        }
+        out.sort_by_key(|b| b.index);
+        out
+    }
+
     /// Monotonic decision-cache generation: incremented on every completed
     /// rate-estimation epoch ([`Self::update_node`] past the interval
     /// floor) and every shadow epoch (borrowing-state change). The

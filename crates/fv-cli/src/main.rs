@@ -35,6 +35,20 @@
 //!                                (--folded: flamegraph folded stacks)
 //! fv top <script.fv>             run the profiled demo and print the
 //!                                heaviest flows and most contended locks
+//! fv why <script.fv> --pkt <id>|--flow <class> [--json]
+//!                                run the demo with provenance capture and
+//!                                explain a sampled scheduling decision:
+//!                                every executed chain step with bucket
+//!                                tokens before/after, the deciding step,
+//!                                and cache/generation state
+//! fv audit <script.fv> [--plan <plan>] [--json] [--flight FILE]
+//!                                run the demo (or a faulted run under
+//!                                --plan) with provenance capture and fold
+//!                                the records through the
+//!                                token-conservation ledger; exits 1 on
+//!                                any conservation break
+//!                                (--inject-mischarge: corrupt one record
+//!                                first, proving the auditor catches it)
 //! fv bench-diff <new.json> <base.json> [--tolerance-pct N] [--only PREFIX]
 //!                                compare two BENCH_*.json documents and
 //!                                fail on perf regressions past tolerance
@@ -51,8 +65,12 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use flowvalve::frontend::Policy;
+use flowvalve::label::ClassId;
 use flowvalve::pipeline::FlowValvePipeline;
 use flowvalve::tree::{SchedulingTree, TreeParams};
+use fv_audit::{
+    AuditVerdict, BucketSnapshot, Ledger, ProvenanceRecord, ProvenanceRing, Sampler, StepKind,
+};
 use fv_probe::{diff_docs, flight_doc, rank_locks, LatencyAttr, ProbeReport, UNATTRIBUTED};
 use fv_scope::{chrome_trace, evaluate, latency_table, prometheus_text, Slo};
 use fv_scope::{SamplerConfig, TimeSampler};
@@ -80,9 +98,10 @@ fn read_script(path: &str) -> std::io::Result<String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: fv <check|show|demo|stats|trace|timeseries|chaos|profile|top> \
+        "usage: fv <check|show|demo|stats|trace|timeseries|chaos|profile|top|why|audit> \
          <script.fv|-> [--json] [--out FILE] [--csv|--jsonl|--prom] \
-         [--interval-us N] [--plan FILE] [--folded] [--flight FILE]\n\
+         [--interval-us N] [--plan FILE] [--folded] [--flight FILE] \
+         [--pkt ID] [--flow CLASS] [--inject-mischarge]\n\
          \x20      fv bench-diff <new.json> <base.json> [--tolerance-pct N] \
          [--only PREFIX]"
     );
@@ -106,6 +125,13 @@ struct Flags {
     tolerance_pct: Option<f64>,
     /// Bench-name prefixes `fv bench-diff` restricts itself to.
     only: Vec<String>,
+    /// Packet id `fv why` explains.
+    pkt: Option<u64>,
+    /// Class (`1:10`, `10` or a class name) `fv why` explains.
+    flow: Option<String>,
+    /// `fv audit` self-test: corrupt one provenance record before the
+    /// ledger runs, proving a mischarge is caught (must exit 1).
+    inject_mischarge: bool,
 }
 
 fn main() -> ExitCode {
@@ -126,6 +152,9 @@ fn main() -> ExitCode {
             "--flight" => flags.flight = it.next().cloned(),
             "--tolerance-pct" => flags.tolerance_pct = it.next().and_then(|v| v.parse().ok()),
             "--only" => flags.only.extend(it.next().cloned()),
+            "--pkt" => flags.pkt = it.next().and_then(|v| v.parse().ok()),
+            "--flow" => flags.flow = it.next().cloned(),
+            "--inject-mischarge" => flags.inject_mischarge = true,
             a if a.starts_with("--out=") => {
                 flags.out = Some(a["--out=".len()..].to_owned());
             }
@@ -143,6 +172,12 @@ fn main() -> ExitCode {
             }
             a if a.starts_with("--only=") => {
                 flags.only.push(a["--only=".len()..].to_owned());
+            }
+            a if a.starts_with("--pkt=") => {
+                flags.pkt = a["--pkt=".len()..].parse().ok();
+            }
+            a if a.starts_with("--flow=") => {
+                flags.flow = Some(a["--flow=".len()..].to_owned());
             }
             // Unknown flags are ignored, matching the old behaviour.
             a if a.starts_with("--") => {}
@@ -193,6 +228,8 @@ fn main() -> ExitCode {
         "chaos" => chaos(&policy, &flags),
         "profile" => profile(&policy, &flags),
         "top" => top(&policy),
+        "why" => why(&policy, &flags),
+        "audit" => audit_cmd(&policy, &flags),
         _ => usage(),
     }
 }
@@ -205,7 +242,19 @@ struct RunOptions {
     sampler: Option<SamplerConfig>,
     /// Attach the attribution probes (cycle + latency).
     probe: bool,
+    /// Attach sampled provenance capture with this 1-in-2^n sampling
+    /// shift; after the run the records are folded through the
+    /// conservation ledger into `audit.*` counters. The default shift
+    /// keeps every sampled packet id of the 10 ms demo resident in the
+    /// provenance ring (capacity × 2^shift id window).
+    audit: Option<u32>,
 }
+
+/// Default provenance sampling: 1 packet in 2^6 = 64.
+const AUDIT_SHIFT: u32 = 6;
+/// Provenance-ring slots; with [`AUDIT_SHIFT`] this retains a lossless
+/// window of 262144 packet ids, several times the demo's packet count.
+const AUDIT_RING_CAPACITY: usize = 4096;
 
 impl Default for RunOptions {
     fn default() -> Self {
@@ -213,6 +262,7 @@ impl Default for RunOptions {
             ring_capacity: 1024,
             sampler: None,
             probe: false,
+            audit: Some(AUDIT_SHIFT),
         }
     }
 }
@@ -223,6 +273,15 @@ impl Default for RunOptions {
 struct ProbeHandles {
     attr: Arc<CycleAttr>,
     latency: Arc<LatencyAttr>,
+}
+
+/// The provenance capture attached to a run when `RunOptions::audit` is
+/// set; the conservation ledger has already been folded into the run's
+/// `audit.*` counters by the time this is handed out.
+struct AuditHandles {
+    ring: Arc<ProvenanceRing>,
+    slab: Vec<BucketSnapshot>,
+    shift: u32,
 }
 
 /// Everything a reporting command needs after the saturation run.
@@ -239,6 +298,8 @@ struct DemoRun {
     lock_profile: Vec<PerLockStats>,
     /// `stable_hash` → flow key, so profile output can name flows.
     flow_names: Vec<(u64, FlowKey)>,
+    /// Provenance ring and conservation report when auditing was on.
+    audit: Option<AuditHandles>,
 }
 
 /// Saturates every filtered class with an equal share of 1.5x line rate
@@ -254,8 +315,17 @@ fn run_workload(policy: &Policy, opts: RunOptions) -> Result<DemoRun, String> {
     let num_mes = cfg.num_mes;
     let registry = Registry::with_ring_capacity(opts.ring_capacity);
     let mut nic = SmartNic::with_registry(cfg, Box::new(pipeline), &registry);
+    let audit_hook = opts.audit.map(|shift| {
+        (
+            Arc::new(ProvenanceRing::sampled(AUDIT_RING_CAPACITY, shift)),
+            shift,
+        )
+    });
     if let Some(p) = nic.decider_as::<FlowValvePipeline>() {
         p.attach_telemetry(&registry);
+        if let Some((ring, shift)) = &audit_hook {
+            p.attach_auditor(ring.clone(), Sampler::one_in_pow2(*shift));
+        }
     }
     let probe = if opts.probe {
         let attr = Arc::new(CycleAttr::new(num_mes));
@@ -327,6 +397,13 @@ fn run_workload(policy: &Policy, opts: RunOptions) -> Result<DemoRun, String> {
     }
     let lock_profile = nic.per_lock_stats().to_vec();
     let flow_names = flows.iter().map(|(f, _)| (f.stable_hash(), *f)).collect();
+    // Fold the sampled provenance through the conservation ledger before
+    // the snapshot, so `audit.*` counters are part of it.
+    let audit = audit_hook.map(|(ring, shift)| {
+        let slab = tree.slab_snapshot();
+        Ledger::audit(&ring.records(), &slab).install_counters(&registry, 0);
+        AuditHandles { ring, slab, shift }
+    });
     Ok(DemoRun {
         snapshot: registry.snapshot(horizon),
         tree,
@@ -338,6 +415,7 @@ fn run_workload(policy: &Policy, opts: RunOptions) -> Result<DemoRun, String> {
         probe,
         lock_profile,
         flow_names,
+        audit,
     })
 }
 
@@ -490,6 +568,15 @@ fn stats(policy: &Policy, json: bool) -> ExitCode {
                 l.contention_permille(),
             );
         }
+    }
+    if let Some(audit) = &run.audit {
+        println!(
+            "audit: {} sampled records (1 in {}), {} meter steps checked, {} violations",
+            snap.counter("audit.records"),
+            1u64 << audit.shift,
+            snap.counter("audit.steps_checked"),
+            snap.counter("audit.violations"),
+        );
     }
     ExitCode::SUCCESS
 }
@@ -935,6 +1022,232 @@ fn top(policy: &Policy) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Resolves `1:10`, `10` or a class name to a class id of `tree`.
+fn resolve_class(tree: &SchedulingTree, s: &str) -> Option<ClassId> {
+    let num = s.strip_prefix("1:").unwrap_or(s);
+    if let Ok(n) = num.parse::<u16>() {
+        let id = ClassId(n);
+        if tree.spec(id).is_some() {
+            return Some(id);
+        }
+    }
+    tree.class_ids()
+        .into_iter()
+        .find(|id| tree.spec(*id).is_some_and(|spec| spec.name == s))
+}
+
+/// Runs the demo with provenance capture and explains one sampled
+/// scheduling decision — the `fv why` layer over the compiled fast path.
+fn why(policy: &Policy, flags: &Flags) -> ExitCode {
+    if flags.pkt.is_none() && flags.flow.is_none() {
+        eprintln!("fv: why requires --pkt <id> or --flow <class>");
+        return ExitCode::from(2);
+    }
+    let run = match run_workload(policy, RunOptions::default()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fv: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let audit = run.audit.as_ref().expect("why runs with auditing attached");
+    if let Some(pkt) = flags.pkt {
+        match audit.ring.get(pkt) {
+            Some(rec) => {
+                if flags.json {
+                    println!("{}", rec.to_json().to_pretty());
+                } else {
+                    print!("{}", rec.render());
+                }
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!(
+                    "fv: no provenance for pkt {pkt}: not sampled (1 in {} by \
+                     packet id), unlabeled, or evicted from the ring",
+                    1u64 << audit.shift
+                );
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        let label = flags.flow.as_deref().expect("checked above");
+        let Some(id) = resolve_class(&run.tree, label) else {
+            eprintln!("fv: no class named {label}");
+            return ExitCode::FAILURE;
+        };
+        let recs: Vec<ProvenanceRecord> = audit
+            .ring
+            .records()
+            .into_iter()
+            .filter(|r| r.leaf == id.0)
+            .collect();
+        if recs.is_empty() {
+            eprintln!("fv: no sampled decisions for class {id}");
+            return ExitCode::FAILURE;
+        }
+        if flags.json {
+            println!(
+                "{}",
+                JsonValue::arr(recs.iter().map(|r| r.to_json())).to_pretty()
+            );
+        } else {
+            let (mut fwd, mut bor, mut dropped) = (0u64, 0u64, 0u64);
+            for r in &recs {
+                match r.verdict {
+                    AuditVerdict::Forward => fwd += 1,
+                    AuditVerdict::Borrowed(_) => bor += 1,
+                    AuditVerdict::Drop => dropped += 1,
+                }
+            }
+            println!(
+                "class {id}: {} sampled decisions ({fwd} forwarded, {bor} \
+                 borrowed, {dropped} dropped); most recent:",
+                recs.len()
+            );
+            let last = recs
+                .iter()
+                .max_by_key(|r| (r.at, r.pkt_id))
+                .expect("recs is non-empty");
+            print!("{}", last.render());
+        }
+        ExitCode::SUCCESS
+    }
+}
+
+/// Runs the demo (or a faulted run under `--plan`) with provenance
+/// capture and folds the records plus the end-of-run bucket slab through
+/// the token-conservation ledger. Exits 1 on any conservation break;
+/// `--inject-mischarge` corrupts one record first as a gate self-test.
+fn audit_cmd(policy: &Policy, flags: &Flags) -> ExitCode {
+    // Collect (records, slab) plus whatever a flight dump would need.
+    struct Collected {
+        records: Vec<ProvenanceRecord>,
+        slab: Vec<BucketSnapshot>,
+        horizon: Nanos,
+        probe: Option<ProbeReport>,
+        events: Vec<fv_telemetry::TraceEvent>,
+    }
+    let collected = if let Some(plan_path) = &flags.plan {
+        let plan_text = match read_script(plan_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("fv: cannot read {plan_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let plan = match fv_chaos::FaultPlan::parse(&plan_text) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("fv: {plan_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let probes = flags.flight.as_ref().map(|_| ProbeHandles {
+            attr: Arc::new(CycleAttr::new(NicConfig::agilio_cx_40g().num_mes)),
+            latency: Arc::new(LatencyAttr::new()),
+        });
+        let ring = Arc::new(ProvenanceRing::sampled(AUDIT_RING_CAPACITY, AUDIT_SHIFT));
+        let report = match fv_chaos::run_chaos_audited(
+            policy,
+            &plan,
+            probes.as_ref().map(|p| p.attr.clone()),
+            probes
+                .as_ref()
+                .map(|p| p.latency.clone() as Arc<dyn fv_telemetry::SpanSink>),
+            Some((ring.clone(), Sampler::one_in_pow2(AUDIT_SHIFT))),
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("fv: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let probe = probes.as_ref().map(|p| {
+            ProbeReport::build(
+                &p.attr,
+                &report.per_lock,
+                &p.latency,
+                &report.snapshot,
+                report.horizon,
+            )
+        });
+        Collected {
+            records: ring.records(),
+            slab: report.slab.clone(),
+            horizon: report.horizon,
+            probe,
+            events: report.snapshot.events.clone(),
+        }
+    } else {
+        let opts = RunOptions {
+            probe: flags.flight.is_some(),
+            ..RunOptions::default()
+        };
+        let run = match run_workload(policy, opts) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("fv: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let audit = run.audit.as_ref().expect("audit runs with capture on");
+        let probe = run.probe.as_ref().map(|p| {
+            ProbeReport::build(
+                &p.attr,
+                &run.lock_profile,
+                &p.latency,
+                &run.snapshot,
+                run.horizon,
+            )
+        });
+        let ring = run.registry.ring();
+        Collected {
+            records: audit.ring.records(),
+            slab: audit.slab.clone(),
+            horizon: run.horizon,
+            probe,
+            events: ring.recent(ring.capacity()),
+        }
+    };
+    let mut records = collected.records;
+    if flags.inject_mischarge {
+        // Gate self-test: move one green meter step's after-level by one
+        // token. The ledger must flag exactly this as a mischarge.
+        let corrupted = records
+            .iter_mut()
+            .flat_map(|r| r.steps.iter_mut())
+            .find(|s| s.green && s.kind != StepKind::Update)
+            .map(|s| s.after += 1)
+            .is_some();
+        if !corrupted {
+            eprintln!("fv: --inject-mischarge found no green meter step to corrupt");
+            return ExitCode::FAILURE;
+        }
+    }
+    let report = Ledger::audit(&records, &collected.slab);
+    if flags.json {
+        println!("{}", report.to_json().to_pretty());
+    } else {
+        print!("{}", report.render());
+    }
+    if report.ok() {
+        return ExitCode::SUCCESS;
+    }
+    if let (Some(path), Some(probe)) = (&flags.flight, &collected.probe) {
+        let trigger = format!("audit:{} conservation violations", report.violations.len());
+        let doc = flight_doc(&trigger, collected.horizon, probe, &collected.events);
+        match std::fs::write(path, doc.to_pretty()) {
+            Ok(()) => println!(
+                "wrote flight recorder {path} ({} trace events)",
+                collected.events.len()
+            ),
+            Err(e) => eprintln!("fv: cannot write {path}: {e}"),
+        }
+    }
+    ExitCode::FAILURE
 }
 
 /// Compares two `BENCH_*.json` documents and fails when any shared bench

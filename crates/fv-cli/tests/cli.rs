@@ -704,3 +704,95 @@ fn stats_layout_matches_golden() {
     }
     assert_matches_golden("stats_layout.txt", &normalized);
 }
+
+#[test]
+fn why_resolves_a_sampled_packet_and_rejects_an_unsampled_one() {
+    let f = write_script(GOOD);
+    // Packet id 64 is a sampling hit (1 in 64 by id) and early enough to
+    // never be evicted from the provenance ring.
+    let out = fv()
+        .args(["why"])
+        .arg(&f.path)
+        .args(["--pkt", "64"])
+        .output()
+        .expect("fv runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("pkt 64"), "stdout: {stdout}");
+    assert!(stdout.contains("verdict"), "stdout: {stdout}");
+    assert!(stdout.contains("tokens"), "stdout: {stdout}");
+    // Id 65 is never sampled: the command must fail with an explanation.
+    let out = fv()
+        .args(["why"])
+        .arg(&f.path)
+        .args(["--pkt", "65"])
+        .output()
+        .expect("fv runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no provenance"), "stderr: {stderr}");
+}
+
+#[test]
+fn why_flow_summarizes_a_class() {
+    let f = write_script(GOOD);
+    let out = fv()
+        .args(["why"])
+        .arg(&f.path)
+        .args(["--flow", "hi"])
+        .output()
+        .expect("fv runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("class 1:10:"), "stdout: {stdout}");
+    assert!(stdout.contains("sampled decisions"), "stdout: {stdout}");
+    assert!(stdout.contains("most recent:"), "stdout: {stdout}");
+}
+
+#[test]
+fn audit_passes_clean_and_fails_on_injected_mischarge() {
+    let f = write_script(GOOD);
+    let out = fv().args(["audit"]).arg(&f.path).output().expect("fv runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 violations"), "stdout: {stdout}");
+    // The self-test corrupts one green meter step; the ledger must catch
+    // exactly that and flip the exit code.
+    let out = fv()
+        .args(["audit"])
+        .arg(&f.path)
+        .args(["--inject-mischarge"])
+        .output()
+        .expect("fv runs");
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1 violations"), "stdout: {stdout}");
+    assert!(stdout.contains("[mischarge]"), "stdout: {stdout}");
+}
+
+#[test]
+fn audit_json_reports_machine_readable_verdict() {
+    let f = write_script(GOOD);
+    let out = fv()
+        .args(["audit"])
+        .arg(&f.path)
+        .args(["--json"])
+        .output()
+        .expect("fv runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"violations\": []"), "stdout: {stdout}");
+    assert!(stdout.contains("\"records\""), "stdout: {stdout}");
+}

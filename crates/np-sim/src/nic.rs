@@ -365,6 +365,9 @@ impl SmartNic {
                         self.telemetry.fault_drops.incr(0);
                         RxOutcome::FaultDrop { at: release }
                     }
+                    // The TM only ever refuses with the two causes above;
+                    // the scheduler/queue causes cannot reach this FIFO.
+                    Err(_) => RxOutcome::TailDrop { at: release },
                 }
             }
         }

@@ -23,25 +23,13 @@ use sim_core::units::{BitRate, ByteSize, WireFraming};
 
 use crate::fault::{FaultInjector, TmFault};
 
-/// Why the traffic manager refused a packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TmDrop {
-    /// The FIFO was full: classic tail drop.
-    TailDrop,
-    /// The frame was corrupted inside the TM by an injected fault.
-    CorruptDrop,
-}
+pub use fv_audit::DropCause;
 
-impl core::fmt::Display for TmDrop {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        match self {
-            TmDrop::TailDrop => write!(f, "traffic-manager tail drop"),
-            TmDrop::CorruptDrop => write!(f, "traffic-manager corruption drop (injected fault)"),
-        }
-    }
-}
-
-impl std::error::Error for TmDrop {}
+/// Why the traffic manager refused a packet. Since the drop-cause
+/// unification this is the shared [`fv_audit::DropCause`]; the traffic
+/// manager only ever produces the [`DropCause::TailDrop`] /
+/// [`DropCause::CorruptDrop`] variants.
+pub type TmDrop = DropCause;
 
 /// Counters maintained by the FIFO wire model.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

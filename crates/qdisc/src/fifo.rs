@@ -4,25 +4,12 @@ use std::collections::VecDeque;
 
 use netstack::packet::Packet;
 
-/// Why an enqueue was refused.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum QueueDrop {
-    /// The queue's packet-count limit was reached.
-    OverPkts,
-    /// The queue's byte limit would be exceeded.
-    OverBytes,
-}
+pub use fv_audit::DropCause;
 
-impl core::fmt::Display for QueueDrop {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        match self {
-            QueueDrop::OverPkts => write!(f, "queue over packet limit"),
-            QueueDrop::OverBytes => write!(f, "queue over byte limit"),
-        }
-    }
-}
-
-impl std::error::Error for QueueDrop {}
+/// Why an enqueue was refused. Since the drop-cause unification this is
+/// the shared [`fv_audit::DropCause`]; software qdiscs only ever produce
+/// the [`DropCause::OverPkts`] / [`DropCause::OverBytes`] variants.
+pub type QueueDrop = DropCause;
 
 /// A FIFO with byte and packet limits.
 ///

@@ -33,6 +33,7 @@ use sim_core::time::Nanos;
 use sim_core::units::BitRate;
 
 use crate::fifo::{PacketFifo, QueueDrop};
+use fv_audit::CauseCounters;
 
 /// An HTB class handle (the minor of a `tc` `major:minor`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -227,13 +228,17 @@ pub struct HtbStats {
 /// ```
 /// Registry handles mirroring [`HtbStats`] (plus a backlog gauge and
 /// tail-drop trace events). Attached via [`Htb::attach_telemetry`].
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct HtbTelemetry {
     enqueued: Arc<Counter>,
     drops: Arc<Counter>,
     dequeued: Arc<Counter>,
     dequeued_bits: Arc<Counter>,
     backlog_pkts: Arc<Gauge>,
+    /// Per-class drop-cause split (`htb.class.<n>.drop.<cause>`); each
+    /// cause's counter registers on the first drop it counts, so clean
+    /// runs keep their snapshot schema.
+    causes: HashMap<Handle, CauseCounters>,
     ring: Arc<EventRing>,
     spans: SpanRecorder,
 }
@@ -327,12 +332,24 @@ impl Htb {
     /// Mirrors this qdisc's counters into `registry` under `htb.*` —
     /// enqueue drops additionally trace [`TraceKind::TailDrop`] events.
     pub fn attach_telemetry(&mut self, registry: &Registry) {
+        let causes = self
+            .classes
+            .iter()
+            .map(|c| {
+                let id = c.spec.id;
+                (
+                    id,
+                    CauseCounters::new(registry, format!("htb.class.{}", id.0)),
+                )
+            })
+            .collect();
         self.telemetry = Some(HtbTelemetry {
             enqueued: registry.counter("htb.enqueued"),
             drops: registry.counter("htb.drops"),
             dequeued: registry.counter("htb.dequeued"),
             dequeued_bits: registry.counter("htb.dequeued_bits"),
             backlog_pkts: registry.gauge("htb.backlog_pkts"),
+            causes,
             ring: registry.ring(),
             spans: SpanRecorder::new(registry),
         });
@@ -388,10 +405,13 @@ impl Htb {
                     t.backlog_pkts.set(self.backlog_pkts() as u64);
                 }
             }
-            Err(_) => {
+            Err(cause) => {
                 self.stats.drops += 1;
                 if let Some(t) = &self.telemetry {
                     t.drops.incr(0);
+                    if let Some(cc) = t.causes.get(&class) {
+                        cc.incr(cause, 0);
+                    }
                     t.ring.record(at, TraceKind::TailDrop, class.0 as u64, id);
                 }
             }
@@ -804,6 +824,10 @@ mod tests {
             .events
             .iter()
             .any(|e| e.kind == TraceKind::TailDrop && e.a == 10));
+        // The queue limit is a packet-count limit, so every drop splits
+        // into over_pkts; the over_bytes counter never registers.
+        assert_eq!(snap.counter("htb.class.10.drop.over_pkts"), 3);
+        assert!(snap.get("htb.class.10.drop.over_bytes").is_none());
     }
 
     #[test]

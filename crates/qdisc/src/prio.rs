@@ -128,6 +128,8 @@ impl Prio {
                     match cause {
                         QueueDrop::OverPkts => t.drops_overpkts.incr(0),
                         QueueDrop::OverBytes => t.drops_overbytes.incr(0),
+                        // A FIFO never produces the scheduler/TM causes.
+                        _ => {}
                     }
                     t.band_drops[band].incr(0);
                     t.ring.record(at, TraceKind::TailDrop, band as u64, id);

@@ -10,6 +10,7 @@
 
 use std::sync::Arc;
 
+use fv_audit::CauseCounters;
 use fv_telemetry::metrics::Gauge;
 use fv_telemetry::Registry;
 use netstack::packet::Packet;
@@ -68,6 +69,9 @@ pub struct Sfq {
     enqueued: u64,
     dequeued: u64,
     backlog_gauge: Option<Arc<Gauge>>,
+    /// Per-bucket drop-cause split (`sfq.bucket.<i>.drop.<cause>`); each
+    /// cause's counter registers on the first drop it counts.
+    cause_counters: Option<Vec<CauseCounters>>,
 }
 
 impl Sfq {
@@ -94,14 +98,22 @@ impl Sfq {
             enqueued: 0,
             dequeued: 0,
             backlog_gauge: None,
+            cause_counters: None,
             cfg,
         }
     }
 
     /// Mirrors the total backlog into a `sfq.backlog_pkts` gauge; its
-    /// high-water mark is the waterline `fv profile` reports.
+    /// high-water mark is the waterline `fv profile` reports. Also arms
+    /// the per-bucket drop-cause split (`sfq.bucket.<i>.drop.<cause>`),
+    /// whose counters register lazily on first drop.
     pub fn attach_telemetry(&mut self, registry: &Registry) {
         self.backlog_gauge = Some(registry.gauge("sfq.backlog_pkts"));
+        self.cause_counters = Some(
+            (0..self.buckets.len())
+                .map(|i| CauseCounters::new(registry, format!("sfq.bucket.{i}")))
+                .collect(),
+        );
     }
 
     fn bucket_of(&self, pkt: &Packet) -> usize {
@@ -128,10 +140,17 @@ impl Sfq {
         self.maybe_perturb(now);
         let b = self.bucket_of(&pkt);
         let r = self.buckets[b].push(pkt);
-        if r.is_ok() {
-            self.enqueued += 1;
-            if let Some(g) = &self.backlog_gauge {
-                g.set(self.backlog_pkts() as u64);
+        match r {
+            Ok(()) => {
+                self.enqueued += 1;
+                if let Some(g) = &self.backlog_gauge {
+                    g.set(self.backlog_pkts() as u64);
+                }
+            }
+            Err(cause) => {
+                if let Some(cc) = &self.cause_counters {
+                    cc[b].incr(cause, 0);
+                }
             }
         }
         r
@@ -265,6 +284,30 @@ mod tests {
         assert!(q.enqueue(pkt(2, 1), Nanos::ZERO).is_err());
         assert_eq!(q.drops(), 1);
         assert_eq!(q.enqueued(), 2);
+    }
+
+    #[test]
+    fn bucket_drop_cause_counters_register_lazily() {
+        let reg = Registry::new();
+        let cfg = SfqConfig {
+            bucket_limit: 2,
+            ..SfqConfig::default()
+        };
+        let mut q = Sfq::new(cfg);
+        q.attach_telemetry(&reg);
+        let b = q.bucket_of(&pkt(0, 1));
+        assert!(reg
+            .snapshot(Nanos::ZERO)
+            .get(&format!("sfq.bucket.{b}.drop.over_pkts"))
+            .is_none());
+        assert!(q.enqueue(pkt(0, 1), Nanos::ZERO).is_ok());
+        assert!(q.enqueue(pkt(1, 1), Nanos::ZERO).is_ok());
+        assert_eq!(q.enqueue(pkt(2, 1), Nanos::ZERO), Err(QueueDrop::OverPkts));
+        let snap = reg.snapshot(Nanos::ZERO);
+        assert_eq!(snap.counter(&format!("sfq.bucket.{b}.drop.over_pkts")), 1);
+        assert!(snap
+            .get(&format!("sfq.bucket.{b}.drop.over_bytes"))
+            .is_none());
     }
 
     #[test]

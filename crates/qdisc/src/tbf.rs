@@ -123,6 +123,8 @@ impl Tbf {
                     match cause {
                         QueueDrop::OverPkts => t.drops_overpkts.incr(0),
                         QueueDrop::OverBytes => t.drops_overbytes.incr(0),
+                        // A FIFO never produces the scheduler/TM causes.
+                        _ => {}
                     }
                     t.ring.record(at, TraceKind::TailDrop, 0, id);
                 }

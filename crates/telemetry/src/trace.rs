@@ -52,6 +52,10 @@ pub enum TraceKind {
     /// A fault window closed (fv-chaos). `a` = fault kind code, `b` =
     /// fault index within the plan.
     FaultClear = 15,
+    /// A token-conservation violation found by fv-audit. `a` = violation
+    /// kind code, `b` = the offending bucket's slab index (or packet id
+    /// for refund violations).
+    AuditViolation = 16,
 }
 
 impl TraceKind {
@@ -73,6 +77,7 @@ impl TraceKind {
             13 => TraceKind::SpanQueue,
             14 => TraceKind::FaultInject,
             15 => TraceKind::FaultClear,
+            16 => TraceKind::AuditViolation,
             _ => return None,
         })
     }
@@ -96,6 +101,7 @@ impl TraceKind {
             TraceKind::SpanQueue => "span_queue",
             TraceKind::FaultInject => "fault_inject",
             TraceKind::FaultClear => "fault_clear",
+            TraceKind::AuditViolation => "audit_violation",
         }
     }
 

@@ -92,12 +92,36 @@ print(f"profile ok: {doc['cycles']['total']} cycles attributed, "
       f"{len(doc['locks'])} locks ranked, folded export deterministic")
 PY
 
-echo "==> bench-diff: committed pr8 snapshot vs pr7 baseline (sched hot path)"
+echo "==> fv why / fv audit smoke (provenance + conservation gates)"
+# Packet id 64 is always a sampling hit (1 in 64 by id) and never evicted
+# from the provenance ring, and the run is seeded, so the walk text is
+# deterministic: two runs must explain the packet identically.
+WHY_A="$(mktemp)"
+WHY_B="$(mktemp)"
+trap 'rm -f "$TRACE" "$CHAOS_A" "$CHAOS_B" "$PROF_A" "$PROF_B" "$PROF_C" "$WHY_A" "$WHY_B"' EXIT
+cargo run --release -q -p fv-cli -- why scripts/motivation.fv --pkt 64 > "$WHY_A"
+cargo run --release -q -p fv-cli -- why scripts/motivation.fv --pkt 64 > "$WHY_B"
+cmp "$WHY_A" "$WHY_B" \
+    || { echo "fv why output is not deterministic"; exit 1; }
+grep -q "verdict" "$WHY_A" \
+    || { echo "fv why did not print a verdict"; exit 1; }
+cargo run --release -q -p fv-cli -- audit scripts/motivation.fv >/dev/null \
+    || { echo "fv audit found conservation violations on the demo run"; exit 1; }
+cargo run --release -q -p fv-cli -- audit scripts/motivation.fv \
+    --plan scripts/demo.chaos >/dev/null \
+    || { echo "fv audit found conservation violations under the chaos plan"; exit 1; }
+if cargo run --release -q -p fv-cli -- audit scripts/motivation.fv \
+    --inject-mischarge >/dev/null; then
+    echo "fv audit --inject-mischarge must exit 1"; exit 1
+fi
+echo "why/audit ok: deterministic explain, demo+chaos conserve, mischarge caught"
+
+echo "==> bench-diff: committed pr9 snapshot vs pr8 baseline (sched hot path)"
 # Both snapshots are committed, so this is a cheap static gate: it proves
-# the recorded compiled-scheduler numbers never regressed more than 10%
-# against the pre-compilation baseline on any sched_* bench (the diff
-# walks baseline keys, so sched_compiled/* entries new in pr8 are free).
-cargo run --release -q -p fv-cli -- bench-diff BENCH_pr8.json BENCH_pr7.json \
+# the recorded numbers with the provenance hook compiled in (sampling
+# disabled on the bench path) never regressed more than 10% against the
+# pre-audit baseline on any sched_* bench.
+cargo run --release -q -p fv-cli -- bench-diff BENCH_pr9.json BENCH_pr8.json \
     --tolerance-pct 10 --only sched
 
 # Opt-in perf-regression gate: fresh bench snapshot diffed against the
@@ -105,9 +129,9 @@ cargo run --release -q -p fv-cli -- bench-diff BENCH_pr8.json BENCH_pr7.json \
 # Baselines are machine-specific — if this fires on new hardware while
 # the code is unchanged, re-baseline with scripts/bench.sh first.
 if [[ "${FV_BENCH_GATE:-0}" == "1" ]]; then
-    echo "==> bench regression gate (<=10% vs BENCH_pr7.json)"
+    echo "==> bench regression gate (<=10% vs BENCH_pr8.json)"
     scripts/bench.sh gate
-    cargo run --release -q -p fv-cli -- bench-diff BENCH_gate.json BENCH_pr7.json \
+    cargo run --release -q -p fv-cli -- bench-diff BENCH_gate.json BENCH_pr8.json \
         --tolerance-pct 10 \
         --only sched_function/instrumented_threads --only span_stamp/record
     rm -f BENCH_gate.json
