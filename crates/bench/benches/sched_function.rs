@@ -10,10 +10,13 @@ use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use flowvalve::label::ClassId;
+use flowvalve::program::CompiledProgram;
+use flowvalve::quantum::ReservedExec;
 use flowvalve::sched::RealExec;
 use flowvalve::tree::{ClassSpec, SchedulingTree, TreeParams};
 use fv_telemetry::Registry;
 use sim_core::clock::{Clock, WallClock};
+use sim_core::fixed::Tokens;
 use sim_core::units::BitRate;
 
 /// A fair-queueing tree with `n` leaves under one root.
@@ -120,6 +123,59 @@ fn bench_schedule(c: &mut Criterion) {
             },
         );
     }
+
+    // Aggregate scaling: the full striped wall-clock hot path — compiled
+    // admission chains, per-thread telemetry stripes, and a per-worker
+    // quantum reserve over the padded bucket slab. Unlike
+    // `parallel_threads` (a fixed total divided across threads), every
+    // thread here performs `iters` decisions and the throughput
+    // annotation is `threads` elements per iteration, so the reported
+    // Melem/s is the *aggregate* machine rate — the paper's Fig. 13 axis.
+    // On a single-core host the curve is flat by construction; the
+    // scaling gate in check.sh only enforces speedup on multi-core.
+    for threads in [1usize, 2, 4, 8] {
+        let t = tree(8);
+        let labels: Vec<_> = (0..8u16)
+            .map(|i| t.label(ClassId(10 + i), &[]).expect("leaf exists"))
+            .collect();
+        let prog = Arc::new(CompiledProgram::compile(&t, labels.iter()));
+        g.throughput(Throughput::Elements(threads as u64));
+        g.bench_with_input(
+            BenchmarkId::new("scaling", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let clock = WallClock::new();
+                    let start = Instant::now();
+                    std::thread::scope(|s| {
+                        for k in 0..threads {
+                            let t = Arc::clone(&t);
+                            let prog = Arc::clone(&prog);
+                            let clock = &clock;
+                            let label = labels[k % 8];
+                            s.spawn(move || {
+                                let chain = prog.resolve(&label).expect("compiled chain");
+                                // ~8 packets of credit per shared-slab grab.
+                                let mut exec = ReservedExec::new(Tokens::from_bits(8 * 12_000));
+                                for _ in 0..iters {
+                                    std::hint::black_box(t.schedule_compiled(
+                                        &prog,
+                                        chain,
+                                        12_000,
+                                        clock.now(),
+                                        &mut exec,
+                                    ));
+                                }
+                                exec.reserve.flush(&t);
+                            });
+                        }
+                    });
+                    start.elapsed()
+                });
+            },
+        );
+    }
+    g.throughput(Throughput::Elements(1));
 
     // Worst case: every thread hammers the SAME class (shared leaf bucket
     // + contended update lock) — still wait-free on the meter.

@@ -30,10 +30,12 @@
 
 pub mod cache;
 pub mod rule;
+pub mod shard;
 pub mod table;
 
 pub use cache::{CacheResult, CacheStats, FlowCache};
 pub use rule::{Cidr, FilterRule, FlowMatch};
+pub use shard::ShardedFlowCache;
 pub use table::FilterTable;
 
 use netstack::flow::FlowKey;
@@ -43,10 +45,16 @@ use netstack::packet::VfPort;
 ///
 /// Verdicts are `Clone` because a table verdict is copied into the cache on
 /// a miss (mirroring how the hardware cache stores flattened actions).
+///
+/// The cache is sharded per worker stripe ([`shard::SHARDS`] padded
+/// tables, modeling per-island EMFCs): multi-worker callers use
+/// [`Classifier::classify_at`] with their worker index so each worker's
+/// hit path stays on its own cache lines; [`Classifier::classify`] is the
+/// single-worker form (stripe 0).
 #[derive(Debug, Clone)]
 pub struct Classifier<V> {
     table: FilterTable<V>,
-    cache: FlowCache<V>,
+    cache: ShardedFlowCache<V>,
 }
 
 impl<V: Clone> Classifier<V> {
@@ -58,7 +66,7 @@ impl<V: Clone> Classifier<V> {
     pub fn new(default: V, cache_capacity: usize) -> Self {
         Classifier {
             table: FilterTable::new(default),
-            cache: FlowCache::new(cache_capacity),
+            cache: ShardedFlowCache::new(cache_capacity),
         }
     }
 
@@ -72,15 +80,29 @@ impl<V: Clone> Classifier<V> {
     /// Classifies a flow, reporting whether the fast path was taken.
     ///
     /// On a miss the verdict is computed from the table and installed in
-    /// the cache before returning.
+    /// the cache before returning. Single-worker form of
+    /// [`Classifier::classify_at`] (stripe 0).
     pub fn classify(&mut self, flow: &FlowKey, vf: VfPort) -> (&V, CacheResult) {
+        self.classify_at(0, flow, vf)
+    }
+
+    /// Classifies a flow on worker `stripe`'s cache shard.
+    ///
+    /// The stripe is masked internally, so any worker id is valid. Each
+    /// worker fills and hits its own shard: a flow migrating across
+    /// workers re-misses once per shard it lands on, exactly like a flow
+    /// migrating across hardware islands.
+    pub fn classify_at(&mut self, stripe: usize, flow: &FlowKey, vf: VfPort) -> (&V, CacheResult) {
         // `.1` copies out the result; the `&V` borrow ends with the statement.
-        let result = self.cache.lookup(flow).1;
+        let result = self.cache.lookup_at(stripe, flow).1;
         if result == CacheResult::Miss {
             let verdict = self.table.lookup(flow, vf).clone();
-            self.cache.insert(*flow, verdict);
+            self.cache.insert_at(stripe, *flow, verdict);
         }
-        let verdict = self.cache.peek(flow).expect("entry present after fill");
+        let verdict = self
+            .cache
+            .peek_at(stripe, flow)
+            .expect("entry present after fill");
         (verdict, result)
     }
 
@@ -89,7 +111,7 @@ impl<V: Clone> Classifier<V> {
         &self.table
     }
 
-    /// Flow-cache statistics.
+    /// Flow-cache statistics, merged exactly across all worker shards.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
@@ -119,6 +141,23 @@ mod classifier_tests {
         assert_eq!((*v, r), (7, CacheResult::Miss));
         let (v, r) = c.classify(&flow(1), VfPort(0));
         assert_eq!((*v, r), (7, CacheResult::Hit));
+    }
+
+    #[test]
+    fn worker_stripes_fill_independent_shards() {
+        let mut c: Classifier<u32> = Classifier::new(0, 64);
+        c.add_rule(FilterRule::new(1, FlowMatch::any(), 9));
+        // Worker 0 fills its shard; worker 1 re-misses (its own island is
+        // cold) but still gets the same verdict from the table.
+        let (v, r) = c.classify_at(0, &flow(1), VfPort(0));
+        assert_eq!((*v, r), (9, CacheResult::Miss));
+        let (v, r) = c.classify_at(1, &flow(1), VfPort(0));
+        assert_eq!((*v, r), (9, CacheResult::Miss));
+        // Both shards are now warm.
+        assert_eq!(c.classify_at(0, &flow(1), VfPort(0)).1, CacheResult::Hit);
+        assert_eq!(c.classify_at(1, &flow(1), VfPort(0)).1, CacheResult::Hit);
+        let s = c.cache_stats();
+        assert_eq!((s.hits, s.misses), (2, 2));
     }
 
     #[test]

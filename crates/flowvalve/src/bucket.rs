@@ -50,6 +50,17 @@ pub enum Color {
 /// [`refill`]: TokenBucket::refill
 /// [`set_level`]: TokenBucket::set_level
 ///
+/// # Layout
+///
+/// Each bucket is aligned and padded to a 64-byte cache line. The
+/// scheduling tree keeps all buckets in one flat slab; unpadded, four
+/// 16-byte buckets share a line, so two workers metering *different*
+/// classes still bounce the same line between cores (false sharing). A
+/// line per bucket costs 48 spare bytes each — cheap against a slab of at
+/// most a few hundred classes — and makes every meter's RMW contend only
+/// with meters on the *same* bucket, which is the contention the paper's
+/// test-and-add instruction is designed to absorb.
+///
 /// # Example
 ///
 /// ```
@@ -62,6 +73,7 @@ pub enum Color {
 /// assert_eq!(bucket.meter(Tokens::from_bits(600)), Color::Red); // only 400 left
 /// ```
 #[derive(Debug)]
+#[repr(align(64))]
 pub struct TokenBucket {
     /// Signed raw fixed-point token level; negative = transient debt.
     tokens: AtomicI64,
@@ -429,5 +441,12 @@ mod tests {
     #[test]
     fn atomic_rate_starts_zero() {
         assert_eq!(AtomicRate::new().load(), 0);
+    }
+
+    #[test]
+    fn buckets_occupy_whole_cache_lines() {
+        // Slab neighbours must never share a line (false sharing).
+        assert_eq!(std::mem::size_of::<TokenBucket>(), 64);
+        assert_eq!(std::mem::align_of::<TokenBucket>(), 64);
     }
 }

@@ -169,7 +169,7 @@ impl QdiscChain {
             if !verdict.passes() {
                 // Refund the stages that already admitted the packet.
                 for (j, (tree, l)) in self.stages.iter().zip(label.stages()).take(i).enumerate() {
-                    tree.uncount_path(l, bits);
+                    tree.uncount_path_at(l, bits, exec.stripe());
                     if O::ENABLED {
                         obs.on_refund(j as u8, l.leaf().0, bits);
                     }
@@ -264,7 +264,7 @@ impl QdiscChain {
             };
             if !verdict.passes() {
                 for (j, (tree, l)) in self.stages.iter().zip(label.stages()).take(i).enumerate() {
-                    tree.uncount_path(l, bits);
+                    tree.uncount_path_at(l, bits, exec.stripe());
                     if O::ENABLED {
                         obs.on_refund(j as u8, l.leaf().0, bits);
                     }

@@ -19,6 +19,7 @@
 //! | [`bucket`] — lock-free token & shadow buckets | §IV-C, Figure 8 |
 //! | [`sched`] — the parallel scheduling function | Algorithm 1 |
 //! | [`program`] — compiled admission chains + per-flow decision cache | Algorithm 1, flattened |
+//! | [`quantum`] — per-worker token-quantum reservations | §IV-D, multi-core |
 //! | [`frontend`] — the `fv` command language | §III-E |
 //! | [`pipeline`] — labeling + scheduling on the NIC model | Figure 5 |
 //!
@@ -57,6 +58,7 @@ pub mod frontend;
 pub mod label;
 pub mod pipeline;
 pub mod program;
+pub mod quantum;
 pub mod sched;
 pub mod snapshot;
 pub mod tree;
@@ -68,6 +70,7 @@ pub use frontend::{FilterSpec, Policy};
 pub use label::{ClassId, QosLabel};
 pub use pipeline::{FlowValvePipeline, LockDiscipline};
 pub use program::{ChainId, CompiledProgram, DecisionCache};
+pub use quantum::{QuantumReserve, ReservedExec};
 pub use sched::{Exec, GlobalLockExec, RealExec, SchedVerdict, SimExec};
 pub use snapshot::{ClassSnapshot, TreeSnapshot};
 pub use tree::{ClassCounters, ClassSpec, SchedulingTree, TreeParams};

@@ -464,10 +464,14 @@ impl EgressDecider for FlowValvePipeline {
             meter.charge_n(Op::ProgramCompile, self.pending_compile_ops);
             self.pending_compile_ops = 0;
         }
-        // Labeling function: exact-match cache with table-walk fill.
+        // Labeling function: exact-match cache with table-walk fill, on
+        // this worker's cache shard (per-island EMFC model — no false
+        // sharing between workers' hit paths).
         let classify_t0 = meter.total();
         meter.set_stage(AttrStage::Classify);
-        let (label, cache) = self.classifier.classify(&pkt.flow, pkt.vf);
+        let (label, cache) = self
+            .classifier
+            .classify_at(meter.worker(), &pkt.flow, pkt.vf);
         let label = *label;
         meter.charge(match cache {
             CacheResult::Hit => Op::ClassifyHit,
@@ -523,7 +527,12 @@ impl EgressDecider for FlowValvePipeline {
                         let mut cache_hit = false;
                         let chain = if self.use_program {
                             let gen = self.reload_gen.wrapping_add(self.tree.epoch());
-                            match self.cache.lookup(&label, gen) {
+                            // Each worker resolves through its own cache
+                            // stripe (per-ME EMFC slice): no shared table
+                            // lines between engines, at the price of one
+                            // cold miss per worker per flow.
+                            let stripe = meter.worker();
+                            match self.cache.lookup_at(stripe, &label, gen) {
                                 Some(c) => {
                                     cache_hit = true;
                                     Some(c)
@@ -531,7 +540,7 @@ impl EgressDecider for FlowValvePipeline {
                                 None => {
                                     let resolved = self.program.resolve(&label);
                                     if let Some(c) = resolved {
-                                        self.cache.insert(label, c, gen);
+                                        self.cache.insert_at(stripe, label, c, gen);
                                     }
                                     resolved
                                 }

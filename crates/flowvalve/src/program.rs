@@ -31,7 +31,6 @@ use fv_audit::{NoObserver, StepKind, StepObserver, StepRecord};
 use np_sim::cost::Op;
 use sim_core::fixed::Tokens;
 use sim_core::time::Nanos;
-use std::sync::atomic::Ordering;
 
 use crate::bucket::Color;
 use crate::label::QosLabel;
@@ -271,6 +270,7 @@ impl SchedulingTree {
         let need = Tokens::from_bits(bits);
         let need_raw = need.raw() as i64;
         let elide = exec.elide_idle_updates();
+        let stripe = exec.stripe();
 
         // Lines 1-5: refresh token buckets root→leaf, then mark every
         // class on the path touched (drives expiry).
@@ -299,9 +299,7 @@ impl SchedulingTree {
             }
         }
         for s in updates {
-            self.node(s.node as usize)
-                .last_packet
-                .fetch_max(now.as_nanos(), Ordering::AcqRel);
+            self.node(s.node as usize).touch(stripe, now.as_nanos());
         }
 
         // Lines 6-8: the leaf meter throttles the flow.
@@ -310,7 +308,7 @@ impl SchedulingTree {
         exec.charge(Op::AtomicOp);
         let lb = self.slab_bucket(leaf_step.bucket);
         let leaf_before = if O::ENABLED { lb.raw() } else { 0 };
-        let leaf_green = lb.meter(need) == Color::Green;
+        let leaf_green = exec.meter_bucket(self, leaf_step.bucket, need) == Color::Green;
         if O::ENABLED {
             obs.on_step(StepRecord {
                 stage: 0,
@@ -328,7 +326,7 @@ impl SchedulingTree {
                 exec.charge(Op::AtomicOp);
                 let cb = self.slab_bucket(cs.bucket);
                 let before = if O::ENABLED { cb.raw() } else { 0 };
-                let green = cb.meter(need) == Color::Green;
+                let green = exec.meter_bucket(self, cs.bucket, need) == Color::Green;
                 if O::ENABLED {
                     obs.on_step(StepRecord {
                         stage: 0,
@@ -342,12 +340,12 @@ impl SchedulingTree {
                     });
                 }
                 if !green {
-                    leaf.dropped.fetch_add(1, Ordering::AcqRel);
+                    leaf.add_dropped(stripe, 1);
                     return SchedVerdict::Drop;
                 }
             }
-            self.count_steps(updates, bits, exec);
-            leaf.forwarded.fetch_add(1, Ordering::AcqRel);
+            self.count_steps(updates, bits, stripe, exec);
+            leaf.add_forwarded(stripe, 1);
             return SchedVerdict::Forward;
         }
 
@@ -356,7 +354,7 @@ impl SchedulingTree {
             exec.charge(Op::AtomicOp);
             let cb = self.slab_bucket(cs.bucket);
             let before = if O::ENABLED { cb.raw() } else { 0 };
-            let green = cb.meter(need) == Color::Green;
+            let green = exec.meter_bucket(self, cs.bucket, need) == Color::Green;
             if O::ENABLED {
                 obs.on_step(StepRecord {
                     stage: 0,
@@ -370,7 +368,7 @@ impl SchedulingTree {
                 });
             }
             if !green {
-                leaf.dropped.fetch_add(1, Ordering::AcqRel);
+                leaf.add_dropped(stripe, 1);
                 return SchedVerdict::Drop;
             }
         }
@@ -397,27 +395,44 @@ impl SchedulingTree {
             }
             if green {
                 let lnode = self.node(s.node as usize);
-                self.count_steps(updates, bits, exec);
-                lnode.lent.fetch_add(1, Ordering::AcqRel);
-                leaf.borrowed.fetch_add(1, Ordering::AcqRel);
+                self.count_steps(updates, bits, stripe, exec);
+                lnode.add_lent(stripe, 1);
+                leaf.add_borrowed(stripe, 1);
                 return SchedVerdict::Borrowed(lnode.spec.id);
             }
         }
 
         // Line 16.
-        leaf.dropped.fetch_add(1, Ordering::AcqRel);
+        leaf.add_dropped(stripe, 1);
         SchedVerdict::Drop
     }
 
     /// `count_path` + `charge_path` over precompiled path steps.
-    fn count_steps<E: Exec>(&self, updates: &[ChainStep], bits: u64, exec: &mut E) {
+    fn count_steps<E: Exec>(&self, updates: &[ChainStep], bits: u64, stripe: usize, exec: &mut E) {
         for s in updates {
-            self.node(s.node as usize)
-                .consumed_bits
-                .fetch_add(bits, Ordering::AcqRel);
+            self.node(s.node as usize).add_consumed(stripe, bits);
             exec.charge(Op::AtomicOp);
         }
     }
+}
+
+/// Number of per-worker stripes in a [`DecisionCache`]. Matches the
+/// telemetry counter shard count so worker / [`fv_telemetry::thread_stripe`]
+/// hints spread identically across every striped structure; must stay a
+/// power of two.
+pub const CACHE_STRIPES: usize = fv_telemetry::metrics::SHARDS;
+const CACHE_STRIPE_MASK: usize = CACHE_STRIPES - 1;
+
+/// One worker's private table of a [`DecisionCache`]. The header (table
+/// pointer + hit/miss tallies) is cache-line-aligned so two workers
+/// probing their own stripes never write the same line; the entry arrays
+/// are separate allocations and disjoint by construction.
+#[repr(align(64))]
+#[derive(Debug)]
+struct CacheStripe {
+    entries: Box<[Option<CacheEntry>]>,
+    hits: u64,
+    misses: u64,
 }
 
 /// Direct-mapped per-flow admission cache: classified leaf class → chain
@@ -427,12 +442,24 @@ impl SchedulingTree {
 /// [`SchedulingTree::epoch`], so every `fv` reconfig, rate-estimation
 /// epoch roll and borrowing-state change invalidates stale entries on the
 /// next packet.
+///
+/// Internally the cache is split into [`CACHE_STRIPES`] per-worker tables
+/// (the hardware analogue: each ME owns its EMFC slice). A worker passes
+/// its stripe to [`DecisionCache::lookup_at`]/[`DecisionCache::insert_at`]
+/// — the pipeline uses the cost meter's worker id, real-thread drivers use
+/// [`fv_telemetry::thread_stripe`] — so concurrent resolvers never share a
+/// table cache line. Invalidation is unchanged and stripe-agnostic: the
+/// generation token gates every stripe identically, and [`clear`] wipes
+/// them all. The stripe-less [`lookup`]/[`insert`] wrappers pin stripe 0
+/// for single-worker callers.
+///
+/// [`clear`]: DecisionCache::clear
+/// [`lookup`]: DecisionCache::lookup
+/// [`insert`]: DecisionCache::insert
 #[derive(Debug)]
 pub struct DecisionCache {
-    entries: Box<[Option<CacheEntry>]>,
+    stripes: Box<[CacheStripe]>,
     mask: usize,
-    hits: u64,
-    misses: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -443,15 +470,20 @@ struct CacheEntry {
 }
 
 impl DecisionCache {
-    /// Creates a cache with at least `slots` entries (rounded up to a
-    /// power of two; minimum 1).
+    /// Creates a cache with at least `slots` entries per stripe (rounded
+    /// up to a power of two; minimum 1).
     pub fn new(slots: usize) -> Self {
         let slots = slots.max(1).next_power_of_two();
+        let stripes = (0..CACHE_STRIPES)
+            .map(|_| CacheStripe {
+                entries: vec![None; slots].into_boxed_slice(),
+                hits: 0,
+                misses: 0,
+            })
+            .collect();
         DecisionCache {
-            entries: vec![None; slots].into_boxed_slice(),
+            stripes,
             mask: slots - 1,
-            hits: 0,
-            misses: 0,
         }
     }
 
@@ -460,34 +492,55 @@ impl DecisionCache {
     }
 
     /// The cached chain for `label`, if present and minted under `gen`.
+    /// Stripe-0 wrapper over [`DecisionCache::lookup_at`].
     pub fn lookup(&mut self, label: &QosLabel, gen: u64) -> Option<ChainId> {
-        match self.entries[self.slot(label)] {
+        self.lookup_at(0, label, gen)
+    }
+
+    /// The cached chain for `label` in `stripe`'s table (masked; any
+    /// worker id or thread-stripe hint is safe).
+    pub fn lookup_at(&mut self, stripe: usize, label: &QosLabel, gen: u64) -> Option<ChainId> {
+        let slot = self.slot(label);
+        let s = &mut self.stripes[stripe & CACHE_STRIPE_MASK];
+        match s.entries[slot] {
             Some(e) if e.gen == gen && e.label == *label => {
-                self.hits += 1;
+                s.hits += 1;
                 Some(e.chain)
             }
             _ => {
-                self.misses += 1;
+                s.misses += 1;
                 None
             }
         }
     }
 
     /// Stores a resolution minted under `gen` (direct-mapped: evicts
-    /// whatever shared the slot).
+    /// whatever shared the slot). Stripe-0 wrapper over
+    /// [`DecisionCache::insert_at`].
     pub fn insert(&mut self, label: QosLabel, chain: ChainId, gen: u64) {
+        self.insert_at(0, label, chain, gen);
+    }
+
+    /// Stores a resolution in `stripe`'s table (masked).
+    pub fn insert_at(&mut self, stripe: usize, label: QosLabel, chain: ChainId, gen: u64) {
         let slot = self.slot(&label);
-        self.entries[slot] = Some(CacheEntry { label, chain, gen });
+        self.stripes[stripe & CACHE_STRIPE_MASK].entries[slot] =
+            Some(CacheEntry { label, chain, gen });
     }
 
-    /// Drops every entry (hot reload: the chain ids themselves are stale).
+    /// Drops every entry in every stripe (hot reload: the chain ids
+    /// themselves are stale).
     pub fn clear(&mut self) {
-        self.entries.iter_mut().for_each(|e| *e = None);
+        for s in self.stripes.iter_mut() {
+            s.entries.iter_mut().for_each(|e| *e = None);
+        }
     }
 
-    /// (hits, misses) since construction.
+    /// (hits, misses) since construction, summed across stripes.
     pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+        self.stripes
+            .iter()
+            .fold((0, 0), |(h, m), s| (h + s.hits, m + s.misses))
     }
 }
 
@@ -586,6 +639,28 @@ mod tests {
         assert_eq!(cache.lookup(&label, 2), None);
         let (hits, misses) = cache.stats();
         assert_eq!((hits, misses), (2, 3));
+    }
+
+    #[test]
+    fn cache_stripes_are_isolated_tables() {
+        let t = tree();
+        let label = t.label(ClassId(10), &[]).unwrap();
+        let prog = CompiledProgram::compile(&t, [&label]);
+        let chain = prog.resolve(&label).unwrap();
+        let mut cache = DecisionCache::new(64);
+        cache.insert_at(0, label, chain, 1);
+        assert_eq!(
+            cache.lookup_at(1, &label, 1),
+            None,
+            "a worker must never see another worker's table"
+        );
+        assert_eq!(cache.lookup_at(0, &label, 1), Some(chain));
+        // Stripe hints mask: CACHE_STRIPES aliases stripe 0.
+        assert_eq!(cache.lookup_at(CACHE_STRIPES, &label, 1), Some(chain));
+        // Stats fold every stripe; clear wipes every stripe.
+        assert_eq!(cache.stats(), (2, 1));
+        cache.clear();
+        assert_eq!(cache.lookup_at(0, &label, 1), None);
     }
 
     #[test]

@@ -1,0 +1,327 @@
+//! Per-worker token-quantum reservations over the shared bucket slab.
+//!
+//! Even with the slab padded to one bucket per cache line
+//! ([`TokenBucket`](crate::bucket::TokenBucket)'s `#[repr(align(64))]`), every packet of a hot flow
+//! still lands one RMW on the *same* leaf bucket from every worker — true
+//! sharing that padding cannot remove. The NFP hardware absorbs it in the
+//! memory controller's test-and-add unit; commodity cores pay a coherence
+//! round-trip per packet. A [`QuantumReserve`] amortizes that: each worker
+//! grabs a *quantum* of tokens ahead of need with one
+//! [`TokenBucket::grab`](crate::bucket::TokenBucket::grab), then serves per-packet charges from the private
+//! credit — one shared RMW per quantum instead of per packet.
+//!
+//! # Conservation contract
+//!
+//! The reserve only moves tokens, never mints them:
+//!
+//! * credit is acquired exclusively through [`TokenBucket::grab`](crate::bucket::TokenBucket::grab), whose
+//!   partial-grant accounting is exact;
+//! * a red verdict keeps the already-grabbed credit with the worker (it
+//!   stays reserved, available to the next packet);
+//! * on an epoch roll ([`SchedulingTree::epoch`] moved) the reserve
+//!   returns *all* outstanding credit via [`TokenBucket::put_back`](crate::bucket::TokenBucket::put_back) before
+//!   re-grabbing, so a freshly re-estimated bucket never runs concurrently
+//!   with stale hoarded credit for more than one packet;
+//! * [`QuantumReserve::flush`] returns everything — callers run it when a
+//!   worker retires (the multi-thread benchmarks flush before joining).
+//!
+//! `put_back` saturates at the bucket's burst, so a return can *destroy*
+//! tokens (conservative, same as any refill racing the cap) but never
+//! create them: the fv-audit [`Ledger`](fv_audit::Ledger) `Overfill` check
+//! holds across reservation traffic by construction, which
+//! `reserved_runs_keep_the_ledger_green` proves under 8-thread hammering
+//! with mid-run epoch rolls.
+//!
+//! A reserve is bound to one tree build: on a hot reload the pipeline
+//! replaces the tree (and its slab) wholesale, so reserves die with the
+//! slab they drew from — never flush into a different tree.
+//!
+//! What a reservation changes is *which worker* a token waits with, not
+//! how many exist: admission can differ from the shared-bucket schedule by
+//! at most the outstanding quanta (spurious reds for workers whose credit
+//! ran dry while another worker holds spare credit). That is the same
+//! conservative-red regime the test-and-add meter already admits under
+//! contention, widened by at most `quantum` tokens per worker per bucket.
+
+use sim_core::fixed::Tokens;
+use sim_core::time::Nanos;
+
+use crate::bucket::Color;
+use crate::sched::{Exec, LockKind, RealExec};
+use crate::tree::SchedulingTree;
+
+use np_sim::cost::Op;
+
+/// One worker's private token credit over a tree's bucket slab.
+///
+/// Not shared: each worker thread owns its reserve (the whole point is
+/// that nothing here is contended). See the module docs for the
+/// conservation contract.
+#[derive(Debug)]
+pub struct QuantumReserve {
+    /// Raw tokens grabbed ahead per shortfall.
+    quantum: u64,
+    /// Tree epoch the outstanding credit was minted under.
+    gen: u64,
+    /// Outstanding raw credit per slab slot (grown on demand).
+    credit: Vec<u64>,
+    /// Shared-slab grabs issued (amortization observability).
+    grabs: u64,
+    /// Charges served, shared or local (amortization observability).
+    meters: u64,
+}
+
+impl QuantumReserve {
+    /// Creates an empty reserve that tops up `quantum` tokens at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is zero — that would degenerate to one shared
+    /// RMW per packet while still paying the credit bookkeeping.
+    pub fn new(quantum: Tokens) -> Self {
+        assert!(quantum > Tokens::ZERO, "quantum must be positive");
+        QuantumReserve {
+            quantum: quantum.raw(),
+            gen: 0,
+            credit: Vec::new(),
+            grabs: 0,
+            meters: 0,
+        }
+    }
+
+    /// Meters `need` tokens against slab bucket `slot`, serving from local
+    /// credit when possible and grabbing `max(quantum, shortfall)` from
+    /// the shared bucket otherwise. Epoch rolls flush first (see module
+    /// docs).
+    pub fn meter(&mut self, tree: &SchedulingTree, slot: u32, need: Tokens) -> Color {
+        let gen = tree.epoch();
+        if gen != self.gen {
+            self.flush(tree);
+            self.gen = gen;
+        }
+        self.meters += 1;
+        let need = need.raw();
+        if self.credit.len() <= slot as usize {
+            self.credit.resize(slot as usize + 1, 0);
+        }
+        let c = &mut self.credit[slot as usize];
+        if *c >= need {
+            *c -= need;
+            return Color::Green;
+        }
+        let want = self.quantum.max(need - *c);
+        self.grabs += 1;
+        let got = tree.slab_bucket(slot).grab(Tokens::from_raw(want)).raw();
+        *c += got;
+        if *c >= need {
+            *c -= need;
+            Color::Green
+        } else {
+            Color::Red
+        }
+    }
+
+    /// Returns every outstanding token to the slab it was grabbed from.
+    /// Call when the worker retires; also runs automatically on epoch
+    /// rolls. Slots beyond the tree's slab (possible only if the reserve
+    /// was misused across tree builds) are dropped rather than minted into
+    /// foreign buckets.
+    pub fn flush(&mut self, tree: &SchedulingTree) {
+        for (slot, c) in self.credit.iter_mut().enumerate() {
+            if *c > 0 && slot < tree.slab_len() {
+                tree.slab_bucket(slot as u32).put_back(Tokens::from_raw(*c));
+            }
+            *c = 0;
+        }
+    }
+
+    /// Total raw credit currently held across all slots.
+    pub fn outstanding(&self) -> u64 {
+        self.credit.iter().sum()
+    }
+
+    /// `(shared grabs, charges served)` — the amortization ratio. A hot
+    /// single-flow worker should see grabs ≪ meters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.grabs, self.meters)
+    }
+}
+
+/// Real-thread execution with per-worker quantum reservations:
+/// [`RealExec`]'s try-lock updates, idle elision and thread striping, plus
+/// a [`QuantumReserve`] serving the leaf and ceiling meters from
+/// worker-local credit. Borrow (shadow) meters stay direct — lending
+/// tokens are contended by design.
+///
+/// Used by the multi-threaded scaling benchmarks; each worker owns one.
+/// Flush the reserve (`exec.reserve.flush(&tree)`) before the worker
+/// retires or the held quanta stay out of the slab until the next epoch
+/// roll would have returned them.
+#[derive(Debug)]
+pub struct ReservedExec {
+    inner: RealExec,
+    /// The worker's private credit.
+    pub reserve: QuantumReserve,
+}
+
+impl ReservedExec {
+    /// Real-thread execution topping up `quantum` tokens per shortfall.
+    pub fn new(quantum: Tokens) -> Self {
+        ReservedExec {
+            inner: RealExec,
+            reserve: QuantumReserve::new(quantum),
+        }
+    }
+}
+
+impl Exec for ReservedExec {
+    fn charge(&mut self, _op: Op) {}
+
+    fn elide_idle_updates(&self) -> bool {
+        self.inner.elide_idle_updates()
+    }
+
+    fn stripe(&self) -> usize {
+        self.inner.stripe()
+    }
+
+    fn locked_update(
+        &mut self,
+        tree: &SchedulingTree,
+        idx: usize,
+        kind: LockKind,
+        now: Nanos,
+    ) -> bool {
+        self.inner.locked_update(tree, idx, kind, now)
+    }
+
+    #[inline]
+    fn meter_bucket(&mut self, tree: &SchedulingTree, slot: u32, need: Tokens) -> Color {
+        self.reserve.meter(tree, slot, need)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::ClassId;
+    use crate::tree::{ClassSpec, TreeParams};
+    use sim_core::units::BitRate;
+
+    fn tree() -> SchedulingTree {
+        SchedulingTree::build(
+            vec![
+                ClassSpec::new(ClassId(1), "root", None).rate(BitRate::from_gbps(10.0)),
+                ClassSpec::new(ClassId(10), "a", Some(ClassId(1))),
+                ClassSpec::new(ClassId(20), "b", Some(ClassId(1))),
+            ],
+            TreeParams::default(),
+        )
+        .unwrap()
+    }
+
+    fn leaf_bucket(t: &SchedulingTree, id: ClassId) -> u32 {
+        let idx = t.node_index(id).unwrap();
+        t.node(idx).bucket
+    }
+
+    #[test]
+    fn serves_from_local_credit_and_conserves() {
+        let t = tree();
+        let slot = leaf_bucket(&t, ClassId(10));
+        let bucket = t.slab_bucket(slot);
+        bucket.refill(bucket.burst());
+        let start = bucket.raw() as u64;
+
+        let mut r = QuantumReserve::new(Tokens::from_raw(1_000));
+        let mut greens = 0u64;
+        for _ in 0..50 {
+            if r.meter(&t, slot, Tokens::from_raw(10)) == Color::Green {
+                greens += 1;
+            }
+        }
+        let (grabs, meters) = r.stats();
+        assert_eq!(meters, 50);
+        assert!(grabs < meters, "quantum must amortize: {grabs} grabs");
+        // Exact conservation: consumed + outstanding + residue == start.
+        assert_eq!(greens * 10 + r.outstanding() + bucket.raw() as u64, start);
+
+        r.flush(&t);
+        assert_eq!(r.outstanding(), 0);
+        assert_eq!(greens * 10 + bucket.raw() as u64, start);
+    }
+
+    #[test]
+    fn red_when_slab_and_credit_are_dry() {
+        let t = tree();
+        let slot = leaf_bucket(&t, ClassId(10));
+        let bucket = t.slab_bucket(slot);
+        bucket.drain(); // trees build with full buckets
+        bucket.refill(Tokens::from_raw(25));
+        let mut r = QuantumReserve::new(Tokens::from_raw(100));
+        // First grab takes everything available (quantum > level).
+        assert_eq!(r.meter(&t, slot, Tokens::from_raw(10)), Color::Green);
+        assert_eq!(r.meter(&t, slot, Tokens::from_raw(10)), Color::Green);
+        // 5 credit left, slab empty: shortfall stays red, credit intact.
+        assert_eq!(r.meter(&t, slot, Tokens::from_raw(10)), Color::Red);
+        assert_eq!(r.outstanding(), 5);
+        r.flush(&t);
+        assert_eq!(bucket.raw(), 5);
+    }
+
+    #[test]
+    fn epoch_roll_returns_quanta_before_regrabbing() {
+        let t = tree();
+        let slot = leaf_bucket(&t, ClassId(10));
+        let bucket = t.slab_bucket(slot);
+        bucket.refill(bucket.burst());
+
+        let mut r = QuantumReserve::new(Tokens::from_raw(1_000));
+        assert_eq!(r.meter(&t, slot, Tokens::from_raw(10)), Color::Green);
+        assert!(r.outstanding() > 0, "credit held after first meter");
+
+        // Roll the epoch: a guarded update past the interval floor.
+        let idx = t.node_index(ClassId(10)).unwrap();
+        assert!(t.update_node(idx, Nanos::from_micros(100)));
+
+        // The next meter flushes the stale credit, then re-grabs.
+        let before_flush = r.outstanding();
+        assert_eq!(r.meter(&t, slot, Tokens::from_raw(10)), Color::Green);
+        let (grabs, _) = r.stats();
+        assert_eq!(grabs, 2, "epoch roll must force a fresh grab");
+        assert!(before_flush > 0);
+    }
+
+    #[test]
+    fn reserved_exec_matches_shared_totals_single_thread() {
+        // Single-threaded, the reserved schedule admits exactly what the
+        // shared-bucket schedule admits: credit is a private view of the
+        // same token stream.
+        use crate::sched::RealExec;
+        let a = tree();
+        let b = tree();
+        let label_a = a.label(ClassId(10), &[]).unwrap();
+        let label_b = b.label(ClassId(10), &[]).unwrap();
+        let mut shared = RealExec;
+        let mut reserved = ReservedExec::new(Tokens::from_bits(64_000));
+        let mut now = Nanos::ZERO;
+        for i in 0..20_000u64 {
+            now += Nanos::from_nanos(1_000);
+            let bits = 12_000 + (i % 3) * 1_500;
+            a.schedule(&label_a, bits, now, &mut shared);
+            b.schedule(&label_b, bits, now, &mut reserved);
+        }
+        reserved.reserve.flush(&b);
+        let ca = a.counters(ClassId(10)).unwrap();
+        let cb = b.counters(ClassId(10)).unwrap();
+        // Admission totals agree to within one outstanding quantum's worth
+        // of packets; with per-epoch flushing they agree exactly here.
+        assert_eq!(ca.forwarded + ca.dropped, cb.forwarded + cb.dropped);
+        let diff = ca.forwarded.abs_diff(cb.forwarded);
+        let quantum_pkts = 64_000 / 12_000 + 1;
+        assert!(
+            diff <= quantum_pkts,
+            "reserved admission diverged by {diff} packets"
+        );
+    }
+}

@@ -27,7 +27,6 @@ use sim_core::time::Nanos;
 use crate::bucket::Color;
 use crate::label::{ClassId, QosLabel};
 use crate::tree::SchedulingTree;
-use std::sync::atomic::Ordering;
 
 /// Which guarded section a lock protects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,6 +79,28 @@ pub trait Exec {
     /// model, and eliding them would change every virtual-time figure.
     fn elide_idle_updates(&self) -> bool {
         false
+    }
+
+    /// Hot-state stripe this execution writes its per-node counters to.
+    /// Modeled environments are single-threaded per worker and keep the
+    /// default stripe 0; real-thread execution returns a stable per-thread
+    /// stripe so concurrent workers never share a counter cache line.
+    /// Merged totals are stripe-independent (see `NodeHot`).
+    fn stripe(&self) -> usize {
+        0
+    }
+
+    /// Meters `need` tokens against slab bucket `slot` of `tree`: the
+    /// leaf-budget and ceiling checks of the scheduling function route
+    /// through here. The default is the paper's wait-free test-and-add on
+    /// the shared bucket; a reserving environment
+    /// ([`ReservedExec`](crate::quantum::ReservedExec)) may serve the
+    /// charge from worker-local quantum credit instead, amortizing the
+    /// shared atomic. Shadow (borrow) meters never route through this
+    /// hook — lending tokens are contended by design.
+    #[inline]
+    fn meter_bucket(&mut self, tree: &SchedulingTree, slot: u32, need: Tokens) -> Color {
+        tree.slab_bucket(slot).meter(need)
     }
 }
 
@@ -141,6 +162,10 @@ impl Exec for RealExec {
 
     fn elide_idle_updates(&self) -> bool {
         true
+    }
+
+    fn stripe(&self) -> usize {
+        fv_telemetry::thread_stripe()
     }
 
     fn locked_update(
@@ -246,6 +271,8 @@ impl SchedulingTree {
     ) -> SchedVerdict {
         let need = Tokens::from_bits(bits);
         let need_raw = need.raw() as i64;
+        let elide = exec.elide_idle_updates();
+        let stripe = exec.stripe();
 
         // Lines 1-5: refresh token buckets root→leaf; every class on the
         // path is marked as touched (drives expiry).
@@ -257,8 +284,10 @@ impl SchedulingTree {
             } else {
                 0
             };
-            exec.charge(Op::LockOp);
-            exec.locked_update(self, idx, LockKind::Class, now);
+            if !elide || self.update_due(idx, false, now) {
+                exec.charge(Op::LockOp);
+                exec.locked_update(self, idx, LockKind::Class, now);
+            }
             exec.charge(Op::AtomicOp);
             if O::ENABLED {
                 obs.on_step(StepRecord {
@@ -273,7 +302,7 @@ impl SchedulingTree {
                 });
             }
         }
-        self.touch_path(label, now);
+        self.touch_path_at(label, now, stripe);
 
         // Lines 6-8: the leaf meter throttles the flow.
         let leaf_idx = self.node_index(label.leaf()).expect("leaf in tree");
@@ -281,7 +310,7 @@ impl SchedulingTree {
         exec.charge(Op::AtomicOp);
         let lb = self.slab_bucket(leaf.bucket);
         let leaf_before = if O::ENABLED { lb.raw() } else { 0 };
-        let leaf_green = lb.meter(need) == Color::Green;
+        let leaf_green = exec.meter_bucket(self, leaf.bucket, need) == Color::Green;
         if O::ENABLED {
             obs.on_step(StepRecord {
                 stage: 0,
@@ -301,7 +330,7 @@ impl SchedulingTree {
                 exec.charge(Op::AtomicOp);
                 let cb = self.slab_bucket(ci);
                 let before = if O::ENABLED { cb.raw() } else { 0 };
-                let green = cb.meter(need) == Color::Green;
+                let green = exec.meter_bucket(self, ci, need) == Color::Green;
                 if O::ENABLED {
                     obs.on_step(StepRecord {
                         stage: 0,
@@ -315,13 +344,13 @@ impl SchedulingTree {
                     });
                 }
                 if !green {
-                    leaf.dropped.fetch_add(1, Ordering::AcqRel);
+                    leaf.add_dropped(stripe, 1);
                     return SchedVerdict::Drop;
                 }
             }
-            self.count_path(label, bits);
+            self.count_path_at(label, bits, stripe);
             exec.charge_path(label);
-            leaf.forwarded.fetch_add(1, Ordering::AcqRel);
+            leaf.add_forwarded(stripe, 1);
             return SchedVerdict::Forward;
         }
 
@@ -333,7 +362,7 @@ impl SchedulingTree {
             exec.charge(Op::AtomicOp);
             let cb = self.slab_bucket(ci);
             let before = if O::ENABLED { cb.raw() } else { 0 };
-            let green = cb.meter(need) == Color::Green;
+            let green = exec.meter_bucket(self, ci, need) == Color::Green;
             if O::ENABLED {
                 obs.on_step(StepRecord {
                     stage: 0,
@@ -347,14 +376,16 @@ impl SchedulingTree {
                 });
             }
             if !green {
-                leaf.dropped.fetch_add(1, Ordering::AcqRel);
+                leaf.add_dropped(stripe, 1);
                 return SchedVerdict::Drop;
             }
         }
         for &lender in label.borrow() {
             let lidx = self.node_index(lender).expect("lender in tree");
-            exec.charge(Op::LockOp);
-            exec.locked_update(self, lidx, LockKind::Shadow, now);
+            if !elide || self.update_due(lidx, true, now) {
+                exec.charge(Op::LockOp);
+                exec.locked_update(self, lidx, LockKind::Shadow, now);
+            }
             exec.charge(Op::AtomicOp);
             let lnode = self.node(lidx);
             let sb = self.slab_bucket(lnode.shadow);
@@ -373,16 +404,16 @@ impl SchedulingTree {
                 });
             }
             if green {
-                self.count_path(label, bits);
+                self.count_path_at(label, bits, stripe);
                 exec.charge_path(label);
-                lnode.lent.fetch_add(1, Ordering::AcqRel);
-                leaf.borrowed.fetch_add(1, Ordering::AcqRel);
+                lnode.add_lent(stripe, 1);
+                leaf.add_borrowed(stripe, 1);
                 return SchedVerdict::Borrowed(lender);
             }
         }
 
         // Line 16.
-        leaf.dropped.fetch_add(1, Ordering::AcqRel);
+        leaf.add_dropped(stripe, 1);
         SchedVerdict::Drop
     }
 
@@ -420,15 +451,19 @@ impl SchedulingTree {
             return out;
         }
         let need_raw = Tokens::from_bits(bits).raw();
+        let elide = exec.elide_idle_updates();
+        let stripe = exec.stripe();
 
         // Refresh token buckets root→leaf once for the whole burst.
         for &cid in label.path() {
             let idx = self.node_index(cid).expect("label class in tree");
-            exec.charge(Op::LockOp);
-            exec.locked_update(self, idx, LockKind::Class, now);
+            if !elide || self.update_due(idx, false, now) {
+                exec.charge(Op::LockOp);
+                exec.locked_update(self, idx, LockKind::Class, now);
+            }
             exec.charge(Op::AtomicOp);
         }
-        self.touch_path(label, now);
+        self.touch_path_at(label, now, stripe);
 
         let leaf_idx = self.node_index(label.leaf()).expect("leaf in tree");
         let leaf = self.node(leaf_idx);
@@ -476,13 +511,15 @@ impl SchedulingTree {
                 break;
             }
             let lidx = self.node_index(lender).expect("lender in tree");
-            exec.charge(Op::LockOp);
-            exec.locked_update(self, lidx, LockKind::Shadow, now);
+            if !elide || self.update_due(lidx, true, now) {
+                exec.charge(Op::LockOp);
+                exec.locked_update(self, lidx, LockKind::Shadow, now);
+            }
             exec.charge(Op::AtomicOp);
             let lnode = self.node(lidx);
             let got = grab_pkts(self.slab_bucket(lnode.shadow), need_raw, borrow_budget);
             if got > 0 {
-                lnode.lent.fetch_add(got, Ordering::AcqRel);
+                lnode.add_lent(stripe, got);
                 out.borrowed.push((lender, got));
                 borrow_budget -= got;
             }
@@ -492,12 +529,12 @@ impl SchedulingTree {
         out.dropped = count - own_pass - borrowed_total;
         let passed = own_pass + borrowed_total;
         if passed > 0 {
-            self.count_path(label, bits * passed);
+            self.count_path_at(label, bits * passed, stripe);
             exec.charge_path(label);
         }
-        leaf.forwarded.fetch_add(own_pass, Ordering::AcqRel);
-        leaf.borrowed.fetch_add(borrowed_total, Ordering::AcqRel);
-        leaf.dropped.fetch_add(out.dropped, Ordering::AcqRel);
+        leaf.add_forwarded(stripe, own_pass);
+        leaf.add_borrowed(stripe, borrowed_total);
+        leaf.add_dropped(stripe, out.dropped);
         out
     }
 }

@@ -135,6 +135,29 @@ pub struct ClassCounters {
     pub lent: u64,
 }
 
+/// Number of per-node hot-state stripes. Matches the telemetry crate's
+/// counter shard count so [`fv_telemetry::thread_stripe`] hints spread the
+/// same way everywhere; must stay a power of two.
+pub(crate) const HOT_STRIPES: usize = fv_telemetry::metrics::SHARDS;
+const HOT_STRIPE_MASK: usize = HOT_STRIPES - 1;
+
+/// One stripe of a node's per-packet hot state. Everything a forwarding
+/// thread writes per packet lives here, one aligned cache line per stripe,
+/// so concurrent workers hammering the same class (or the shared root)
+/// never bounce a line between cores. Merges are exact: plain wrapping
+/// sums for the counters (count/uncount pairs always land on the same
+/// stripe — they come from the same worker), `max` for `last_packet`.
+#[repr(align(64))]
+#[derive(Default)]
+pub(crate) struct NodeHot {
+    consumed_bits: AtomicU64,
+    last_packet: AtomicU64,
+    forwarded: AtomicU64,
+    borrowed: AtomicU64,
+    dropped: AtomicU64,
+    lent: AtomicU64,
+}
+
 pub(crate) struct Node {
     pub(crate) spec: ClassSpec,
     pub(crate) parent: Option<usize>,
@@ -171,17 +194,74 @@ pub(crate) struct Node {
     /// must also conform here, which is what makes `ceil` bound borrowing
     /// (HTB semantics).
     pub(crate) ceil_bucket: Option<u32>,
-    pub(crate) consumed_bits: AtomicU64,
+    /// Striped per-packet hot state (consumption, touch, verdict counters).
+    hot: [NodeHot; HOT_STRIPES],
     pub(crate) last_update: AtomicU64,
     pub(crate) shadow_last_update: AtomicU64,
-    pub(crate) last_packet: AtomicU64,
-    pub(crate) forwarded: AtomicU64,
-    pub(crate) borrowed: AtomicU64,
-    pub(crate) dropped: AtomicU64,
-    pub(crate) lent: AtomicU64,
     /// Real-thread update guards (wall-clock benchmark mode).
     pub(crate) update_mutex: Mutex<()>,
     pub(crate) shadow_mutex: Mutex<()>,
+}
+
+impl Node {
+    #[inline]
+    fn hot(&self, stripe: usize) -> &NodeHot {
+        &self.hot[stripe & HOT_STRIPE_MASK]
+    }
+
+    /// Wrapping sum of one counter across stripes. Exact under the
+    /// same-stripe count/uncount contract (modular arithmetic: transient
+    /// per-stripe wraparound cancels in the sum).
+    #[inline]
+    fn hot_sum(&self, f: impl Fn(&NodeHot) -> &AtomicU64) -> u64 {
+        self.hot.iter().fold(0u64, |acc, h| {
+            acc.wrapping_add(f(h).load(Ordering::Acquire))
+        })
+    }
+
+    /// Most recent packet timestamp across stripes (raw nanos).
+    #[inline]
+    pub(crate) fn last_packet_ns(&self) -> u64 {
+        self.hot
+            .iter()
+            .map(|h| h.last_packet.load(Ordering::Acquire))
+            .max()
+            .unwrap_or(0)
+    }
+
+    #[inline]
+    pub(crate) fn touch(&self, stripe: usize, now_ns: u64) {
+        self.hot(stripe)
+            .last_packet
+            .fetch_max(now_ns, Ordering::AcqRel);
+    }
+
+    #[inline]
+    pub(crate) fn add_consumed(&self, stripe: usize, bits: u64) {
+        self.hot(stripe)
+            .consumed_bits
+            .fetch_add(bits, Ordering::AcqRel);
+    }
+
+    #[inline]
+    pub(crate) fn add_forwarded(&self, stripe: usize, n: u64) {
+        self.hot(stripe).forwarded.fetch_add(n, Ordering::AcqRel);
+    }
+
+    #[inline]
+    pub(crate) fn add_borrowed(&self, stripe: usize, n: u64) {
+        self.hot(stripe).borrowed.fetch_add(n, Ordering::AcqRel);
+    }
+
+    #[inline]
+    pub(crate) fn add_dropped(&self, stripe: usize, n: u64) {
+        self.hot(stripe).dropped.fetch_add(n, Ordering::AcqRel);
+    }
+
+    #[inline]
+    pub(crate) fn add_lent(&self, stripe: usize, n: u64) {
+        self.hot(stripe).lent.fetch_add(n, Ordering::AcqRel);
+    }
 }
 
 impl core::fmt::Debug for Node {
@@ -417,14 +497,9 @@ impl SchedulingTree {
                     slab.push(TokenBucket::new(burst));
                     (slab.len() - 1) as u32
                 }),
-                consumed_bits: AtomicU64::new(0),
+                hot: Default::default(),
                 last_update: AtomicU64::new(0),
                 shadow_last_update: AtomicU64::new(0),
-                last_packet: AtomicU64::new(0),
-                forwarded: AtomicU64::new(0),
-                borrowed: AtomicU64::new(0),
-                dropped: AtomicU64::new(0),
-                lent: AtomicU64::new(0),
                 update_mutex: Mutex::new(()),
                 shadow_mutex: Mutex::new(()),
                 spec: s.clone(),
@@ -538,6 +613,11 @@ impl SchedulingTree {
         &self.slab[i as usize]
     }
 
+    /// Number of buckets in the flat slab (bounds quantum-reserve flushes).
+    pub(crate) fn slab_len(&self) -> usize {
+        self.slab.len()
+    }
+
     /// A point-in-time snapshot of the whole bucket slab, attributed to
     /// owning classes, for the fv-audit conservation ledger. Raw levels
     /// (debt included) rather than clamped ones: an overfilled or leaking
@@ -625,7 +705,7 @@ impl SchedulingTree {
 
     /// Whether class `idx` has seen traffic within the expiry window.
     pub(crate) fn is_active(&self, idx: usize, now: Nanos) -> bool {
-        let last = Nanos::from_nanos(self.nodes[idx].last_packet.load(Ordering::Acquire));
+        let last = Nanos::from_nanos(self.nodes[idx].last_packet_ns());
         now.saturating_sub(last) <= self.params.expiry
     }
 
@@ -634,7 +714,7 @@ impl SchedulingTree {
     /// not mislead sibling calculations).
     pub(crate) fn gamma_raw(&self, idx: usize, now: Nanos) -> u64 {
         let n = &self.nodes[idx];
-        let last = Nanos::from_nanos(n.last_packet.load(Ordering::Acquire));
+        let last = Nanos::from_nanos(n.last_packet_ns());
         if now.saturating_sub(last) > self.params.expiry {
             0
         } else {
@@ -656,12 +736,17 @@ impl SchedulingTree {
         n.last_update.store(now.as_nanos(), Ordering::Release);
 
         // Γ: fold this epoch's instantaneous consumption rate (Equation 3).
-        let consumed = n.consumed_bits.swap(0, Ordering::AcqRel);
+        // Drain every stripe; the wrapping sum of the swapped values is the
+        // exact net consumption even if a stripe transiently wrapped below
+        // zero from an uncount refund (modular arithmetic).
+        let consumed = n.hot.iter().fold(0u64, |acc, h| {
+            acc.wrapping_add(h.consumed_bits.swap(0, Ordering::AcqRel))
+        });
         // A very long gap means the class was idle; treat the stale epoch
         // as zero-rate rather than averaging bits over the whole gap.
         let dt_capped = dt.min(self.params.expiry);
         n.gamma.fold(inst_rate_raw(consumed, dt_capped));
-        let last_pkt = Nanos::from_nanos(n.last_packet.load(Ordering::Acquire));
+        let last_pkt = Nanos::from_nanos(n.last_packet_ns());
         if now.saturating_sub(last_pkt) > self.params.expiry {
             n.gamma.store(0);
         }
@@ -780,29 +865,37 @@ impl SchedulingTree {
     /// (Equation 3's numerator; counted on *forwarding*, as the Γ
     /// definition requires — counting offered packets would let an
     /// overloaded class's drops poison its siblings' residual rates).
-    pub(crate) fn count_path(&self, label: &QosLabel, bits: u64) {
+    ///
+    /// `stripe` is the worker's hot-state stripe (the
+    /// [`crate::sched::Exec::stripe`] hint), so concurrent workers never
+    /// share a consumption cache line; merged totals are stripe-agnostic.
+    pub(crate) fn count_path_at(&self, label: &QosLabel, bits: u64, stripe: usize) {
         for cid in label.path() {
             if let Some(i) = self.node_index(*cid) {
-                self.nodes[i]
-                    .consumed_bits
-                    .fetch_add(bits, Ordering::AcqRel);
+                self.nodes[i].add_consumed(stripe, bits);
             }
         }
     }
 
-    /// Reverses [`SchedulingTree::count_path`] for a packet that a later
-    /// chain stage dropped: without the refund, upstream Γs would count
-    /// bits that never reached the wire.
-    pub(crate) fn uncount_path(&self, label: &QosLabel, bits: u64) {
-        // Every uncount refunds a prior count of the same bits, so a plain
-        // subtract is exact — no compare-exchange loop on the packet path.
+    /// Reverses [`SchedulingTree::count_path_at`] for a packet that a
+    /// later chain stage dropped: without the refund, upstream Γs would
+    /// count bits that never reached the wire. The refund MUST use the
+    /// stripe of the count it reverses (refunds are issued by the same
+    /// worker that counted, so this holds naturally); a plain subtract is
+    /// then exact with no compare-exchange loop.
+    pub(crate) fn uncount_path_at(&self, label: &QosLabel, bits: u64, stripe: usize) {
         for cid in label.path() {
             if let Some(i) = self.node_index(*cid) {
                 debug_assert!(
-                    self.nodes[i].consumed_bits.load(Ordering::Acquire) >= bits,
-                    "uncount without a matching count"
+                    self.nodes[i]
+                        .hot(stripe)
+                        .consumed_bits
+                        .load(Ordering::Acquire)
+                        >= bits,
+                    "uncount without a matching count on this stripe"
                 );
                 self.nodes[i]
+                    .hot(stripe)
                     .consumed_bits
                     .fetch_sub(bits, Ordering::AcqRel);
             }
@@ -810,14 +903,24 @@ impl SchedulingTree {
     }
 
     /// Marks every class on the path as recently touched (drives expiry).
-    pub(crate) fn touch_path(&self, label: &QosLabel, now: Nanos) {
+    pub(crate) fn touch_path_at(&self, label: &QosLabel, now: Nanos, stripe: usize) {
         for cid in label.path() {
             if let Some(i) = self.node_index(*cid) {
-                self.nodes[i]
-                    .last_packet
-                    .fetch_max(now.as_nanos(), Ordering::AcqRel);
+                self.nodes[i].touch(stripe, now.as_nanos());
             }
         }
+    }
+
+    /// Stripe-0 [`SchedulingTree::count_path_at`] (test convenience).
+    #[cfg(test)]
+    pub(crate) fn count_path(&self, label: &QosLabel, bits: u64) {
+        self.count_path_at(label, bits, 0);
+    }
+
+    /// Stripe-0 [`SchedulingTree::touch_path_at`] (test convenience).
+    #[cfg(test)]
+    pub(crate) fn touch_path(&self, label: &QosLabel, now: Nanos) {
+        self.touch_path_at(label, now, 0);
     }
 
     /// The published token rate θ of a class, as a bandwidth.
@@ -837,10 +940,10 @@ impl SchedulingTree {
         let i = self.node_index(id)?;
         let n = &self.nodes[i];
         Some(ClassCounters {
-            forwarded: n.forwarded.load(Ordering::Acquire),
-            borrowed: n.borrowed.load(Ordering::Acquire),
-            dropped: n.dropped.load(Ordering::Acquire),
-            lent: n.lent.load(Ordering::Acquire),
+            forwarded: n.hot_sum(|h| &h.forwarded),
+            borrowed: n.hot_sum(|h| &h.borrowed),
+            dropped: n.hot_sum(|h| &h.dropped),
+            lent: n.hot_sum(|h| &h.lent),
         })
     }
 

@@ -304,6 +304,15 @@ impl CostMeter {
         self.worker = worker.min(u8::MAX as usize) as u8;
     }
 
+    /// The micro-engine charges are currently attributed to (`u8::MAX`
+    /// when no worker context was set). Doubles as the per-worker stripe
+    /// hint for striped hot state — striped consumers mask it, so the
+    /// no-context sentinel is safe there too.
+    #[inline]
+    pub fn worker(&self) -> usize {
+        self.worker as usize
+    }
+
     fn cost_of(&self, op: Op) -> u64 {
         match op {
             Op::Parse => self.costs.parse,

@@ -15,8 +15,10 @@
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use fv_telemetry::json::JsonValue;
+use fv_telemetry::metrics::Counter;
 use fv_telemetry::Registry;
 use sim_core::tick::Ticker;
 use sim_core::time::Nanos;
@@ -104,6 +106,13 @@ pub struct TimeSampler {
     ticker: Ticker,
     names: Vec<String>,
     index: HashMap<String, usize>,
+    /// Cached counter handles, column-aligned with `names`. Resolved once
+    /// at attach time and re-resolved only when the registry's counter
+    /// generation moves: the per-tick path reads totals through these
+    /// wait-free `Arc`s instead of walking the registry under its lock.
+    handles: Vec<Arc<Counter>>,
+    /// The [`Registry::counter_generation`] the handle cache reflects.
+    seen_gen: u64,
     last: Vec<u64>,
     frames: VecDeque<Frame>,
     dropped: u64,
@@ -121,26 +130,44 @@ impl TimeSampler {
             ticker,
             names: Vec::new(),
             index: HashMap::new(),
+            handles: Vec::new(),
+            seen_gen: registry.counter_generation(),
             last: Vec::new(),
             frames: VecDeque::new(),
             dropped: 0,
         };
         // Baseline without emitting a frame: pre-attach accumulation is
         // not part of any sampled interval.
-        for (name, total) in s.registry.counter_totals() {
+        for (name, handle) in s.registry.counter_handles() {
             if s.cfg.matches(&name) {
-                s.admit(name, total);
+                let total = handle.total();
+                s.admit(name, handle, total);
             }
         }
         s
     }
 
-    fn admit(&mut self, name: String, total: u64) -> usize {
+    fn admit(&mut self, name: String, handle: Arc<Counter>, baseline: u64) -> usize {
         let idx = self.names.len();
         self.index.insert(name.clone(), idx);
         self.names.push(name);
-        self.last.push(total);
+        self.handles.push(handle);
+        self.last.push(baseline);
         idx
+    }
+
+    /// Folds counters that registered since the last rescan into the
+    /// column set. Cold path: runs only when the registry's counter
+    /// generation moved. A mid-run counter is admitted with a zero
+    /// baseline — its whole total accumulated within sampled time, so it
+    /// becomes the first frame's delta.
+    fn rescan(&mut self) {
+        self.seen_gen = self.registry.counter_generation();
+        for (name, handle) in self.registry.counter_handles() {
+            if self.cfg.matches(&name) && !self.index.contains_key(&name) {
+                self.admit(name, handle, 0);
+            }
+        }
     }
 
     /// The sampling configuration.
@@ -177,24 +204,17 @@ impl TimeSampler {
     }
 
     fn sample_at(&mut self, at: Nanos) {
-        let totals = self.registry.counter_totals();
-        let mut deltas = vec![0u64; self.names.len()];
-        for (name, total) in totals {
-            if !self.cfg.matches(&name) {
-                continue;
-            }
-            match self.index.get(&name) {
-                Some(&i) => {
-                    deltas[i] = total - self.last[i];
-                    self.last[i] = total;
-                }
-                None => {
-                    // First sighting: the whole total accumulated within
-                    // sampled time, so it is this interval's delta.
-                    self.admit(name, total);
-                    deltas.push(total);
-                }
-            }
+        // One atomic load answers "did any counter register since my last
+        // tick?"; the rescan (registry lock, name clones) happens only
+        // when it did, so steady-state ticks are pure handle reads.
+        if self.registry.counter_generation() != self.seen_gen {
+            self.rescan();
+        }
+        let mut deltas = Vec::with_capacity(self.handles.len());
+        for (i, handle) in self.handles.iter().enumerate() {
+            let total = handle.total();
+            deltas.push(total - self.last[i]);
+            self.last[i] = total;
         }
         if self.frames.len() >= self.cfg.capacity {
             self.frames.pop_front();

@@ -60,7 +60,7 @@ pub mod span;
 pub mod trace;
 
 pub use json::{JsonValue, ToJson};
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, RateWindow};
+pub use metrics::{thread_stripe, Counter, Gauge, Histogram, HistogramSnapshot, RateWindow};
 pub use registry::{MetricEntry, MetricValue, Registry, RegistryError, Snapshot};
 pub use span::{SpanRecorder, SpanSink, Stage, STAGES};
 pub use trace::{EventRing, TraceEvent, TraceKind};

@@ -11,6 +11,7 @@
 //! `fv stats` view) or as a JSON document (`fv demo --json`).
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use sim_core::time::Nanos;
@@ -73,6 +74,11 @@ impl std::error::Error for RegistryError {}
 
 struct Inner {
     metrics: Mutex<BTreeMap<String, Metric>>,
+    /// Bumped once per newly registered *counter*. Samplers cache their
+    /// `Arc<Counter>` handles and compare this sequence each tick; a
+    /// rescan (lock + name clones) only happens when a counter actually
+    /// registered since the last tick (see [`Registry::counter_handles`]).
+    counter_gen: AtomicU64,
     ring: Arc<EventRing>,
     /// Install-once span-sink cell shared with every [`crate::span::SpanRecorder`]
     /// bound to this registry (see [`Registry::install_span_sink`]).
@@ -106,6 +112,7 @@ impl Registry {
         Registry {
             inner: Arc::new(Inner {
                 metrics: Mutex::new(BTreeMap::new()),
+                counter_gen: AtomicU64::new(0),
                 ring: Arc::new(EventRing::new(capacity)),
                 span_sink: SinkCell::default(),
             }),
@@ -116,11 +123,21 @@ impl Registry {
     /// as an error instead of panicking.
     pub fn try_counter(&self, name: &str) -> Result<Arc<Counter>, RegistryError> {
         let mut metrics = self.inner.metrics.lock().unwrap();
-        match metrics
-            .entry(name.to_owned())
-            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
-        {
-            Metric::Counter(c) => Ok(Arc::clone(c)),
+        let mut inserted = false;
+        let metric = metrics.entry(name.to_owned()).or_insert_with(|| {
+            inserted = true;
+            Metric::Counter(Arc::new(Counter::new()))
+        });
+        match metric {
+            Metric::Counter(c) => {
+                let c = Arc::clone(c);
+                if inserted {
+                    // Still under the metrics lock, so a sampler that
+                    // observes the new sequence also observes the entry.
+                    self.inner.counter_gen.fetch_add(1, Ordering::Release);
+                }
+                Ok(c)
+            }
             other => Err(RegistryError::TypeConflict {
                 name: name.to_owned(),
                 existing: other.type_name(),
@@ -260,6 +277,30 @@ impl Registry {
             .iter()
             .filter_map(|(name, metric)| match metric {
                 Metric::Counter(c) => Some((name.clone(), c.total())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Sequence number of counter registrations: increments once per new
+    /// counter. A sampler that cached [`Registry::counter_handles`] can
+    /// compare this (one relaxed atomic load) to decide whether the set
+    /// of counters grew — the hot "nothing new" case takes no lock and
+    /// clones no strings.
+    pub fn counter_generation(&self) -> u64 {
+        self.inner.counter_gen.load(Ordering::Acquire)
+    }
+
+    /// Names and shared handles of every registered counter, sorted by
+    /// name. Registration is the cold path; callers cache these handles
+    /// and read totals through them wait-free, rescanning only when
+    /// [`Registry::counter_generation`] moves.
+    pub fn counter_handles(&self) -> Vec<(String, Arc<Counter>)> {
+        let metrics = self.inner.metrics.lock().unwrap();
+        metrics
+            .iter()
+            .filter_map(|(name, metric)| match metric {
+                Metric::Counter(c) => Some((name.clone(), Arc::clone(c))),
                 _ => None,
             })
             .collect()
@@ -482,6 +523,28 @@ mod tests {
             reg.counter_totals(),
             vec![("a.bits".into(), 8), ("b.pkts".into(), 3)]
         );
+    }
+
+    #[test]
+    fn counter_generation_moves_only_on_new_counters() {
+        let reg = Registry::new();
+        assert_eq!(reg.counter_generation(), 0);
+        reg.counter("a");
+        reg.counter("b");
+        assert_eq!(reg.counter_generation(), 2);
+        reg.counter("a"); // re-registration: same handle, no bump
+        assert_eq!(reg.counter_generation(), 2);
+        reg.gauge("g"); // other metric kinds don't move it
+        reg.histogram("h");
+        assert_eq!(reg.counter_generation(), 2);
+        // Handles are live: writing through one is visible everywhere.
+        let handles = reg.counter_handles();
+        assert_eq!(
+            handles.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+            ["a", "b"]
+        );
+        handles[0].1.add(0, 5);
+        assert_eq!(reg.snapshot(Nanos::ZERO).counter("a"), 5);
     }
 
     #[test]

@@ -5,12 +5,12 @@
 # ns/op (and Melem/s where the bench declares throughput) or Mpps.
 #
 # Usage:
-#   scripts/bench.sh [tag]       # default tag: pr9 -> BENCH_pr9.json
+#   scripts/bench.sh [tag]       # default tag: pr10 -> BENCH_pr10.json
 #   FV_BENCH_FULL=1 scripts/bench.sh   # full measurement times, not quick
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-TAG="${1:-pr9}"
+TAG="${1:-pr10}"
 OUT="BENCH_${TAG}.json"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT

@@ -116,22 +116,30 @@ if cargo run --release -q -p fv-cli -- audit scripts/motivation.fv \
 fi
 echo "why/audit ok: deterministic explain, demo+chaos conserve, mischarge caught"
 
-echo "==> bench-diff: committed pr9 snapshot vs pr8 baseline (sched hot path)"
+echo "==> scaling smoke (multi-core aggregate speedup gate)"
+# Machine-aware: asserts >= 2x aggregate throughput at 4 threads on hosts
+# with >= 4 CPUs (FV_SCALING_FULL=1 adds the >= 3x @ 8 threads full
+# gate); on smaller hosts it prints an explicit SKIP — thread scaling is
+# a property of the hardware, not of the committed code.
+cargo run --release -q -p bench --bin scaling_smoke
+
+echo "==> bench-diff: committed pr10 snapshot vs pr9 baseline (sched hot path)"
 # Both snapshots are committed, so this is a cheap static gate: it proves
-# the recorded numbers with the provenance hook compiled in (sampling
-# disabled on the bench path) never regressed more than 10% against the
-# pre-audit baseline on any sched_* bench.
-cargo run --release -q -p fv-cli -- bench-diff BENCH_pr9.json BENCH_pr8.json \
-    --tolerance-pct 10 --only sched
+# the recorded numbers with the sharded hot state (striped counters,
+# per-worker decision-cache stripes, padded bucket slab) never regressed
+# more than 10% against the pr9 baseline on any sched_* bench — the
+# single-thread decision path must not pay for the multi-core sharding.
+cargo run --release -q -p fv-cli -- bench-diff BENCH_pr10.json BENCH_pr9.json \
+    --tolerance-pct 10 --only sched --only baseline_qdiscs/flowvalve_decision
 
 # Opt-in perf-regression gate: fresh bench snapshot diffed against the
 # newest committed baseline on the two hot-path acceptance benches.
 # Baselines are machine-specific — if this fires on new hardware while
 # the code is unchanged, re-baseline with scripts/bench.sh first.
 if [[ "${FV_BENCH_GATE:-0}" == "1" ]]; then
-    echo "==> bench regression gate (<=10% vs BENCH_pr8.json)"
+    echo "==> bench regression gate (<=10% vs BENCH_pr9.json)"
     scripts/bench.sh gate
-    cargo run --release -q -p fv-cli -- bench-diff BENCH_gate.json BENCH_pr8.json \
+    cargo run --release -q -p fv-cli -- bench-diff BENCH_gate.json BENCH_pr9.json \
         --tolerance-pct 10 \
         --only sched_function/instrumented_threads --only span_stamp/record
     rm -f BENCH_gate.json
